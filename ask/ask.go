@@ -1,0 +1,222 @@
+// Package ask is the public API of the ASK reproduction: a switch–host
+// co-designed in-network aggregation service for key-value streams
+// (He et al., "A Generic Service to Provide In-Network Aggregation for
+// Key-Value Streams", ASPLOS 2023).
+//
+// A Cluster wires together the simulated substrate — a virtual-time kernel,
+// a single-switch 100 Gbps network, a PISA-constrained ASK switch program,
+// and one host daemon per server — behind a small surface:
+//
+//	cl, _ := ask.NewCluster(ask.Options{Hosts: 4})
+//	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1, 2, 3}}
+//	res, _ := cl.Aggregate(spec, map[core.HostID]core.Stream{
+//	    1: core.SliceStream(streamA),
+//	    2: core.SliceStream(streamB),
+//	    3: core.SliceStream(streamC),
+//	})
+//
+// Aggregate runs the full protocol of the paper: task setup over the control
+// channel, multi-key vectorized switch aggregation, sliding-window
+// reliability, shadow-copy hot-key prioritization, FIN-driven teardown, and
+// the switch-state fetch/merge — returning the exact aggregation of all
+// streams. Everything executes on deterministic virtual time, so results
+// and performance measurements are reproducible for a given Seed.
+package ask
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/hostd"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/switchd"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Hosts is the number of servers (host IDs 0..Hosts-1).
+	Hosts int
+	// Config is the ASK deployment configuration (zero value: the paper's
+	// defaults via core.DefaultConfig).
+	Config core.Config
+	// Link configures every host's link (zero value: 100 Gbps, 1 µs).
+	Link netsim.LinkConfig
+	// Cores is the per-host core count (zero: the paper's 56).
+	Cores int
+	// Seed drives all randomness (fault injection); runs with equal seeds
+	// are identical.
+	Seed int64
+	// Switch sizes the switch state tables (zero value: defaults).
+	Switch switchd.Options
+}
+
+// Cluster is a simulated rack running the ASK service.
+type Cluster struct {
+	Sim     *sim.Simulation
+	Net     *netsim.Network
+	Switch  *switchd.Switch
+	opts    Options
+	daemons map[core.HostID]*hostd.Daemon
+	cpus    map[core.HostID]*cpumodel.Host
+}
+
+// controllerAdapter narrows switchd.Switch to the hostd.Controller surface.
+type controllerAdapter struct{ sw *switchd.Switch }
+
+func (c controllerAdapter) RegisterFlow(fk core.FlowKey) error {
+	_, err := c.sw.RegisterFlow(fk)
+	return err
+}
+
+func (c controllerAdapter) AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, rows int) error {
+	_, err := c.sw.AllocRegion(task, receiver, op, rows)
+	return err
+}
+
+func (c controllerAdapter) FreeRegion(task core.TaskID) error { return c.sw.FreeRegion(task) }
+
+// NewCluster builds a rack: one ASK switch and Hosts servers, each running
+// a host daemon with Config.DataChannels persistent channels.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.Hosts <= 0 {
+		return nil, fmt.Errorf("ask: Hosts must be positive")
+	}
+	if opts.Config.NumAAs == 0 {
+		opts.Config = core.DefaultConfig()
+	}
+	if opts.Link.BandwidthBps == 0 {
+		opts.Link = netsim.DefaultLinkConfig()
+	}
+	if opts.Cores == 0 {
+		opts.Cores = cpumodel.DefaultCores
+	}
+	if opts.Switch.MaxFlows == 0 {
+		opts.Switch = switchd.DefaultOptions()
+	}
+	s := sim.New(opts.Seed)
+	n := netsim.New(s, opts.Link)
+	sw, err := switchd.New(s, n, opts.Config, opts.Switch)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		Sim:     s,
+		Net:     n,
+		Switch:  sw,
+		opts:    opts,
+		daemons: make(map[core.HostID]*hostd.Daemon),
+		cpus:    make(map[core.HostID]*cpumodel.Host),
+	}
+	for h := 0; h < opts.Hosts; h++ {
+		id := core.HostID(h)
+		cpu := cpumodel.NewHost(s, opts.Cores)
+		d, err := hostd.New(s, n, cpu, opts.Config, id, controllerAdapter{sw})
+		if err != nil {
+			return nil, err
+		}
+		cl.daemons[id] = d
+		cl.cpus[id] = cpu
+	}
+	return cl, nil
+}
+
+// Daemon returns the host daemon of a server.
+func (c *Cluster) Daemon(h core.HostID) *hostd.Daemon { return c.daemons[h] }
+
+// CPU returns the CPU model of a server.
+func (c *Cluster) CPU(h core.HostID) *cpumodel.Host { return c.cpus[h] }
+
+// Config returns the deployment configuration.
+func (c *Cluster) Config() core.Config { return c.opts.Config }
+
+// TaskResult is the outcome of one aggregation task.
+type TaskResult struct {
+	Result core.Result
+	// Elapsed is the virtual time from submission to completion.
+	Elapsed sim.Time
+	// Recv holds the receiver-side counters.
+	Recv hostd.RecvTaskStats
+	// Switch holds the switch-side counters for the task.
+	Switch switchd.TaskStats
+}
+
+// Aggregate runs one complete aggregation task to completion: the receiver
+// submits the task, each sender streams its tuples, and the merged result
+// is returned once every FIN is in and switch state is fetched. It blocks
+// until the virtual cluster quiesces.
+func (c *Cluster) Aggregate(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*TaskResult, error) {
+	res, err := c.StartTask(spec, streams)
+	if err != nil {
+		return nil, err
+	}
+	c.Sim.Run(0)
+	return res.Get()
+}
+
+// PendingTask is a task started with StartTask whose result becomes
+// available after the simulation runs.
+type PendingTask struct {
+	c      *Cluster
+	spec   core.TaskSpec
+	start  sim.Time
+	handle *hostd.RecvHandle
+	result *TaskResult
+	err    error
+}
+
+// StartTask submits a task and its sender streams without running the
+// simulation, so several tasks can run concurrently; call Sim.Run(0) (or
+// Aggregate another task) and then Get.
+func (c *Cluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*PendingTask, error) {
+	if len(spec.Senders) == 0 {
+		return nil, fmt.Errorf("ask: task %d has no senders", spec.ID)
+	}
+	for _, s := range spec.Senders {
+		if _, ok := c.daemons[s]; !ok {
+			return nil, fmt.Errorf("ask: sender host %d not in cluster", s)
+		}
+		if _, ok := streams[s]; !ok {
+			return nil, fmt.Errorf("ask: no stream for sender host %d", s)
+		}
+	}
+	if _, ok := c.daemons[spec.Receiver]; !ok {
+		return nil, fmt.Errorf("ask: receiver host %d not in cluster", spec.Receiver)
+	}
+	pt := &PendingTask{c: c, spec: spec, start: c.Sim.Now()}
+	c.Sim.Spawn(fmt.Sprintf("driver-task%d", spec.ID), func(p *sim.Proc) {
+		h, err := c.daemons[spec.Receiver].Submit(p, spec)
+		if err != nil {
+			pt.err = err
+			return
+		}
+		pt.handle = h
+		// Deterministic sender start order.
+		senders := append([]core.HostID(nil), spec.Senders...)
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+		for _, s := range senders {
+			c.daemons[s].SubmitSend(spec.ID, streams[s])
+		}
+		result := h.Wait(p)
+		pt.result = &TaskResult{
+			Result:  result,
+			Elapsed: p.Now() - pt.start,
+			Recv:    h.Stats(),
+			Switch:  *c.Switch.TaskStatsOf(spec.ID),
+		}
+	})
+	return pt, nil
+}
+
+// Get returns the task outcome; it errors if the task has not completed.
+func (pt *PendingTask) Get() (*TaskResult, error) {
+	if pt.err != nil {
+		return nil, pt.err
+	}
+	if pt.result == nil {
+		return nil, fmt.Errorf("ask: task %d did not complete (run the simulation to quiescence)", pt.spec.ID)
+	}
+	return pt.result, nil
+}

@@ -1,0 +1,391 @@
+package ask
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// genStream builds a deterministic random stream: keys drawn from a pool of
+// mixed lengths (short, medium, long), small values.
+func genStream(seed int64, n, distinct int) []core.KV {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]string, distinct)
+	for i := range pool {
+		switch i % 3 {
+		case 0:
+			pool[i] = fmt.Sprintf("k%d", i) // short-ish
+		case 1:
+			pool[i] = fmt.Sprintf("med_%04d", i) // 8 bytes: medium
+		default:
+			pool[i] = fmt.Sprintf("longkey_number_%06d", i) // long
+		}
+	}
+	kvs := make([]core.KV, n)
+	for i := range kvs {
+		kvs[i] = core.KV{Key: pool[rng.Intn(distinct)], Val: int64(rng.Intn(100) + 1)}
+	}
+	return kvs
+}
+
+func run(t *testing.T, opts Options, spec core.TaskSpec, perSender map[core.HostID][]core.KV) *TaskResult {
+	t.Helper()
+	cl, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make(map[core.HostID]core.Stream, len(perSender))
+	for h, kvs := range perSender {
+		streams[h] = core.SliceStream(kvs)
+	}
+	res, err := cl.Aggregate(spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkExact(t *testing.T, res *TaskResult, op core.Op, perSender map[core.HostID][]core.KV) {
+	t.Helper()
+	var all [][]core.KV
+	for _, kvs := range perSender {
+		all = append(all, kvs)
+	}
+	want := core.Reference(op, all...)
+	if !res.Result.Equal(want) {
+		t.Fatalf("aggregation incorrect: %s", res.Result.Diff(want, 8))
+	}
+}
+
+func TestSingleSenderExact(t *testing.T) {
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}}
+	data := map[core.HostID][]core.KV{1: genStream(1, 20000, 500)}
+	res := run(t, Options{Hosts: 2, Seed: 1}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+	if res.Switch.TuplesAggregated == 0 {
+		t.Fatal("switch aggregated nothing")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestMultiSenderExact(t *testing.T) {
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1, 2, 3}}
+	data := map[core.HostID][]core.KV{
+		1: genStream(1, 8000, 300),
+		2: genStream(2, 8000, 300),
+		3: genStream(3, 8000, 300),
+	}
+	res := run(t, Options{Hosts: 4, Seed: 2}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+}
+
+func TestColocatedSenderReceiver(t *testing.T) {
+	// Receiver host 0 is also a sender (mappers colocated with reducers,
+	// §5.5).
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{0, 1}}
+	data := map[core.HostID][]core.KV{
+		0: genStream(4, 5000, 200),
+		1: genStream(5, 5000, 200),
+	}
+	res := run(t, Options{Hosts: 2, Seed: 3}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+}
+
+func TestExactUnderLoss(t *testing.T) {
+	link := netsim.DefaultLinkConfig()
+	link.Fault.LossProb = 0.05
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1, 2}}
+	data := map[core.HostID][]core.KV{
+		1: genStream(6, 6000, 250),
+		2: genStream(7, 6000, 250),
+	}
+	res := run(t, Options{Hosts: 3, Seed: 4, Link: link}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+}
+
+func TestExactUnderLossDupReorder(t *testing.T) {
+	link := netsim.DefaultLinkConfig()
+	link.Fault.LossProb = 0.03
+	link.Fault.DupProb = 0.03
+	link.Fault.ReorderProb = 0.05
+	link.Fault.ReorderDelay = 30 * time.Microsecond
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1, 2}}
+	data := map[core.HostID][]core.KV{
+		1: genStream(8, 5000, 200),
+		2: genStream(9, 5000, 200),
+	}
+	res := run(t, Options{Hosts: 3, Seed: 5, Link: link}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+}
+
+func TestExactUnderHeavyLossManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed fault sweep")
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		link := netsim.DefaultLinkConfig()
+		link.Fault.LossProb = 0.15
+		link.Fault.DupProb = 0.05
+		link.Fault.ReorderProb = 0.1
+		link.Fault.ReorderDelay = 50 * time.Microsecond
+		spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}}
+		data := map[core.HostID][]core.KV{1: genStream(100+seed, 3000, 150)}
+		res := run(t, Options{Hosts: 2, Seed: seed, Link: link}, spec, data)
+		checkExact(t, res, core.OpSum, data)
+	}
+}
+
+func TestShadowCopyDisabledStillExact(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ShadowCopy = false
+	cfg.SwapThreshold = 0
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}}
+	data := map[core.HostID][]core.KV{1: genStream(10, 10000, 400)}
+	res := run(t, Options{Hosts: 2, Seed: 6, Config: cfg}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+}
+
+func TestSwapsHappenAndStayExact(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SwapThreshold = 8 // aggressive swapping
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}, Rows: 64}
+	// Many distinct keys + tiny region: constant conflicts → many swaps.
+	data := map[core.HostID][]core.KV{1: genStream(11, 20000, 5000)}
+	res := run(t, Options{Hosts: 2, Seed: 7, Config: cfg}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+	if res.Recv.Swaps == 0 {
+		t.Fatal("no swaps occurred despite aggressive threshold")
+	}
+}
+
+func TestSwapsUnderLossStayExact(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SwapThreshold = 8
+	link := netsim.DefaultLinkConfig()
+	link.Fault.LossProb = 0.05
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1, 2}, Rows: 64}
+	data := map[core.HostID][]core.KV{
+		1: genStream(12, 8000, 3000),
+		2: genStream(13, 8000, 3000),
+	}
+	res := run(t, Options{Hosts: 3, Seed: 8, Config: cfg, Link: link}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+	if res.Recv.Swaps == 0 {
+		t.Fatal("expected swaps")
+	}
+}
+
+func TestTinyRegionExact(t *testing.T) {
+	// 2 rows total (1 per copy): nearly everything conflicts and falls back
+	// to the host; the result must still be exact.
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}, Rows: 2}
+	data := map[core.HostID][]core.KV{1: genStream(14, 5000, 1000)}
+	res := run(t, Options{Hosts: 2, Seed: 9}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+	if res.Recv.ResidueTuples == 0 {
+		t.Fatal("expected host-side residue with a tiny region")
+	}
+}
+
+func TestTransportOnlyTask(t *testing.T) {
+	// Rows < 0: the SparkSHM mode — ASK transport without INA.
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}, Rows: -1}
+	data := map[core.HostID][]core.KV{1: genStream(15, 5000, 200)}
+	res := run(t, Options{Hosts: 2, Seed: 10}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+	if res.Switch.TuplesAggregated != 0 {
+		t.Fatal("transport-only task used switch aggregators")
+	}
+	if res.Recv.SwitchEntries != 0 {
+		t.Fatal("transport-only task fetched switch state")
+	}
+}
+
+func TestAllOperators(t *testing.T) {
+	for _, op := range []core.Op{core.OpSum, core.OpMax, core.OpMin, core.OpCount} {
+		spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1, 2}, Op: op}
+		data := map[core.HostID][]core.KV{
+			1: genStream(20, 4000, 150),
+			2: genStream(21, 4000, 150),
+		}
+		res := run(t, Options{Hosts: 3, Seed: 11}, spec, data)
+		checkExact(t, res, op, data)
+	}
+}
+
+func TestSequentialTasksReuseChannels(t *testing.T) {
+	// Persistent channels serve several tasks in sequence; reliability
+	// state carries across tasks.
+	cl, err := NewCluster(Options{Hosts: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		spec := core.TaskSpec{ID: core.TaskID(i), Receiver: 0, Senders: []core.HostID{1, 2}}
+		data := map[core.HostID][]core.KV{
+			1: genStream(int64(30+i), 3000, 100),
+			2: genStream(int64(40+i), 3000, 100),
+		}
+		streams := map[core.HostID]core.Stream{
+			1: core.SliceStream(data[1]),
+			2: core.SliceStream(data[2]),
+		}
+		res, err := cl.Aggregate(spec, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkExact(t, res, core.OpSum, data)
+	}
+}
+
+func TestConcurrentTasksSharedChannels(t *testing.T) {
+	// Two tasks with different receivers running at once, multiplexing the
+	// same daemons and switch.
+	cl, err := NewCluster(Options{Hosts: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataA := map[core.HostID][]core.KV{2: genStream(50, 4000, 150), 3: genStream(51, 4000, 150)}
+	dataB := map[core.HostID][]core.KV{2: genStream(52, 4000, 150), 3: genStream(53, 4000, 150)}
+	ptA, err := cl.StartTask(core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{2, 3}},
+		map[core.HostID]core.Stream{2: core.SliceStream(dataA[2]), 3: core.SliceStream(dataA[3])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptB, err := cl.StartTask(core.TaskSpec{ID: 2, Receiver: 1, Senders: []core.HostID{2, 3}},
+		map[core.HostID]core.Stream{2: core.SliceStream(dataB[2]), 3: core.SliceStream(dataB[3])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Sim.Run(0)
+	resA, err := ptA.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := ptB.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, resA, core.OpSum, dataA)
+	checkExact(t, resB, core.OpSum, dataB)
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	make_ := func() *TaskResult {
+		link := netsim.DefaultLinkConfig()
+		link.Fault.LossProb = 0.02
+		spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}}
+		data := map[core.HostID][]core.KV{1: genStream(60, 4000, 200)}
+		return run(t, Options{Hosts: 2, Seed: 42, Link: link}, spec, data)
+	}
+	a, b := make_(), make_()
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("non-deterministic elapsed: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if !a.Result.Equal(b.Result) {
+		t.Fatal("non-deterministic result")
+	}
+}
+
+func TestLargeValuesBypassSwitch(t *testing.T) {
+	// Values outside the 32-bit vPart must flow via the long-key path and
+	// still aggregate exactly.
+	kvs := []core.KV{
+		{Key: "big", Val: 1 << 40},
+		{Key: "big", Val: 1 << 40},
+		{Key: "small", Val: 3},
+	}
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}}
+	data := map[core.HostID][]core.KV{1: kvs}
+	res := run(t, Options{Hosts: 2, Seed: 14}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+}
+
+func TestEmptyStream(t *testing.T) {
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}}
+	data := map[core.HostID][]core.KV{1: nil}
+	res := run(t, Options{Hosts: 2, Seed: 15}, spec, data)
+	if len(res.Result) != 0 {
+		t.Fatalf("empty stream produced %v", res.Result)
+	}
+}
+
+func TestInvalidSubmissions(t *testing.T) {
+	cl, err := NewCluster(Options{Hosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.StartTask(core.TaskSpec{ID: 1, Receiver: 0}, nil); err == nil {
+		t.Error("no senders accepted")
+	}
+	if _, err := cl.StartTask(core.TaskSpec{ID: 1, Receiver: 9, Senders: []core.HostID{1}},
+		map[core.HostID]core.Stream{1: core.SliceStream(nil)}); err == nil {
+		t.Error("unknown receiver accepted")
+	}
+	if _, err := cl.StartTask(core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}},
+		map[core.HostID]core.Stream{}); err == nil {
+		t.Error("missing stream accepted")
+	}
+	if _, err := NewCluster(Options{Hosts: 0}); err == nil {
+		t.Error("zero hosts accepted")
+	}
+}
+
+func TestSwitchAbsorbsMostTraffic(t *testing.T) {
+	// With ample switch memory and few distinct keys, the switch should
+	// absorb nearly all tuples (the Table 1 regime).
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}}
+	data := map[core.HostID][]core.KV{1: genStream(70, 20000, 64)}
+	res := run(t, Options{Hosts: 2, Seed: 16}, spec, data)
+	checkExact(t, res, core.OpSum, data)
+	// A third of keys are long (bypass); of switch-eligible tuples, nearly
+	// all must aggregate.
+	if ratio := res.Switch.AggregatedTupleRatio(); ratio < 0.95 {
+		t.Fatalf("switch aggregated only %.1f%% of eligible tuples", 100*ratio)
+	}
+}
+
+func TestTaskChurnLeavesNoLeaks(t *testing.T) {
+	// A long-lived service runs many tasks with varying shapes, operators,
+	// and faults over the same cluster; afterwards every switch resource
+	// must be back in the free pool and the channels still functional.
+	link := netsim.DefaultLinkConfig()
+	link.Fault.LossProb = 0.01
+	cl, err := NewCluster(Options{Hosts: 4, Seed: 77, Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := cl.Switch.FreeRows()
+	rng := rand.New(rand.NewSource(77))
+	ops := []core.Op{core.OpSum, core.OpMax, core.OpMin, core.OpCount}
+	for i := 1; i <= 20; i++ {
+		senders := []core.HostID{1, 2, 3}[:1+rng.Intn(3)]
+		spec := core.TaskSpec{
+			ID:       core.TaskID(i),
+			Receiver: 0,
+			Senders:  senders,
+			Op:       ops[rng.Intn(len(ops))],
+			Rows:     []int{0, 2, 128, -1}[rng.Intn(4)],
+		}
+		data := make(map[core.HostID][]core.KV)
+		streams := make(map[core.HostID]core.Stream)
+		for _, s := range senders {
+			data[s] = genStream(int64(1000*i)+int64(s), 1000+rng.Intn(2000), 100+rng.Intn(400))
+			streams[s] = core.SliceStream(data[s])
+		}
+		res, err := cl.Aggregate(spec, streams)
+		if err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+		checkExact(t, res, spec.Op, data)
+	}
+	if got := cl.Switch.FreeRows(); got != freeBefore {
+		t.Fatalf("aggregator rows leaked: %d free, started with %d", got, freeBefore)
+	}
+}

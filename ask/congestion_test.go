@@ -1,0 +1,75 @@
+package ask
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/switchd"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// congestedRun drives eight transport-only senders (no switch absorption)
+// into one receiver: the receiver's downlink is 8× oversubscribed, its
+// queueing delay (8 senders × W packets of wire time ≈ 220 µs) exceeds the
+// 100 µs retransmission timeout, and without congestion control the fixed
+// windows melt down into retransmission storms.
+func congestedRun(t *testing.T, cc bool) (retransmits, sent int64, result core.Result, want core.Result) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Window = 1024
+	cfg.CongestionControl = cc
+	cfg.MediumGroups = 0
+	cfg.MediumSegs = 0
+	cfg.ShadowCopy = false
+	cfg.SwapThreshold = 0
+	// W=1024 needs a smaller flow table to fit pkt_state in one PISA
+	// stage (the SRAM budget is enforced): 9 hosts × 5 channels < 64.
+	swOpts := switchd.DefaultOptions()
+	swOpts.MaxFlows = 64
+	cl, err := NewCluster(Options{Hosts: 9, Config: cfg, Seed: 3, Switch: swOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum, Rows: -1} // transport-only
+	streams := make(map[core.HostID]core.Stream)
+	want = make(core.Result)
+	for i := 1; i <= 8; i++ {
+		h := core.HostID(i)
+		spec.Senders = append(spec.Senders, h)
+		w := workload.Uniform(2048, 60_000, int64(i))
+		streams[h] = w.Stream()
+		want.Merge(w.Reference(core.OpSum), core.OpSum)
+	}
+	res, err := cl.Aggregate(spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats window.SenderStats
+	for i := 1; i <= 8; i++ {
+		for _, s := range cl.Daemon(core.HostID(i)).ChannelStats() {
+			stats.Retransmits += s.Retransmits
+			stats.Sent += s.Sent
+		}
+	}
+	return stats.Retransmits, stats.Sent, res.Result, want
+}
+
+func TestCongestionControlTamesIncast(t *testing.T) {
+	offR, offS, offRes, want := congestedRun(t, false)
+	if !offRes.Equal(want) {
+		t.Fatalf("without CC: wrong result: %s", offRes.Diff(want, 5))
+	}
+	onR, onS, onRes, want2 := congestedRun(t, true)
+	if !onRes.Equal(want2) {
+		t.Fatalf("with CC: wrong result: %s", onRes.Diff(want2, 5))
+	}
+	offRatio := float64(offR) / float64(offS)
+	onRatio := float64(onR) / float64(onS)
+	t.Logf("retransmit ratio: off=%.3f (%d/%d) on=%.3f (%d/%d)", offRatio, offR, offS, onRatio, onR, onS)
+	// Correctness holds either way; congestion control must cut the
+	// spurious-retransmission ratio substantially under incast.
+	if onRatio > offRatio/2 {
+		t.Fatalf("CC did not tame incast: %.3f vs %.3f", onRatio, offRatio)
+	}
+}

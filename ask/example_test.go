@@ -1,0 +1,70 @@
+package ask_test
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// The smallest complete use of the service: three senders, one receiver,
+// exact word counts out.
+func ExampleCluster_aggregate() {
+	cluster, err := ask.NewCluster(ask.Options{Hosts: 4, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	res, err := cluster.Aggregate(core.TaskSpec{
+		ID: 1, Receiver: 0, Senders: []core.HostID{1, 2, 3}, Op: core.OpSum,
+	}, map[core.HostID]core.Stream{
+		1: core.SliceStream([]core.KV{{Key: "go", Val: 3}, {Key: "gopher", Val: 1}}),
+		2: core.SliceStream([]core.KV{{Key: "go", Val: 4}}),
+		3: core.SliceStream([]core.KV{{Key: "gopher", Val: 7}}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	keys := make([]string, 0, len(res.Result))
+	for k := range res.Result {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, res.Result[k])
+	}
+	// Output:
+	// go=7
+	// gopher=8
+}
+
+// Aggregation stays exact on an unreliable network: the reliability
+// machinery (§3.3) deduplicates every retransmission at the switch and the
+// host.
+func ExampleOptions_faultInjection() {
+	link := netsim.DefaultLinkConfig()
+	link.Fault.LossProb = 0.05
+	link.Fault.DupProb = 0.02
+	link.Fault.ReorderProb = 0.05
+	link.Fault.ReorderDelay = 20 * time.Microsecond
+
+	cluster, err := ask.NewCluster(ask.Options{Hosts: 2, Seed: 7, Link: link})
+	if err != nil {
+		panic(err)
+	}
+	var kvs []core.KV
+	for i := 0; i < 10000; i++ {
+		kvs = append(kvs, core.KV{Key: fmt.Sprintf("k%d", i%100), Val: 1})
+	}
+	res, err := cluster.Aggregate(core.TaskSpec{
+		ID: 1, Receiver: 0, Senders: []core.HostID{1},
+	}, map[core.HostID]core.Stream{1: core.SliceStream(kvs)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Result["k0"] == 100, len(res.Result))
+	// Output:
+	// true 100
+}

@@ -1,0 +1,175 @@
+package ask
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/hostd"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/switchd"
+)
+
+// MultiRackOptions configures the §7 multi-rack deployment: several racks,
+// each with its own ASK switch on the TOR, joined by a forwarding core.
+type MultiRackOptions struct {
+	Racks        int
+	HostsPerRack int
+	Config       core.Config
+	// HostLink configures host↔TOR links, CoreLink the TOR↔core links.
+	HostLink netsim.LinkConfig
+	CoreLink netsim.LinkConfig
+	Cores    int
+	Seed     int64
+	// Switch sizes each TOR's state tables; MaxFlows bounds only that
+	// rack's channels (the state-explosion containment of §7).
+	Switch switchd.Options
+}
+
+// MultiRackCluster is a two-tier deployment. Aggregation tasks get
+// in-network aggregation from the receiver's TOR for rack-local senders;
+// cross-rack traffic bypasses the receiver's TOR and is aggregated at the
+// receiver host (§7), so no TOR ever holds state for another rack's
+// channels.
+type MultiRackCluster struct {
+	Sim  *sim.Simulation
+	Net  *netsim.TwoTier
+	TORs []*switchd.Switch
+
+	opts    MultiRackOptions
+	daemons map[core.HostID]*hostd.Daemon
+	cpus    map[core.HostID]*cpumodel.Host
+}
+
+// HostAt returns the host ID of slot i in rack r.
+func (o MultiRackOptions) HostAt(r, i int) core.HostID {
+	return core.HostID(r*o.HostsPerRack + i)
+}
+
+// NewMultiRackCluster builds the deployment. Host IDs are assigned
+// rack-major: rack r holds IDs [r·HostsPerRack, (r+1)·HostsPerRack).
+func NewMultiRackCluster(opts MultiRackOptions) (*MultiRackCluster, error) {
+	if opts.Racks <= 0 || opts.HostsPerRack <= 0 {
+		return nil, fmt.Errorf("ask: need positive Racks and HostsPerRack")
+	}
+	if opts.Config.NumAAs == 0 {
+		opts.Config = core.DefaultConfig()
+	}
+	if opts.HostLink.BandwidthBps == 0 {
+		opts.HostLink = netsim.DefaultLinkConfig()
+	}
+	if opts.CoreLink.BandwidthBps == 0 {
+		opts.CoreLink = netsim.DefaultLinkConfig()
+	}
+	if opts.Cores == 0 {
+		opts.Cores = cpumodel.DefaultCores
+	}
+	if opts.Switch.MaxFlows == 0 {
+		opts.Switch = switchd.DefaultOptions()
+	}
+	s := sim.New(opts.Seed)
+	tt := netsim.NewTwoTier(s, opts.Racks, opts.HostLink, opts.CoreLink)
+	mc := &MultiRackCluster{
+		Sim:     s,
+		Net:     tt,
+		opts:    opts,
+		daemons: make(map[core.HostID]*hostd.Daemon),
+		cpus:    make(map[core.HostID]*cpumodel.Host),
+	}
+	for r := 0; r < opts.Racks; r++ {
+		sw, err := switchd.New(s, tt.TOR(r), opts.Config, opts.Switch)
+		if err != nil {
+			return nil, fmt.Errorf("ask: rack %d TOR: %w", r, err)
+		}
+		mc.TORs = append(mc.TORs, sw)
+	}
+	for r := 0; r < opts.Racks; r++ {
+		for i := 0; i < opts.HostsPerRack; i++ {
+			id := opts.HostAt(r, i)
+			cpu := cpumodel.NewHost(s, opts.Cores)
+			// Each daemon's control plane is its own rack's TOR: channels
+			// register there, and a receiver allocates its task region
+			// there — never on a remote TOR.
+			d, err := hostd.New(s, rackFabric{tt, r}, cpu, opts.Config, id, controllerAdapter{mc.TORs[r]})
+			if err != nil {
+				return nil, err
+			}
+			mc.daemons[id] = d
+			mc.cpus[id] = cpu
+		}
+	}
+	return mc, nil
+}
+
+// rackFabric narrows the two-tier fabric to one rack's host attach point.
+type rackFabric struct {
+	tt   *netsim.TwoTier
+	rack int
+}
+
+func (rf rackFabric) AttachHost(id core.HostID, h netsim.HostHandler) {
+	rf.tt.AttachHostRack(rf.rack, id, h)
+}
+func (rf rackFabric) HostSend(f *netsim.Frame)           { rf.tt.HostSend(f) }
+func (rf rackFabric) Uplink(id core.HostID) *netsim.Link { return rf.tt.Uplink(id) }
+
+// Daemon returns a host's daemon.
+func (mc *MultiRackCluster) Daemon(h core.HostID) *hostd.Daemon { return mc.daemons[h] }
+
+// CPU returns a host's CPU model.
+func (mc *MultiRackCluster) CPU(h core.HostID) *cpumodel.Host { return mc.cpus[h] }
+
+// ReceiverTOR returns the switch that serves a task at the given receiver.
+func (mc *MultiRackCluster) ReceiverTOR(receiver core.HostID) *switchd.Switch {
+	return mc.TORs[mc.Net.RackOf(receiver)]
+}
+
+// Aggregate runs one task to completion, exactly as Cluster.Aggregate but
+// on the two-tier fabric: rack-local senders are aggregated at the
+// receiver's TOR, remote senders at the receiver host.
+func (mc *MultiRackCluster) Aggregate(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*TaskResult, error) {
+	recv, ok := mc.daemons[spec.Receiver]
+	if !ok {
+		return nil, fmt.Errorf("ask: receiver host %d not in cluster", spec.Receiver)
+	}
+	for _, s := range spec.Senders {
+		if _, ok := mc.daemons[s]; !ok {
+			return nil, fmt.Errorf("ask: sender host %d not in cluster", s)
+		}
+		if _, ok := streams[s]; !ok {
+			return nil, fmt.Errorf("ask: no stream for sender host %d", s)
+		}
+	}
+	var result *TaskResult
+	var err error
+	start := mc.Sim.Now()
+	mc.Sim.Spawn(fmt.Sprintf("mr-driver-task%d", spec.ID), func(p *sim.Proc) {
+		h, e := recv.Submit(p, spec)
+		if e != nil {
+			err = e
+			return
+		}
+		senders := append([]core.HostID(nil), spec.Senders...)
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+		for _, s := range senders {
+			mc.daemons[s].SubmitSend(spec.ID, streams[s])
+		}
+		res := h.Wait(p)
+		result = &TaskResult{
+			Result:  res,
+			Elapsed: p.Now() - start,
+			Recv:    h.Stats(),
+			Switch:  *mc.ReceiverTOR(spec.Receiver).TaskStatsOf(spec.ID),
+		}
+	})
+	mc.Sim.Run(0)
+	if err != nil {
+		return nil, err
+	}
+	if result == nil {
+		return nil, fmt.Errorf("ask: task %d did not complete", spec.ID)
+	}
+	return result, nil
+}

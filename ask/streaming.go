@@ -1,0 +1,35 @@
+package ask
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/streaming"
+)
+
+// Streaming adapts the cluster to the windowed-stream API of
+// internal/streaming: unbounded per-source streams are aggregated in
+// tumbling windows, one ASK task per window, pipelined over the persistent
+// channels.
+func (c *Cluster) Streaming() streaming.Service { return clusterStream{c} }
+
+type clusterStream struct{ c *Cluster }
+
+func (cs clusterStream) Start(spec core.TaskSpec, streams map[core.HostID]core.Stream) (streaming.Pending, error) {
+	pt, err := cs.c.StartTask(spec, streams)
+	if err != nil {
+		return nil, err
+	}
+	return pendingAdapter{pt}, nil
+}
+
+func (cs clusterStream) Run() { cs.c.Sim.Run(0) }
+
+type pendingAdapter struct{ pt *PendingTask }
+
+func (pa pendingAdapter) Result() (core.Result, sim.Time, error) {
+	res, err := pa.pt.Get()
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Result, res.Elapsed, nil
+}

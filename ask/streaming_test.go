@@ -1,0 +1,129 @@
+package ask
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/streaming"
+	"repro/internal/workload"
+)
+
+func TestStreamingWindowsExact(t *testing.T) {
+	cl, err := NewCluster(Options{Hosts: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbounded sources (large enough for every window) with skewed keys.
+	src1 := workload.Zipf(512, 1<<20, 1.2, workload.Shuffled, 1)
+	src2 := workload.Zipf(512, 1<<20, 1.2, workload.Shuffled, 2)
+	// Independent reference copies, windowed identically.
+	ref1, ref2 := src1.Stream(), src2.Stream()
+
+	const windowTuples = 4000
+	const windows = 4
+	results, err := streaming.Run(cl.Streaming(), streaming.Config{
+		Receiver:     0,
+		Sources:      []core.HostID{1, 2},
+		WindowTuples: windowTuples,
+		Windows:      windows,
+		Op:           core.OpSum,
+		BaseTask:     100,
+	}, map[core.HostID]core.Stream{1: src1.Stream(), 2: src2.Stream()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != windows {
+		t.Fatalf("got %d windows", len(results))
+	}
+	for w, res := range results {
+		want := make(core.Result)
+		for i := 0; i < windowTuples; i++ {
+			kv, _ := ref1()
+			want.MergeKV(kv, core.OpSum)
+			kv, _ = ref2()
+			want.MergeKV(kv, core.OpSum)
+		}
+		if !res.Result.Equal(want) {
+			t.Fatalf("window %d wrong: %s", w, res.Result.Diff(want, 8))
+		}
+		if res.Index != w || res.Elapsed <= 0 {
+			t.Fatalf("window %d metadata: %+v", w, res)
+		}
+	}
+}
+
+func TestStreamingUnderLoss(t *testing.T) {
+	link := netsim.DefaultLinkConfig()
+	link.Fault.LossProb = 0.03
+	link.Fault.ReorderProb = 0.05
+	link.Fault.ReorderDelay = 25 * time.Microsecond
+	cl, err := NewCluster(Options{Hosts: 2, Seed: 32, Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := workload.Uniform(256, 1<<20, 3)
+	ref := src.Stream()
+	results, err := streaming.Run(cl.Streaming(), streaming.Config{
+		Receiver: 0, Sources: []core.HostID{1},
+		WindowTuples: 2500, Windows: 3, Op: core.OpSum, BaseTask: 1,
+	}, map[core.HostID]core.Stream{1: src.Stream()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, res := range results {
+		want := make(core.Result)
+		for i := 0; i < 2500; i++ {
+			kv, _ := ref()
+			want.MergeKV(kv, core.OpSum)
+		}
+		if !res.Result.Equal(want) {
+			t.Fatalf("lossy window %d wrong: %s", w, res.Result.Diff(want, 5))
+		}
+	}
+}
+
+func TestStreamingShortSource(t *testing.T) {
+	// A source shorter than Windows × WindowTuples yields empty tail
+	// windows rather than failing.
+	cl, err := NewCluster(Options{Hosts: 2, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs := []core.KV{{Key: "a", Val: 1}, {Key: "b", Val: 2}, {Key: "a", Val: 3}}
+	results, err := streaming.Run(cl.Streaming(), streaming.Config{
+		Receiver: 0, Sources: []core.HostID{1},
+		WindowTuples: 2, Windows: 3, Op: core.OpSum, BaseTask: 1,
+	}, map[core.HostID]core.Stream{1: core.SliceStream(kvs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Result.Equal(core.Result{"a": 1, "b": 2}) {
+		t.Fatalf("window 0 = %v", results[0].Result)
+	}
+	if !results[1].Result.Equal(core.Result{"a": 3}) {
+		t.Fatalf("window 1 = %v", results[1].Result)
+	}
+	if len(results[2].Result) != 0 {
+		t.Fatalf("window 2 = %v, want empty", results[2].Result)
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	cl, err := NewCluster(Options{Hosts: 2, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []streaming.Config{
+		{Receiver: 0, Sources: []core.HostID{1}, WindowTuples: 0, Windows: 1},
+		{Receiver: 0, Sources: []core.HostID{1}, WindowTuples: 1, Windows: 0},
+		{Receiver: 0, Sources: nil, WindowTuples: 1, Windows: 1},
+		{Receiver: 0, Sources: []core.HostID{1}, WindowTuples: 1, Windows: 1}, // no stream
+	}
+	for i, cfg := range bad {
+		if _, err := streaming.Run(cl.Streaming(), cfg, nil); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

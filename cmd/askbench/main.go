@@ -1,0 +1,70 @@
+// Command askbench regenerates the paper's evaluation tables and figures
+// (§5) on the simulated substrate.
+//
+// Usage:
+//
+//	askbench -list
+//	askbench -run fig9
+//	askbench -run all -quick
+//
+// Each experiment prints the same rows/series the paper reports; -quick
+// uses the test-scale presets (seconds instead of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment to run (or 'all')")
+		quick = flag.Bool("quick", false, "use test-scale presets")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments:")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-16s %s\n", r.Name, r.Desc)
+		}
+		if *run == "" {
+			fmt.Println("\nRun one with: askbench -run <name> [-quick]")
+		}
+		return
+	}
+
+	var runners []experiments.Runner
+	if *run == "all" {
+		runners = experiments.All()
+	} else {
+		r, err := experiments.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		f := r.Full
+		if *quick {
+			f = r.Quick
+		}
+		start := time.Now()
+		tables, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,137 @@
+// Command askgen generates and inspects the key-value stream workloads used
+// throughout the evaluation.
+//
+// Examples:
+//
+//	askgen -dataset yelp -tuples 100000 -out trace.tsv   # write a trace
+//	askgen -dataset yelp -tuples 1000000 -stats          # summarize skew/lengths
+//	askgen -distinct 4096 -skew 1.2 -order hot -stats    # synthetic Zipf
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "", "corpus stand-in (yelp, NG, BAC, LMDB); empty = synthetic")
+		distinct = flag.Int("distinct", 8192, "distinct keys (synthetic)")
+		skew     = flag.Float64("skew", 0, "Zipf exponent (synthetic; 0 = uniform)")
+		order    = flag.String("order", "shuffled", "arrival order: shuffled, hot, cold")
+		tuples   = flag.Int64("tuples", 100_000, "stream length")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "write the trace to this file (TSV: key<TAB>value)")
+		show     = flag.Bool("stats", false, "print stream statistics instead of a trace")
+	)
+	flag.Parse()
+
+	var spec workload.Spec
+	if *dataset != "" {
+		spec = workload.Dataset(*dataset, *tuples, *seed)
+	} else {
+		var o workload.Order
+		switch *order {
+		case "shuffled":
+			o = workload.Shuffled
+		case "hot":
+			o = workload.HotFirst
+		case "cold":
+			o = workload.ColdFirst
+		default:
+			fmt.Fprintf(os.Stderr, "askgen: unknown order %q\n", *order)
+			os.Exit(1)
+		}
+		spec = workload.Zipf(*distinct, *tuples, *skew, o, *seed)
+		spec.KeyLens = workload.NaturalLanguage(0)
+	}
+
+	switch {
+	case *show:
+		printStats(spec)
+	case *out != "":
+		if err := writeTrace(spec, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d tuples to %s\n", *tuples, *out)
+	default:
+		// Default: trace to stdout.
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		emit(spec, func(kv core.KV) { fmt.Fprintf(w, "%s\t%d\n", kv.Key, kv.Val) })
+	}
+}
+
+func emit(spec workload.Spec, f func(core.KV)) {
+	s := spec.Stream()
+	for {
+		kv, ok := s()
+		if !ok {
+			return
+		}
+		f(kv)
+	}
+}
+
+func writeTrace(spec workload.Spec, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	emit(spec, func(kv core.KV) { fmt.Fprintf(w, "%s\t%d\n", kv.Key, kv.Val) })
+	return w.Flush()
+}
+
+func printStats(spec workload.Spec) {
+	counts := make(map[string]int64)
+	var lens stats.CDF
+	emit(spec, func(kv core.KV) {
+		counts[kv.Key]++
+		lens.Add(float64(len(kv.Key)))
+	})
+	freqs := make([]int64, 0, len(counts))
+	var total int64
+	for _, c := range counts {
+		freqs = append(freqs, c)
+		total += c
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+	topMass := func(n int) float64 {
+		var m int64
+		for i := 0; i < n && i < len(freqs); i++ {
+			m += freqs[i]
+		}
+		return 100 * float64(m) / float64(total)
+	}
+	fmt.Printf("workload %q: %d tuples, %d distinct keys\n", spec.Name, total, len(counts))
+	fmt.Printf("  hottest key share:    %.2f%%\n", topMass(1))
+	fmt.Printf("  top-10 key share:     %.2f%%\n", topMass(10))
+	fmt.Printf("  top-100 key share:    %.2f%%\n", topMass(100))
+	fmt.Printf("  key length mean/p50/p90: %.1f / %.0f / %.0f bytes\n",
+		lens.Mean(), lens.Quantile(0.5), lens.Quantile(0.9))
+	short, medium, long := 0.0, 0.0, 0.0
+	for l, n := 0.0, lens.N(); l <= 64; l++ {
+		frac := lens.At(l) - lens.At(l-1)
+		switch {
+		case l <= 4:
+			short += frac
+		case l <= 8:
+			medium += frac
+		default:
+			long += frac
+		}
+		_ = n
+	}
+	fmt.Printf("  length classes (default config): short %.1f%%, medium %.1f%%, long %.1f%%\n",
+		100*short, 100*medium, 100*long)
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "A Generic Service to
+// Provide In-Network Aggregation for Key-Value Streams" (He, Wu, Le, Liu,
+// Lao — ASPLOS 2023).
+//
+// The public API lives in repro/ask; the benchmark harness in this package
+// (bench_test.go) regenerates every table and figure of the paper's
+// evaluation. See README.md for the layout, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,86 @@
+// GroupBy: the database aggregation pattern from the paper's introduction
+// (SUM() in databases, TPC-H-style) — a distributed
+//
+//	SELECT region, SUM(revenue) FROM sales GROUP BY region
+//
+// over table partitions stored on three hosts, executed as one ASK
+// aggregation task: partitions stream (region, revenue) tuples, the switch
+// sums them in flight, and the coordinator reads the grouped result.
+//
+//	go run ./examples/groupby
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+)
+
+var regions = []string{
+	"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST",
+	"APAC", "EMEA", "LATAM", "NORDIC", "OCEANIA",
+}
+
+// salesPartition generates one host's shard of the sales table.
+func salesPartition(seed int64, rows int) []core.KV {
+	rng := rand.New(rand.NewSource(seed))
+	kvs := make([]core.KV, rows)
+	for i := range kvs {
+		kvs[i] = core.KV{
+			Key: regions[rng.Intn(len(regions))],
+			Val: int64(rng.Intn(9_999) + 1), // revenue in cents
+		}
+	}
+	return kvs
+}
+
+func main() {
+	cluster, err := ask.NewCluster(ask.Options{Hosts: 4, Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const rowsPerPartition = 200_000
+	parts := map[core.HostID][]core.KV{
+		1: salesPartition(1, rowsPerPartition),
+		2: salesPartition(2, rowsPerPartition),
+		3: salesPartition(3, rowsPerPartition),
+	}
+	streams := make(map[core.HostID]core.Stream)
+	want := make(core.Result)
+	for h, kvs := range parts {
+		streams[h] = core.SliceStream(kvs)
+		want.Merge(core.Reference(core.OpSum, kvs), core.OpSum)
+	}
+
+	res, err := cluster.Aggregate(core.TaskSpec{
+		ID: 1, Receiver: 0, Senders: []core.HostID{1, 2, 3}, Op: core.OpSum,
+	}, streams)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SELECT region, SUM(revenue) FROM sales GROUP BY region;")
+	fmt.Println()
+	keys := make([]string, 0, len(res.Result))
+	for k := range res.Result {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		marker := ""
+		if res.Result[k] != want[k] {
+			marker = "  << WRONG"
+		}
+		fmt.Printf("  %-8s %14.2f%s\n", k, float64(res.Result[k])/100, marker)
+	}
+	fmt.Printf("\n%d rows scanned across 3 partitions in %v; the switch summed %.1f%%\n",
+		3*rowsPerPartition, time.Duration(res.Elapsed).Round(time.Microsecond),
+		100*res.Switch.AggregatedTupleRatio())
+	fmt.Println("of the tuples in-network — the coordinator saw 10 groups, not 600k rows.")
+}

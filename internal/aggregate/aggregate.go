@@ -1,0 +1,67 @@
+// Package aggregate provides the host-side aggregation kernels: the
+// streaming hash-map aggregator used by receivers, and the sort-merge
+// pre-aggregation used by the PreAggr baseline and Spark-style mappers
+// (§5.1 footnote 7: senders sort tuples by key and merge neighbours).
+package aggregate
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Map aggregates a stream with a hash map (the receiver-side kernel).
+func Map(op core.Op, s core.Stream) core.Result {
+	r := make(core.Result)
+	for {
+		kv, ok := s()
+		if !ok {
+			return r
+		}
+		r.MergeKV(kv, op)
+	}
+}
+
+// SortMerge aggregates by sorting tuples by key and merging equal-key
+// neighbours (the PreAggr kernel). It mutates kvs.
+func SortMerge(op core.Op, kvs []core.KV) core.Result {
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	r := make(core.Result, 64)
+	i := 0
+	for i < len(kvs) {
+		j := i
+		acc := op.Apply(op.Identity(), kvs[i].Val)
+		for j+1 < len(kvs) && kvs[j+1].Key == kvs[i].Key {
+			j++
+			acc = op.Apply(acc, kvs[j].Val)
+		}
+		r[kvs[i].Key] = acc
+		i = j + 1
+	}
+	return r
+}
+
+// Shard splits a stream round-robin into n sub-slices (mapper partitioning
+// for the parallel host baselines).
+func Shard(s core.Stream, n int) [][]core.KV {
+	shards := make([][]core.KV, n)
+	i := 0
+	for {
+		kv, ok := s()
+		if !ok {
+			return shards
+		}
+		shards[i%n] = append(shards[i%n], kv)
+		i++
+	}
+}
+
+// ResultBytes estimates the wire size of shipping a result as (key, value)
+// records: per entry 2 bytes of length, the key, and an 8-byte value.
+func ResultBytes(r core.Result) int {
+	n := 0
+	for k := range r {
+		n += 2 + len(k) + 8
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package aggregate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func randKVs(seed int64, n, distinct int) []core.KV {
+	rng := rand.New(rand.NewSource(seed))
+	kvs := make([]core.KV, n)
+	for i := range kvs {
+		kvs[i] = core.KV{Key: fmt.Sprintf("k%d", rng.Intn(distinct)), Val: int64(rng.Intn(200) - 100)}
+	}
+	return kvs
+}
+
+func TestMapMatchesReference(t *testing.T) {
+	kvs := randKVs(1, 5000, 100)
+	got := Map(core.OpSum, core.SliceStream(kvs))
+	want := core.Reference(core.OpSum, kvs)
+	if !got.Equal(want) {
+		t.Fatalf("Map diverges: %s", got.Diff(want, 5))
+	}
+}
+
+func TestSortMergeMatchesMap(t *testing.T) {
+	for _, op := range []core.Op{core.OpSum, core.OpMax, core.OpMin, core.OpCount} {
+		kvs := randKVs(2, 3000, 80)
+		viaMap := Map(op, core.SliceStream(kvs))
+		viaSort := SortMerge(op, append([]core.KV(nil), kvs...))
+		if !viaSort.Equal(viaMap) {
+			t.Fatalf("op %v: sort-merge diverges: %s", op, viaSort.Diff(viaMap, 5))
+		}
+	}
+}
+
+func TestSortMergeQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		kvs := randKVs(seed, n, 20)
+		return SortMerge(core.OpSum, append([]core.KV(nil), kvs...)).
+			Equal(core.Reference(core.OpSum, kvs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardPreservesTuples(t *testing.T) {
+	kvs := randKVs(3, 1000, 50)
+	shards := Shard(core.SliceStream(kvs), 7)
+	var all []core.KV
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	if len(all) != len(kvs) {
+		t.Fatalf("sharding lost tuples: %d vs %d", len(all), len(kvs))
+	}
+	if !core.Reference(core.OpSum, all).Equal(core.Reference(core.OpSum, kvs)) {
+		t.Fatal("shard content diverges")
+	}
+	// Balanced within 1.
+	for _, s := range shards {
+		if len(s) < len(kvs)/7 || len(s) > len(kvs)/7+1 {
+			t.Fatalf("unbalanced shard: %d", len(s))
+		}
+	}
+}
+
+func TestResultBytes(t *testing.T) {
+	r := core.Result{"ab": 1, "cdef": 2}
+	// (2+2+8) + (2+4+8) = 26.
+	if got := ResultBytes(r); got != 26 {
+		t.Fatalf("ResultBytes = %d, want 26", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got := Map(core.OpSum, core.SliceStream(nil)); len(got) != 0 {
+		t.Fatal("Map of empty stream non-empty")
+	}
+	if got := SortMerge(core.OpSum, nil); len(got) != 0 {
+		t.Fatal("SortMerge of empty slice non-empty")
+	}
+}

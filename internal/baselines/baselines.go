@@ -1,0 +1,276 @@
+// Package baselines implements the host-only comparison systems of §5.1:
+//
+//   - PreAggr: every sender thread sorts its shard by key and merges
+//     neighbours (pre-aggregation), ships the small intermediate result,
+//     and the receiver merges partials — the strongest host-only
+//     aggregation strategy (Fig. 7).
+//   - NoAggr: pure reliable network transmission with 1500-byte MTU
+//     packets and no aggregation — the transport-efficiency yardstick
+//     (Fig. 13).
+//
+// Both run on the same simulated substrate (virtual time, byte-accurate
+// links, calibrated CPU costs) as ASK, so completion times and goodput are
+// directly comparable.
+package baselines
+
+import (
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/window"
+	"repro/internal/wire"
+)
+
+// mtuPayload is the usable payload of a 1500-byte MTU packet after headers.
+const mtuPayload = wire.MTU - wire.HeaderBytes
+
+// PreAggrConfig parameterizes a PreAggr run.
+type PreAggrConfig struct {
+	Op      core.Op
+	Threads int // mapper threads on the sender = reducer threads on the receiver
+	Cores   int // cores per host (0: paper default 56)
+	Link    netsim.LinkConfig
+	Seed    int64
+}
+
+// PreAggrReport is the outcome of a PreAggr run.
+type PreAggrReport struct {
+	Result core.Result
+	// JCT is the job completion time on virtual time.
+	JCT time.Duration
+	// SenderBusy/ReceiverBusy are aggregate core-busy times.
+	SenderBusy   time.Duration
+	ReceiverBusy time.Duration
+	// IntermediateBytes is the shipped pre-aggregated volume.
+	IntermediateBytes int64
+}
+
+// RunPreAggr executes the PreAggr baseline: one sending host with
+// cfg.Threads mapper threads, one receiving host merging partials.
+func RunPreAggr(cfg PreAggrConfig, stream core.Stream) PreAggrReport {
+	if cfg.Cores == 0 {
+		cfg.Cores = cpumodel.DefaultCores
+	}
+	if cfg.Link.BandwidthBps == 0 {
+		cfg.Link = netsim.DefaultLinkConfig()
+	}
+	s := sim.New(cfg.Seed)
+	n := netsim.New(s, cfg.Link)
+	n.AttachSwitch(&netsim.ForwardingSwitch{Net: n})
+
+	senderCPU := cpumodel.NewHost(s, cfg.Cores)
+	recvCPU := cpumodel.NewHost(s, cfg.Cores)
+
+	rx := &preAggrReceiver{
+		s:      s,
+		cpu:    recvCPU,
+		op:     cfg.Op,
+		result: make(core.Result),
+		wg:     sim.NewWaitGroup(s),
+	}
+	rx.wg.Add(cfg.Threads)
+	n.AttachHost(0, rx)
+	tx := &senderHost{}
+	n.AttachHost(1, tx)
+
+	shards := aggregate.Shard(stream, cfg.Threads)
+	report := PreAggrReport{}
+	for i := 0; i < cfg.Threads; i++ {
+		shard := shards[i]
+		s.Spawn("mapper", func(p *sim.Proc) {
+			// Sort-merge pre-aggregation: calibrated per-tuple cost.
+			senderCPU.Exec(p, time.Duration(len(shard))*cpumodel.HostAggregateCost)
+			partial := aggregate.SortMerge(cfg.Op, shard)
+			// Ship the intermediate result in MTU packets.
+			bytes := aggregate.ResultBytes(partial)
+			report.IntermediateBytes += int64(bytes)
+			thread := senderCPU.NewThread()
+			for sent := 0; sent < bytes || bytes == 0; sent += mtuPayload {
+				last := sent+mtuPayload >= bytes
+				thread.Run(p, cpumodel.PacketIOCost)
+				pay := mtuPayload
+				if bytes-sent < pay {
+					pay = bytes - sent
+				}
+				pkt := &wire.Packet{Type: wire.TypeCtrl}
+				if last {
+					pkt.Ctrl = partial
+				}
+				n.HostSend(&netsim.Frame{
+					Src: 1, Dst: 0, Pkt: pkt,
+					WireBytes: pay + wire.PerPacketOverhead,
+					GoodBytes: pay,
+				})
+				if bytes == 0 {
+					break
+				}
+			}
+		})
+	}
+	var done sim.Time
+	s.Spawn("join", func(p *sim.Proc) {
+		rx.wg.Wait(p)
+		done = p.Now()
+	})
+	s.Run(0)
+	report.Result = rx.result
+	report.JCT = time.Duration(done)
+	report.SenderBusy = senderCPU.BusyTime()
+	report.ReceiverBusy = recvCPU.BusyTime()
+	return report
+}
+
+// preAggrReceiver merges arriving partial results.
+type preAggrReceiver struct {
+	s      *sim.Simulation
+	cpu    *cpumodel.Host
+	op     core.Op
+	result core.Result
+	wg     *sim.WaitGroup
+}
+
+func (r *preAggrReceiver) HandleFrame(f *netsim.Frame) {
+	partial, ok := f.Pkt.Ctrl.(core.Result)
+	if !ok {
+		return // non-final chunk: bytes already accounted on the wire
+	}
+	r.s.Spawn("reducer", func(p *sim.Proc) {
+		r.cpu.Exec(p, time.Duration(len(partial))*cpumodel.HostAggregateCost)
+		r.result.Merge(partial, r.op)
+		r.wg.Done()
+	})
+}
+
+// senderHost absorbs stray frames at a sending-only host.
+type senderHost struct{}
+
+func (senderHost) HandleFrame(*netsim.Frame) {}
+
+// NoAggrConfig parameterizes a NoAggr transfer.
+type NoAggrConfig struct {
+	// Senders is the number of sending hosts (all toward one receiver).
+	Senders int
+	// ChannelsPerSender is the number of parallel sending threads/flows.
+	ChannelsPerSender int
+	// BytesPerSender is each sender's application payload volume.
+	BytesPerSender int64
+	Cores          int
+	Link           netsim.LinkConfig
+	Window         int
+	Seed           int64
+}
+
+// NoAggrReport is the outcome of a NoAggr transfer.
+type NoAggrReport struct {
+	Elapsed time.Duration
+	// RxWireBytes/RxGoodBytes are measured at the receiver's downlink.
+	RxWireBytes int64
+	RxGoodBytes int64
+	// SenderBusy is total sending-side core-busy time.
+	SenderBusy time.Duration
+	// PerSenderGoodbps is the average application goodput per sender.
+	PerSenderGoodbps float64
+	// GoodputGbps / WireGbps are receiver-side rates.
+	GoodputGbps float64
+	WireGbps    float64
+}
+
+// noAggrReceiver acknowledges every data frame.
+type noAggrReceiver struct {
+	net *netsim.Network
+}
+
+func (r *noAggrReceiver) HandleFrame(f *netsim.Frame) {
+	if f.Pkt.Type != wire.TypeData {
+		return
+	}
+	ack := &wire.Packet{Type: wire.TypeAck, AckFor: wire.TypeData, Flow: f.Pkt.Flow, Seq: f.Pkt.Seq}
+	r.net.HostSend(&netsim.Frame{Src: f.Dst, Dst: f.Pkt.Flow.Host, Pkt: ack, WireBytes: wire.PerPacketOverhead})
+}
+
+// noAggrSender routes ACKs back to its channel windows.
+type noAggrSender struct {
+	wins []*window.Sender
+}
+
+func (h *noAggrSender) HandleFrame(f *netsim.Frame) {
+	if f.Pkt.Type == wire.TypeAck {
+		h.wins[int(f.Pkt.Flow.Channel)].Ack(f.Pkt.Seq)
+	}
+}
+
+// RunNoAggr executes a NoAggr bulk transfer and reports throughput.
+func RunNoAggr(cfg NoAggrConfig) NoAggrReport {
+	if cfg.Cores == 0 {
+		cfg.Cores = cpumodel.DefaultCores
+	}
+	if cfg.Link.BandwidthBps == 0 {
+		cfg.Link = netsim.DefaultLinkConfig()
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 256
+	}
+	// Bulk MTU transfers queue far more wire time than ASK's small
+	// packets, so the retransmission timeout must cover NIC queueing.
+	const bulkTimeout = 2 * time.Millisecond
+	s := sim.New(cfg.Seed)
+	n := netsim.New(s, cfg.Link)
+	n.AttachSwitch(&netsim.ForwardingSwitch{Net: n})
+	n.AttachHost(0, &noAggrReceiver{net: n})
+
+	var senderCPUs []*cpumodel.Host
+	for i := 1; i <= cfg.Senders; i++ {
+		host := core.HostID(i)
+		cpu := cpumodel.NewHost(s, cfg.Cores)
+		senderCPUs = append(senderCPUs, cpu)
+		h := &noAggrSender{}
+		n.AttachHost(host, h)
+		share := cfg.BytesPerSender / int64(cfg.ChannelsPerSender)
+		for c := 0; c < cfg.ChannelsPerSender; c++ {
+			flow := core.FlowKey{Host: host, Channel: core.ChannelID(c)}
+			win := window.NewSender(s, cfg.Window, bulkTimeout, func(pkt *wire.Packet) {
+				n.HostSend(&netsim.Frame{
+					Src: host, Dst: 0, Pkt: pkt,
+					WireBytes: mtuPayload + wire.PerPacketOverhead,
+					GoodBytes: mtuPayload,
+				})
+			})
+			h.wins = append(h.wins, win)
+			thread := cpu.NewThread()
+			up := n.Uplink(host)
+			s.Spawn("noaggr-tx", func(p *sim.Proc) {
+				for sent := int64(0); sent < share; sent += mtuPayload {
+					thread.Run(p, cpumodel.PacketIOCost)
+					// Bounded TX ring: do not queue more wire time than
+					// the ring holds (models DPDK descriptor backpressure).
+					if up.Backlog() > 50*time.Microsecond {
+						p.SleepUntil(up.NextFree().Add(-25 * time.Microsecond))
+					}
+					win.SendBlocking(p, &wire.Packet{Type: wire.TypeData, Flow: flow})
+				}
+				win.WaitIdle(p)
+			})
+		}
+	}
+	end := s.Run(0)
+	down := n.Downlink(0).Stats()
+	rep := NoAggrReport{
+		Elapsed:     time.Duration(end),
+		RxWireBytes: down.TxWireBytes,
+		RxGoodBytes: down.TxGoodBytes,
+	}
+	for _, cpu := range senderCPUs {
+		rep.SenderBusy += cpu.BusyTime()
+	}
+	secs := rep.Elapsed.Seconds()
+	if secs > 0 {
+		rep.GoodputGbps = float64(rep.RxGoodBytes) * 8 / secs / 1e9
+		rep.WireGbps = float64(rep.RxWireBytes) * 8 / secs / 1e9
+		rep.PerSenderGoodbps = rep.GoodputGbps / float64(cfg.Senders)
+	}
+	return rep
+}

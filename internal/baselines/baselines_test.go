@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+func TestPreAggrExact(t *testing.T) {
+	spec := workload.Uniform(500, 50000, 1)
+	rep := RunPreAggr(PreAggrConfig{Op: core.OpSum, Threads: 8, Seed: 1}, spec.Stream())
+	want := spec.Reference(core.OpSum)
+	if !rep.Result.Equal(want) {
+		t.Fatalf("PreAggr incorrect: %s", rep.Result.Diff(want, 5))
+	}
+	if rep.JCT <= 0 || rep.SenderBusy <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.IntermediateBytes <= 0 {
+		t.Fatal("no intermediate volume")
+	}
+}
+
+func TestPreAggrThreadScaling(t *testing.T) {
+	// More threads → shorter JCT (near-linear below the core count),
+	// matching the Fig. 7 PreAggr curve.
+	spec := workload.Uniform(1000, 200000, 2)
+	j8 := RunPreAggr(PreAggrConfig{Op: core.OpSum, Threads: 8, Seed: 1}, spec.Stream()).JCT
+	j32 := RunPreAggr(PreAggrConfig{Op: core.OpSum, Threads: 32, Seed: 1}, spec.Stream()).JCT
+	ratio := float64(j8) / float64(j32)
+	if ratio < 2.5 || ratio > 4.5 {
+		t.Fatalf("8→32 thread speedup %.2f×, want near 4×", ratio)
+	}
+}
+
+func TestPreAggrReducesTraffic(t *testing.T) {
+	// 200k tuples over 500 keys: intermediate must be ≪ raw 8 B/tuple.
+	spec := workload.Uniform(500, 200000, 3)
+	rep := RunPreAggr(PreAggrConfig{Op: core.OpSum, Threads: 4, Seed: 1}, spec.Stream())
+	raw := int64(200000 * 8)
+	if rep.IntermediateBytes > raw/20 {
+		t.Fatalf("intermediate %d bytes vs raw %d: pre-aggregation ineffective", rep.IntermediateBytes, raw)
+	}
+}
+
+func TestNoAggrSaturatesLink(t *testing.T) {
+	rep := RunNoAggr(NoAggrConfig{
+		Senders: 1, ChannelsPerSender: 4, BytesPerSender: 50 << 20, Seed: 1,
+	})
+	// 1446/1524 ≈ 94.9% goodput efficiency at 100 Gbps line rate.
+	if rep.GoodputGbps < 85 || rep.GoodputGbps > 96 {
+		t.Fatalf("NoAggr goodput %.2f Gbps, want ~90-95", rep.GoodputGbps)
+	}
+	if rep.WireGbps < 95 || rep.WireGbps > 100.5 {
+		t.Fatalf("NoAggr wire rate %.2f Gbps, want ~100", rep.WireGbps)
+	}
+	if rep.RxGoodBytes != 50<<20 && rep.RxGoodBytes < 50<<20 {
+		t.Fatalf("received %d good bytes, want >= %d", rep.RxGoodBytes, 50<<20)
+	}
+}
+
+func TestNoAggrReceiverBottleneck(t *testing.T) {
+	// Fig. 13(b): per-sender throughput is inversely proportional to the
+	// sender count because the receiver's link saturates.
+	one := RunNoAggr(NoAggrConfig{Senders: 1, ChannelsPerSender: 4, BytesPerSender: 20 << 20, Seed: 1})
+	four := RunNoAggr(NoAggrConfig{Senders: 4, ChannelsPerSender: 4, BytesPerSender: 20 << 20, Seed: 1})
+	ratio := one.PerSenderGoodbps / four.PerSenderGoodbps
+	if ratio < 3.3 || ratio > 4.7 {
+		t.Fatalf("1→4 senders per-sender ratio %.2f, want ~4", ratio)
+	}
+}
+
+func TestNoAggrCPUBound(t *testing.T) {
+	// With a single channel the sender thread's PPS limits throughput
+	// below line rate at tiny MTU... emulate by slowing the link instead:
+	// verify CPU busy accounting is sane.
+	rep := RunNoAggr(NoAggrConfig{Senders: 1, ChannelsPerSender: 1, BytesPerSender: 10 << 20, Seed: 1})
+	if rep.SenderBusy <= 0 || rep.SenderBusy > rep.Elapsed*2 {
+		t.Fatalf("SenderBusy = %v over %v", rep.SenderBusy, rep.Elapsed)
+	}
+}
+
+func TestNoAggrUnderLossStillCompletes(t *testing.T) {
+	link := netsim.DefaultLinkConfig()
+	link.Fault.LossProb = 0.02
+	rep := RunNoAggr(NoAggrConfig{
+		Senders: 1, ChannelsPerSender: 2, BytesPerSender: 4 << 20, Link: link, Seed: 2,
+	})
+	if rep.RxGoodBytes < 4<<20 {
+		t.Fatalf("transfer incomplete under loss: %d bytes", rep.RxGoodBytes)
+	}
+	if rep.Elapsed <= 0 || rep.Elapsed > 10*time.Second {
+		t.Fatalf("elapsed %v", rep.Elapsed)
+	}
+}

@@ -1,0 +1,351 @@
+// Package core defines the shared vocabulary of the ASK reproduction: keys
+// and values, aggregation results, task descriptors, identifiers, and the
+// service configuration shared by the host daemon (internal/hostd) and the
+// switch program (internal/switchd).
+//
+// ASK aggregates key-value streams: each of M senders emits a sequence of
+// (key, value) tuples, and the receiver obtains, for every distinct key, the
+// aggregate of all values carried by that key across all streams (§2.1.1 of
+// the paper). Aggregation is asynchronous — keys are unordered,
+// unforeseeable, and senders are not synchronized.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// KV is a single key-value tuple of a stream. Keys are arbitrary byte
+// strings; values are 64-bit integers on the host side (the switch stores
+// only the low AggregatorBits/2 bits of intermediate sums; see Config).
+type KV struct {
+	Key string
+	Val int64
+}
+
+// HostID identifies a server attached to the switch.
+type HostID uint16
+
+// TaskID identifies an aggregation task. Multi-tenant deployments encode the
+// tenant in the high bits (§7, Multi-Tenancy).
+type TaskID uint32
+
+// ChannelID identifies a data channel of a host daemon. The pair
+// (HostID, ChannelID) names a persistent flow whose reliability state
+// (seen/PktState) lives on the switch for the lifetime of the service.
+type ChannelID uint8
+
+// FlowKey names one persistent data-channel flow from a sender host.
+type FlowKey struct {
+	Host    HostID
+	Channel ChannelID
+}
+
+func (f FlowKey) String() string { return fmt.Sprintf("h%d/ch%d", f.Host, f.Channel) }
+
+// Op is the aggregation operator. The paper's workloads use Sum
+// (reduce/allreduce); the switch model also supports the other commutative,
+// idempotent-free operators expressible in one register action.
+type Op uint8
+
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpCount
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpCount:
+		return "count"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Apply combines an existing aggregate with a new value.
+func (o Op) Apply(agg, v int64) int64 {
+	switch o {
+	case OpSum:
+		return agg + v
+	case OpMax:
+		if v > agg {
+			return v
+		}
+		return agg
+	case OpMin:
+		if v < agg {
+			return v
+		}
+		return agg
+	case OpCount:
+		return agg + 1
+	default:
+		panic(fmt.Sprintf("core: unknown op %d", o))
+	}
+}
+
+// Identity returns the operator's identity element (the value an aggregator
+// holds when first reserved, before applying the reserving tuple).
+func (o Op) Identity() int64 {
+	switch o {
+	case OpSum, OpCount:
+		return 0
+	case OpMax:
+		return -1 << 62
+	case OpMin:
+		return 1 << 62
+	default:
+		panic(fmt.Sprintf("core: unknown op %d", o))
+	}
+}
+
+// Result is a completed aggregation: final value per distinct key.
+type Result map[string]int64
+
+// MergeKV folds a single tuple into the result under op.
+func (r Result) MergeKV(kv KV, op Op) {
+	if cur, ok := r[kv.Key]; ok {
+		r[kv.Key] = op.Apply(cur, kv.Val)
+	} else {
+		r[kv.Key] = op.Apply(op.Identity(), kv.Val)
+	}
+}
+
+// Merge folds another result into r under op.
+func (r Result) Merge(other Result, op Op) {
+	for k, v := range other {
+		if cur, ok := r[k]; ok {
+			r[k] = combinePartial(op, cur, v)
+		} else {
+			r[k] = v
+		}
+	}
+}
+
+// combinePartial combines two partial aggregates (as opposed to folding in a
+// raw value). For Count the partials are themselves counts, so they add.
+func combinePartial(op Op, a, b int64) int64 {
+	if op == OpCount {
+		return a + b
+	}
+	return op.Apply(a, b)
+}
+
+// Equal reports whether two results are identical.
+func (r Result) Equal(other Result) bool {
+	if len(r) != len(other) {
+		return false
+	}
+	for k, v := range r {
+		if ov, ok := other[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a short human-readable description of up to max differences
+// between r and other, for test failure messages.
+func (r Result) Diff(other Result, max int) string {
+	var diffs []string
+	for k, v := range r {
+		ov, ok := other[k]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%q: %d vs <missing>", k, v))
+		} else if ov != v {
+			diffs = append(diffs, fmt.Sprintf("%q: %d vs %d", k, v, ov))
+		}
+	}
+	for k, v := range other {
+		if _, ok := r[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("%q: <missing> vs %d", k, v))
+		}
+	}
+	sort.Strings(diffs)
+	if len(diffs) > max {
+		diffs = append(diffs[:max], fmt.Sprintf("... and %d more", len(diffs)-max))
+	}
+	if len(diffs) == 0 {
+		return "<equal>"
+	}
+	return fmt.Sprintf("%d diffs: %v", len(diffs), diffs)
+}
+
+// Reference computes the ground-truth aggregation of the given streams with
+// a plain hash map. Tests use it as the correctness oracle (Eq. 2).
+func Reference(op Op, streams ...[]KV) Result {
+	r := make(Result)
+	for _, s := range streams {
+		for _, kv := range s {
+			r.MergeKV(kv, op)
+		}
+	}
+	return r
+}
+
+// Stream lazily yields the key-value tuples of one sender's stream; it
+// returns ok == false when exhausted. Streams are single-use; workload
+// generators hand out fresh ones so large streams never materialize.
+type Stream func() (kv KV, ok bool)
+
+// SliceStream returns a Stream over kvs.
+func SliceStream(kvs []KV) Stream {
+	i := 0
+	return func() (KV, bool) {
+		if i >= len(kvs) {
+			return KV{}, false
+		}
+		kv := kvs[i]
+		i++
+		return kv, true
+	}
+}
+
+// Collect drains a stream into a slice (test-sized streams only).
+func Collect(s Stream) []KV {
+	var out []KV
+	for {
+		kv, ok := s()
+		if !ok {
+			return out
+		}
+		out = append(out, kv)
+	}
+}
+
+// ReferenceStreams aggregates streams with a plain map: the ground truth for
+// arbitrary-size streams.
+func ReferenceStreams(op Op, streams ...Stream) Result {
+	r := make(Result)
+	for _, s := range streams {
+		for {
+			kv, ok := s()
+			if !ok {
+				break
+			}
+			r.MergeKV(kv, op)
+		}
+	}
+	return r
+}
+
+// TaskSpec describes one aggregation task submitted to the service: a set of
+// sender hosts streaming tuples toward a single receiver host (§3.1).
+type TaskSpec struct {
+	ID       TaskID
+	Receiver HostID
+	Senders  []HostID
+	Op       Op
+	// Rows is the total number of aggregator rows (per AA, both shadow
+	// copies together) requested from the switch controller. Zero requests
+	// the largest free block; a negative value runs the task transport-only
+	// (no switch region, all aggregation at the receiver host — the
+	// SparkSHM baseline of §5.1).
+	Rows int
+}
+
+// Config collects the tunables of an ASK deployment. The defaults mirror the
+// paper's prototype (§4): 32 AAs per pipeline, 32768 aggregators per AA,
+// 64-bit aggregators (n = 32-bit kPart + 32-bit vPart), medium-key groups
+// with m = 2 AAs in k = 8 groups, and a sliding window of W = 256 packets.
+type Config struct {
+	// NumAAs is the number of aggregator arrays, which equals the number of
+	// tuple slots in a packet payload (§3.2.1).
+	NumAAs int
+	// AARows is the number of aggregators in each AA (both copies together;
+	// the shadow-copy mechanism splits it in half at runtime, §3.4).
+	AARows int
+	// KPartBytes is n/8: bytes of key a single aggregator stores (§3.2.1).
+	KPartBytes int
+	// MediumGroups (k) and MediumSegs (m) configure coalesced placement for
+	// variable-length keys: k groups of m physically adjacent AAs handle
+	// keys of length (KPartBytes, KPartBytes*m] (§3.2.3).
+	MediumGroups int
+	MediumSegs   int
+	// Window is the sender sliding-window size W in packets (§3.3).
+	Window int
+	// RetransmitTimeout is the sender's fine-grained per-packet timeout
+	// (100µs in the paper vs. Linux's default 200ms).
+	RetransmitTimeout time.Duration
+	// DataChannels is the number of data channels per host daemon
+	// (default 4, §5.1).
+	DataChannels int
+	// SwapThreshold is the number of received packets after which the host
+	// receiver triggers a shadow-copy swap (§3.4). Zero disables swapping.
+	SwapThreshold int
+	// ShadowCopy enables the hot-key agnostic prioritization mechanism.
+	ShadowCopy bool
+	// CongestionControl enables the loss-based AIMD congestion window of
+	// §7 on every data channel, bounded by Window as the paper requires.
+	CongestionControl bool
+}
+
+// DefaultConfig returns the paper's prototype configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumAAs:            32,
+		AARows:            32768,
+		KPartBytes:        4,
+		MediumGroups:      8,
+		MediumSegs:        2,
+		Window:            256,
+		RetransmitTimeout: 100 * time.Microsecond,
+		DataChannels:      4,
+		SwapThreshold:     4096,
+		ShadowCopy:        true,
+	}
+}
+
+// Validate checks internal consistency of the configuration.
+func (c Config) Validate() error {
+	if c.NumAAs <= 0 || c.NumAAs > 64 {
+		return fmt.Errorf("core: NumAAs %d out of range (1..64, bitmap is 64-bit)", c.NumAAs)
+	}
+	if c.AARows <= 0 {
+		return fmt.Errorf("core: AARows must be positive")
+	}
+	// An aggregator is one 2n-bit register entry (16/32/64-bit, §3.2.1), so
+	// the kPart n is at most 32 bits.
+	if c.KPartBytes <= 0 || c.KPartBytes > 4 {
+		return fmt.Errorf("core: KPartBytes %d out of range (1..4)", c.KPartBytes)
+	}
+	if c.MediumSegs < 0 || c.MediumGroups < 0 {
+		return fmt.Errorf("core: negative medium-key parameters")
+	}
+	if c.MediumGroups*c.MediumSegs > c.NumAAs {
+		return fmt.Errorf("core: medium groups need %d AAs, only %d available",
+			c.MediumGroups*c.MediumSegs, c.NumAAs)
+	}
+	if c.MediumGroups > 0 && c.MediumSegs < 2 {
+		return fmt.Errorf("core: MediumSegs must be >= 2 when MediumGroups > 0")
+	}
+	// The window must be a power of two so the compact seen's even/odd
+	// segment parity stays consistent across 32-bit sequence wraparound.
+	if c.Window <= 0 || c.Window&(c.Window-1) != 0 {
+		return fmt.Errorf("core: Window %d must be a positive power of two", c.Window)
+	}
+	if c.DataChannels <= 0 {
+		return fmt.Errorf("core: DataChannels must be positive")
+	}
+	if c.ShadowCopy && c.AARows%2 != 0 {
+		return fmt.Errorf("core: AARows must be even when ShadowCopy is on")
+	}
+	return nil
+}
+
+// ShortSlots returns the number of packet slots (and AAs) serving short keys,
+// i.e. those not dedicated to medium-key groups.
+func (c Config) ShortSlots() int { return c.NumAAs - c.MediumGroups*c.MediumSegs }
+
+// MaxMediumKeyBytes returns the longest key (in bytes) a medium group can
+// hold; longer keys bypass the switch entirely.
+func (c Config) MaxMediumKeyBytes() int { return c.KPartBytes * c.MediumSegs }

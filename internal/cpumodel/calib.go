@@ -1,0 +1,65 @@
+package cpumodel
+
+import "time"
+
+// Calibration constants. Absolute performance cannot be inherited from the
+// paper's testbed, so each per-operation cost below is calibrated against a
+// throughput the paper reports; the derivations are spelled out inline and
+// cross-checked in EXPERIMENTS.md. Every simulated host-side cost in the
+// repository comes from this file.
+const (
+	// DefaultCores matches the paper's 56-core Xeon Gold 5120T servers.
+	DefaultCores = 56
+
+	// PacketIOCost is the per-packet CPU cost of a DPDK data-channel
+	// thread (build/parse descriptor, ring doorbell, DMA bookkeeping).
+	// Calibration: Fig. 8(a) shows ASK is PPS-bound below 32 tuples/packet
+	// and meets the ideal goodput 8x/(8x+78)·100 Gbps at x=32 with the
+	// default 4 data channels, implying ≈37.4 Mpps total ≈ 9.35 Mpps per
+	// channel thread → ≈107 ns per packet.
+	PacketIOCost = 107 * time.Nanosecond
+
+	// TupleMarshalCost is the per-tuple cost of copying a key-value tuple
+	// between application memory and packet slots when that copy is NOT
+	// amortized into a channel thread's batched packet IO (e.g. one-off
+	// result staging). The data-channel fast path charges PacketIOCost
+	// only: the paper's Fig. 8(a) shows the per-channel PPS is constant
+	// across packet sizes, so marshalling rides inside the 107 ns budget.
+	TupleMarshalCost = 2 * time.Nanosecond
+
+	// HostAggregateCost is the per-tuple cost of the host-side aggregation
+	// kernel (hash-map upsert or sort-merge step), used by the PreAggr
+	// baseline, mapper pre-aggregation, and receiver residue aggregation.
+	// Calibration: Fig. 7 PreAggr aggregates 6.4 G tuples in 111.2 s with 8
+	// threads → ≈7.2 M tuples/s/thread → ≈139 ns/tuple.
+	HostAggregateCost = 139 * time.Nanosecond
+
+	// SparkTupleCost is the per-tuple parallelizable cost of the full Spark
+	// path (deserialization, object churn, shuffle bookkeeping), and
+	// SparkSharedCost the serialized portion (shuffle coordination, memory
+	// bandwidth) that caps scaling. Calibration: Fig. 3(a) — vanilla Spark
+	// reaches ≈7.7 M AKV/s at 4 cores (the 155× headline divisor) and
+	// saturates near ≈43 M AKV/s at 56 cores (the strawman's 3.4× peak
+	// divisor): 1/(500ns/4 + 14ns) ≈ 7.2 M, 1/(500ns/56 + 14ns) ≈ 43.6 M.
+	SparkTupleCost  = 500 * time.Nanosecond
+	SparkSharedCost = 14 * time.Nanosecond
+
+	// ShmCopyCost is the per-tuple cost of moving a tuple through the
+	// shared-memory segment between application and daemon (step ⑥/⑪ of
+	// §3.1) — a cache-line copy, far below a syscall.
+	ShmCopyCost = 1 * time.Nanosecond
+
+	// ControlRPCLatency is the host↔switch-controller control-plane latency
+	// for region allocation/release (gRPC to the switch driver in real
+	// deployments).
+	ControlRPCLatency = 200 * time.Microsecond
+)
+
+// SparkAggregateRate returns the modelled vanilla-Spark aggregation
+// throughput (tuples/s) at the given core count: cores contribute the
+// parallelizable per-tuple work while the shared serialized portion bounds
+// scaling (Fig. 3(a)'s sublinear curve).
+func SparkAggregateRate(cores int) float64 {
+	perTuple := SparkTupleCost.Seconds()/float64(cores) + SparkSharedCost.Seconds()
+	return 1 / perTuple
+}

@@ -1,0 +1,12 @@
+package experiments
+
+import "time"
+
+// parseGoDuration parses the duration strings stats.Table renders.
+func parseGoDuration(s string) (float64, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return d.Seconds(), nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// MultiRackConfig parameterizes the §7 multi-rack study: how in-network
+// absorption and completion time change as the task's senders move from the
+// receiver's rack to remote racks (whose traffic bypasses the receiver's
+// TOR and is aggregated at the host).
+type MultiRackConfig struct {
+	Racks           int
+	HostsPerRack    int
+	Senders         int
+	TuplesPerSender int64
+	Distinct        int
+	Seed            int64
+}
+
+// DefaultMultiRack is the benchmark-scale preset.
+func DefaultMultiRack() MultiRackConfig {
+	return MultiRackConfig{Racks: 4, HostsPerRack: 4, Senders: 6, TuplesPerSender: 400_000, Distinct: 4096, Seed: 1}
+}
+
+// QuickMultiRack is the test-scale preset.
+func QuickMultiRack() MultiRackConfig {
+	return MultiRackConfig{Racks: 4, HostsPerRack: 4, Senders: 6, TuplesPerSender: 30_000, Distinct: 1024, Seed: 1}
+}
+
+// MultiRack sweeps the number of remote senders from 0 (all rack-local,
+// full INA) to all-remote (pure host aggregation).
+func MultiRack(cfg MultiRackConfig) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Extension (§7): multi-rack deployment — remote senders bypass the receiver TOR",
+		Note: fmt.Sprintf("%d racks × %d hosts, %d senders, %d tuples each",
+			cfg.Racks, cfg.HostsPerRack, cfg.Senders, cfg.TuplesPerSender),
+		Header: []string{"remote senders", "switch-aggregated %", "host residue %", "elapsed"},
+	}
+	for remote := 0; remote <= cfg.Senders; remote += 2 {
+		opts := ask.MultiRackOptions{
+			Racks:        cfg.Racks,
+			HostsPerRack: cfg.HostsPerRack,
+			Seed:         cfg.Seed,
+		}
+		mc, err := ask.NewMultiRackCluster(opts)
+		if err != nil {
+			return nil, err
+		}
+		receiver := opts.HostAt(0, 0)
+		var senders []core.HostID
+		for i := 0; i < cfg.Senders; i++ {
+			if i < cfg.Senders-remote {
+				// Rack-local sender (skipping the receiver's slot).
+				senders = append(senders, opts.HostAt(0, 1+i%(cfg.HostsPerRack-1)))
+			} else {
+				senders = append(senders, opts.HostAt(1+i%(cfg.Racks-1), i%cfg.HostsPerRack))
+			}
+		}
+		senders = dedupHosts(senders)
+		streams := make(map[core.HostID]core.Stream)
+		want := make(core.Result)
+		for i, s := range senders {
+			w := workload.Uniform(cfg.Distinct, cfg.TuplesPerSender, cfg.Seed+int64(i))
+			streams[s] = w.Stream()
+			want.Merge(w.Reference(core.OpSum), core.OpSum)
+		}
+		res, err := mc.Aggregate(core.TaskSpec{ID: 1, Receiver: receiver, Senders: senders, Op: core.OpSum}, streams)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Result.Equal(want) {
+			return nil, fmt.Errorf("multirack remote=%d: wrong result: %s", remote, res.Result.Diff(want, 5))
+		}
+		total := cfg.TuplesPerSender * int64(len(senders))
+		t.AddRow(remote,
+			100*float64(res.Switch.TuplesAggregated)/float64(total),
+			100*float64(res.Recv.ResidueTuples)/float64(total),
+			res.Elapsed.Sub(0))
+	}
+	return t, nil
+}
+
+// dedupHosts removes duplicate sender assignments (small sweeps can fold
+// two slots onto one host).
+func dedupHosts(in []core.HostID) []core.HostID {
+	seen := make(map[core.HostID]bool)
+	var out []core.HostID
+	for _, h := range in {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Runner names one reproducible experiment with its two scale presets.
+type Runner struct {
+	Name string
+	Desc string
+	// Quick runs the test-scale preset; Full runs the benchmark-scale one.
+	Quick func() ([]*stats.Table, error)
+	Full  func() ([]*stats.Table, error)
+}
+
+func one(f func() (*stats.Table, error)) func() ([]*stats.Table, error) {
+	return func() ([]*stats.Table, error) {
+		t, err := f()
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{t}, nil
+	}
+}
+
+// All lists every experiment, in the paper's order.
+func All() []Runner {
+	return []Runner{
+		{
+			Name:  "fig3",
+			Desc:  "single-machine AKV/s: Spark vs strawman INA vs ASK",
+			Quick: one(func() (*stats.Table, error) { return Fig3(QuickFig3()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig3(DefaultFig3()) }),
+		},
+		{
+			Name:  "fig7",
+			Desc:  "computation offload: ASK data channels vs PreAggr threads",
+			Quick: one(func() (*stats.Table, error) { return Fig7(QuickFig7()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig7(DefaultFig7()) }),
+		},
+		{
+			Name:  "table1",
+			Desc:  "traffic reduction on production-corpus stand-ins",
+			Quick: one(func() (*stats.Table, error) { return Table1(QuickTable1()) }),
+			Full:  one(func() (*stats.Table, error) { return Table1(DefaultTable1()) }),
+		},
+		{
+			Name:  "fig8a",
+			Desc:  "goodput vs tuples per packet",
+			Quick: one(func() (*stats.Table, error) { return Fig8a(QuickFig8a()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig8a(DefaultFig8a()) }),
+		},
+		{
+			Name:  "fig8b",
+			Desc:  "non-blank tuple slots per packet per dataset",
+			Quick: one(func() (*stats.Table, error) { return Fig8b(QuickFig8b()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig8b(DefaultFig8b()) }),
+		},
+		{
+			Name:  "fig9",
+			Desc:  "hot-key prioritization vs aggregator:key ratio",
+			Quick: one(func() (*stats.Table, error) { return Fig9(QuickFig9()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig9(DefaultFig9()) }),
+		},
+		{
+			Name:  "fig10",
+			Desc:  "WordCount JCT: Spark/SHM/RDMA/ASK",
+			Quick: one(func() (*stats.Table, error) { return Fig10(QuickFig10()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig10(DefaultFig10()) }),
+		},
+		{
+			Name:  "fig11",
+			Desc:  "mapper/reducer task completion times",
+			Quick: one(func() (*stats.Table, error) { return Fig11(QuickFig10()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig11(DefaultFig10()) }),
+		},
+		{
+			Name:  "fig12",
+			Desc:  "distributed training throughput: ASK/ATP/SwitchML/HostPS",
+			Quick: one(func() (*stats.Table, error) { return Fig12(QuickFig12()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig12(DefaultFig12()) }),
+		},
+		{
+			Name:  "fig13a",
+			Desc:  "throughput and bandwidth overhead vs data channels",
+			Quick: one(func() (*stats.Table, error) { return Fig13a(QuickFig13a()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig13a(DefaultFig13a()) }),
+		},
+		{
+			Name:  "fig13b",
+			Desc:  "per-sender throughput vs sender count",
+			Quick: one(func() (*stats.Table, error) { return Fig13b(QuickFig13b()) }),
+			Full:  one(func() (*stats.Table, error) { return Fig13b(DefaultFig13b()) }),
+		},
+		{
+			Name:  "ablation-swap",
+			Desc:  "shadow-copy swap threshold sweep",
+			Quick: one(func() (*stats.Table, error) { return AblationSwap(QuickAblationSwap()) }),
+			Full:  one(func() (*stats.Table, error) { return AblationSwap(DefaultAblationSwap()) }),
+		},
+		{
+			Name:  "ablation-window",
+			Desc:  "sliding-window size under loss",
+			Quick: one(func() (*stats.Table, error) { return AblationWindow(QuickAblationWindow()) }),
+			Full:  one(func() (*stats.Table, error) { return AblationWindow(DefaultAblationWindow()) }),
+		},
+		{
+			Name:  "ablation-congestion",
+			Desc:  "AIMD congestion window vs fixed window under incast",
+			Quick: one(func() (*stats.Table, error) { return AblationCongestion(QuickAblationCongestion()) }),
+			Full:  one(func() (*stats.Table, error) { return AblationCongestion(DefaultAblationCongestion()) }),
+		},
+		{
+			Name:  "multirack",
+			Desc:  "§7 multi-rack: absorption vs remote-sender fraction",
+			Quick: one(func() (*stats.Table, error) { return MultiRack(QuickMultiRack()) }),
+			Full:  one(func() (*stats.Table, error) { return MultiRack(DefaultMultiRack()) }),
+		},
+		{
+			Name:  "ablation-medium",
+			Desc:  "coalesced medium-key group width",
+			Quick: one(func() (*stats.Table, error) { return AblationMedium(QuickAblationMedium()) }),
+			Full:  one(func() (*stats.Table, error) { return AblationMedium(DefaultAblationMedium()) }),
+		},
+	}
+}
+
+// ByName finds an experiment runner.
+func ByName(name string) (Runner, error) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	var names []string
+	for _, r := range All() {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
+}

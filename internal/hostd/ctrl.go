@@ -1,0 +1,106 @@
+package hostd
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/window"
+	"repro/internal/wire"
+)
+
+// ctrlMsg wraps a control-channel message with its destination so the
+// window's transmit callback can route (a control channel fans out to many
+// hosts, unlike a data channel serving one task at a time).
+type ctrlMsg struct {
+	Dst  core.HostID
+	Body any
+}
+
+// taskNotify announces a new aggregation task to a sender daemon (§3.1
+// step ④): task ID, receiver address, and application context.
+type taskNotify struct {
+	Task     core.TaskID
+	Receiver core.HostID
+	Op       core.Op
+}
+
+// ctrlChannel is the daemon's persistent control channel: one dedicated
+// thread, reliable delivery via the same sliding-window machinery as data.
+type ctrlChannel struct {
+	d      *Daemon
+	flow   core.FlowKey
+	win    *window.Sender
+	rxQ    []*netsim.Frame
+	rxSig  *sim.Signal
+	thread *cpumodel.Thread
+}
+
+// ctrlWindow is the control channel's (small) sliding window.
+const ctrlWindow = 64
+
+func newCtrlChannel(d *Daemon) *ctrlChannel {
+	ch := &ctrlChannel{
+		d:      d,
+		flow:   core.FlowKey{Host: d.host, Channel: core.ChannelID(d.cfg.DataChannels)},
+		rxSig:  sim.NewSignal(d.sim),
+		thread: d.cpu.NewThread(),
+	}
+	// Control messages are far larger-timeout than data: they cross the
+	// switch twice and are not latency critical.
+	ch.win = window.NewSender(d.sim, ctrlWindow, 10*d.cfg.RetransmitTimeout, ch.transmit)
+	d.sim.Spawn("ctrl-"+ch.flow.String(), ch.rxLoop)
+	return ch
+}
+
+func (ch *ctrlChannel) transmit(pkt *wire.Packet) {
+	msg := pkt.Ctrl.(ctrlMsg)
+	ch.d.sendFrame(msg.Dst, pkt, 0)
+}
+
+// send reliably delivers a control message (blocks for window space).
+func (ch *ctrlChannel) send(p *sim.Proc, dst core.HostID, body any) {
+	pkt := &wire.Packet{Type: wire.TypeCtrl, Flow: ch.flow, Ctrl: ctrlMsg{Dst: dst, Body: body}}
+	ch.win.SendBlocking(p, pkt)
+}
+
+func (ch *ctrlChannel) enqueue(f *netsim.Frame) {
+	ch.rxQ = append(ch.rxQ, f)
+	ch.rxSig.Fire()
+}
+
+// rxLoop processes inbound control messages on the control thread.
+func (ch *ctrlChannel) rxLoop(p *sim.Proc) {
+	for {
+		for len(ch.rxQ) == 0 {
+			p.Wait(ch.rxSig)
+		}
+		f := ch.rxQ[0]
+		ch.rxQ = ch.rxQ[1:]
+		ch.process(p, f.Pkt)
+	}
+}
+
+func (ch *ctrlChannel) process(p *sim.Proc, pkt *wire.Packet) {
+	verdict := ch.d.dedupFor(pkt.Flow).Observe(pkt.Seq)
+	if verdict == window.Stale {
+		return
+	}
+	ch.thread.Run(p, cpumodel.PacketIOCost)
+	if verdict == window.Fresh {
+		msg := pkt.Ctrl.(ctrlMsg)
+		switch body := msg.Body.(type) {
+		case taskNotify:
+			ch.d.onNotify(body)
+		default:
+			// Unknown control bodies are ignored (forward compatibility).
+		}
+		// A small queueing delay stands in for the local message queue to
+		// the application (§3.1 step ⑤).
+		p.Sleep(time.Microsecond)
+	}
+	ack := &wire.Packet{Type: wire.TypeAck, AckFor: wire.TypeCtrl, Task: pkt.Task, Flow: pkt.Flow, Seq: pkt.Seq}
+	ch.d.sendFrame(pkt.Flow.Host, ack, 0)
+}

@@ -1,0 +1,237 @@
+// Package hostd implements the ASK host daemon (§3.1): a per-server service
+// that exchanges key-value data with applications through shared memory,
+// packs tuples into multi-key packets following the ordered key-space
+// partition (§3.2.2), drives the sliding-window reliable transport toward
+// the switch (§3.3), aggregates residue tuples the switch could not absorb,
+// triggers shadow-copy swaps (§3.4), and fetches and merges switch state at
+// task teardown.
+//
+// A daemon runs one control channel and Config.DataChannels data channels.
+// Channels are persistent: they are registered with the switch controller at
+// boot and serve every task of the host's applications for the daemon's
+// lifetime, each bound to one CPU-model thread (§4).
+package hostd
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/keyspace"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/window"
+	"repro/internal/wire"
+)
+
+// Controller is the switch control-plane interface (implemented by
+// internal/switchd, adapted in the public ask package).
+type Controller interface {
+	RegisterFlow(fk core.FlowKey) error
+	AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, rows int) error
+	FreeRegion(task core.TaskID) error
+}
+
+// Stats counts daemon-level activity.
+type Stats struct {
+	TuplesSent      int64 // tuples handed to the network (short+medium+long)
+	LongTuplesSent  int64 // subset bypassing the switch
+	PacketsSent     int64 // first transmissions of data/long-key packets
+	ResidueTuples   int64 // tuples aggregated at this host as receiver
+	SwitchTuples    int64 // tuples merged from switch fetches
+	SwapsTriggered  int64
+	PacketsReceived int64 // data/long-key packets processed as receiver
+	// SlotFill histograms transmitted data packets by live slot count
+	// (bitmap population), the source of Fig. 8(b).
+	SlotFill [65]int64
+}
+
+// Daemon is the per-host ASK service.
+type Daemon struct {
+	sim    *sim.Simulation
+	net    netsim.HostFabric
+	cpu    *cpumodel.Host
+	cfg    core.Config
+	layout *keyspace.Layout
+	host   core.HostID
+	ctrl   Controller
+
+	channels []*dataChannel
+	ctrlCh   *ctrlChannel
+
+	// flowDedup is the receive window per remote flow (shared across tasks;
+	// channels are persistent and multiplex tasks, §3.3).
+	flowDedup map[core.FlowKey]*window.HostDedup
+
+	recvTasks map[core.TaskID]*recvTask
+	sendReady map[core.TaskID]*sendTask // submitted locally, awaiting notify
+	notified  map[core.TaskID]taskNotify
+
+	fetchReqs  map[uint32]*fetchReq
+	nextFetch  uint32
+	stats      Stats
+	taskSerial uint32
+}
+
+// New boots a daemon on host, attaches it to the network, and registers its
+// persistent data channels with the switch controller.
+func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.Config, host core.HostID, ctrl Controller) (*Daemon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout, err := keyspace.NewLayout(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		sim:       s,
+		net:       net,
+		cpu:       cpu,
+		cfg:       cfg,
+		layout:    layout,
+		host:      host,
+		ctrl:      ctrl,
+		flowDedup: make(map[core.FlowKey]*window.HostDedup),
+		recvTasks: make(map[core.TaskID]*recvTask),
+		sendReady: make(map[core.TaskID]*sendTask),
+		notified:  make(map[core.TaskID]taskNotify),
+		fetchReqs: make(map[uint32]*fetchReq),
+	}
+	net.AttachHost(host, d)
+	for i := 0; i < cfg.DataChannels; i++ {
+		fk := core.FlowKey{Host: host, Channel: core.ChannelID(i)}
+		if err := ctrl.RegisterFlow(fk); err != nil {
+			return nil, fmt.Errorf("hostd: registering %v: %w", fk, err)
+		}
+		d.channels = append(d.channels, newDataChannel(d, fk))
+	}
+	d.ctrlCh = newCtrlChannel(d)
+	return d, nil
+}
+
+// Host returns the daemon's host ID.
+func (d *Daemon) Host() core.HostID { return d.host }
+
+// Stats returns a copy of the daemon counters.
+func (d *Daemon) Stats() Stats { return d.stats }
+
+// Config returns the deployment configuration.
+func (d *Daemon) Config() core.Config { return d.cfg }
+
+// dedupFor returns the receive window for a remote flow.
+func (d *Daemon) dedupFor(fk core.FlowKey) *window.HostDedup {
+	dd, ok := d.flowDedup[fk]
+	if !ok {
+		dd = window.NewHostDedup(d.cfg.Window)
+		d.flowDedup[fk] = dd
+	}
+	return dd
+}
+
+// HandleFrame implements netsim.HostHandler: classify and either handle
+// inline (window bookkeeping — its CPU cost is folded into the originating
+// packet's PacketIOCost, see cpumodel calibration) or queue for a channel
+// thread (packet processing with real CPU cost).
+func (d *Daemon) HandleFrame(f *netsim.Frame) {
+	pkt := f.Pkt
+	switch pkt.Type {
+	case wire.TypeAck:
+		switch pkt.AckFor {
+		case wire.TypeSwap:
+			if t := d.recvTasks[pkt.Task]; t != nil {
+				t.onSwapAck(pkt.Seq)
+			}
+		case wire.TypeFetch:
+			if fr := d.fetchReqs[pkt.Seq]; fr != nil {
+				fr.cleared = true
+				fr.progress.Fire()
+			}
+		case wire.TypeCtrl:
+			d.ctrlCh.win.Ack(pkt.Seq)
+		default: // data, long-key, FIN acks → the sender window
+			if pkt.Flow.Host == d.host && int(pkt.Flow.Channel) < len(d.channels) {
+				d.channels[pkt.Flow.Channel].win.Ack(pkt.Seq)
+			}
+		}
+	case wire.TypeFetchReply:
+		if fr := d.fetchReqs[pkt.Seq]; fr != nil {
+			fr.addChunk(pkt)
+		}
+	case wire.TypeCtrl:
+		d.ctrlCh.enqueue(f)
+	case wire.TypeData, wire.TypeLongKey, wire.TypeFin:
+		// Acknowledge at the transport layer immediately — processing
+		// happens asynchronously on a channel thread, and holding the ACK
+		// behind CPU work would trip the sender's fine-grained 100 µs
+		// timeout into spurious retransmissions whenever receive queues
+		// build. Duplicates are still filtered at processing time, so
+		// exactly-once aggregation is unaffected; the packet is owned by
+		// the daemon once acknowledged.
+		d.sendAck(pkt)
+		// Spread receive processing across channel threads by flow.
+		idx := (int(pkt.Flow.Host)*31 + int(pkt.Flow.Channel)) % len(d.channels)
+		d.channels[idx].enqueueRx(f)
+	default:
+		// Swap/Fetch are switch-terminated and never reach a host.
+		panic(fmt.Sprintf("hostd: unexpected packet %v at host %d", pkt.Type, d.host))
+	}
+}
+
+// sendFrame transmits a packet from this host.
+func (d *Daemon) sendFrame(dst core.HostID, pkt *wire.Packet, goodBytes int) {
+	d.net.HostSend(&netsim.Frame{
+		Src:       d.host,
+		Dst:       dst,
+		Pkt:       pkt,
+		WireBytes: pkt.WireBytes(d.cfg.KPartBytes),
+		GoodBytes: goodBytes,
+	})
+}
+
+// sendAck acknowledges a received flow packet back to its sender.
+func (d *Daemon) sendAck(pkt *wire.Packet) {
+	ack := &wire.Packet{Type: wire.TypeAck, AckFor: pkt.Type, Task: pkt.Task, Flow: pkt.Flow, Seq: pkt.Seq}
+	d.sendFrame(pkt.Flow.Host, ack, 0)
+}
+
+// decodeResidue reconstructs the live tuples of a data packet into key-value
+// pairs for host-side aggregation.
+func (d *Daemon) decodeResidue(pkt *wire.Packet) []core.KV {
+	var out []core.KV
+	shortSlots := d.layout.ShortSlots()
+	for i := 0; i < shortSlots && i < len(pkt.Slots); i++ {
+		if !pkt.Bitmap.Test(i) {
+			continue
+		}
+		out = append(out, core.KV{
+			Key: d.layout.ReconstructShort(pkt.Slots[i].KPart),
+			Val: pkt.Slots[i].Val,
+		})
+	}
+	m := d.cfg.MediumSegs
+	for g := 0; g < d.cfg.MediumGroups; g++ {
+		first := shortSlots + g*m
+		if first >= len(pkt.Slots) || !pkt.Bitmap.Test(first) {
+			continue
+		}
+		kparts := make([]uint64, m)
+		for j := 0; j < m; j++ {
+			kparts[j] = pkt.Slots[first+j].KPart
+		}
+		out = append(out, core.KV{
+			Key: d.layout.ReconstructMedium(kparts),
+			Val: pkt.Slots[first+m-1].Val,
+		})
+	}
+	return out
+}
+
+// ChannelStats returns the sender-window counters of every data channel
+// (index = channel id).
+func (d *Daemon) ChannelStats() []window.SenderStats {
+	out := make([]window.SenderStats, len(d.channels))
+	for i, ch := range d.channels {
+		out[i] = ch.win.Stats()
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package hostd
+
+import (
+	"repro/internal/core"
+	"repro/internal/keyspace"
+	"repro/internal/wire"
+)
+
+// packetizer turns a tuple stream into ASK packets following the ordered
+// key-space partition (§3.2.2): every key always lands in its own slot
+// (short) or coalesced group (medium), so one key is served by exactly one
+// (set of) AA(s). Long keys — and values that do not fit an aggregator's
+// vPart — are collected into long-key packets that bypass the switch.
+//
+// Emission policy: the stream is drained into per-unit buckets; a data
+// packet is emitted once every unit has a tuple queued (a full packet) or
+// when the total buffered tuples reach the buffering bound (under key skew
+// a hot subspace fills the buffer while others stay empty, which is what
+// leaves slots blank in Fig. 8(b)). The bound is on the total, not per
+// bucket: a per-bucket cap would lock balanced workloads into a
+// partial-packet regime, because the fullest bucket drains at most one
+// tuple per packet and re-fills faster than the emptiest bucket.
+type packetizer struct {
+	layout *keyspace.Layout
+	stream core.Stream
+	// buckets[u] queues tuples for logical unit u: units 0..shortSlots-1
+	// are short slots, then one per medium group.
+	buckets  [][]core.KV
+	nonEmpty int
+	buffered int
+	longQ    []wire.LongKV
+	eof      bool
+	maxBuf   int
+	valLo    int64
+	valHi    int64
+}
+
+// bufferPerUnit sizes the total buffering bound: units × bufferPerUnit
+// tuples may be held before a packet is emitted with blank slots.
+const bufferPerUnit = 256
+
+// maxLongPerPacket keeps long-key packets within the MTU for typical keys.
+const maxLongPerPacket = 32
+
+func newPacketizer(layout *keyspace.Layout, stream core.Stream) *packetizer {
+	n := uint(8 * layout.Config().KPartBytes)
+	return &packetizer{
+		layout:  layout,
+		stream:  stream,
+		buckets: make([][]core.KV, layout.LogicalUnits()),
+		maxBuf:  bufferPerUnit * layout.LogicalUnits(),
+		valLo:   -(int64(1) << (n - 1)),
+		valHi:   int64(1)<<(n-1) - 1,
+	}
+}
+
+// pull moves tuples from the stream into buckets until a packet can be
+// emitted or the stream ends.
+func (pz *packetizer) pull() {
+	shortSlots := pz.layout.ShortSlots()
+	for !pz.eof {
+		if pz.nonEmpty == len(pz.buckets) && len(pz.buckets) > 0 {
+			return // full packet available
+		}
+		kv, ok := pz.stream()
+		if !ok {
+			pz.eof = true
+			return
+		}
+		if kv.Val < pz.valLo || kv.Val > pz.valHi {
+			// Value exceeds the aggregator vPart: host-side path.
+			pz.longQ = append(pz.longQ, wire.LongKV{Key: kv.Key, Val: kv.Val})
+			if len(pz.longQ) >= maxLongPerPacket {
+				return
+			}
+			continue
+		}
+		p := pz.layout.Place(kv.Key)
+		var unit int
+		switch p.Class {
+		case keyspace.Short:
+			unit = p.FirstSlot
+		case keyspace.Medium:
+			unit = shortSlots + (p.FirstSlot-shortSlots)/pz.layout.Config().MediumSegs
+		default:
+			pz.longQ = append(pz.longQ, wire.LongKV{Key: kv.Key, Val: kv.Val})
+			if len(pz.longQ) >= maxLongPerPacket {
+				return
+			}
+			continue
+		}
+		if len(pz.buckets[unit]) == 0 {
+			pz.nonEmpty++
+		}
+		pz.buckets[unit] = append(pz.buckets[unit], kv)
+		pz.buffered++
+		if pz.buffered >= pz.maxBuf {
+			return // buffering bound: emit with blank slots
+		}
+	}
+}
+
+// next returns the next packet to transmit. tuples is the number of logical
+// tuples it carries (for CPU accounting); ok is false when the stream and
+// all buffers are exhausted. The returned packet lacks Task/Flow/Seq, which
+// the data channel assigns.
+func (pz *packetizer) next() (pkt *wire.Packet, tuples int, ok bool) {
+	pz.pull()
+	// Long-key packets flush when saturated, or at EOF before final data
+	// packets (order is irrelevant; both are reliable).
+	if len(pz.longQ) >= maxLongPerPacket || (pz.eof && pz.nonEmpty == 0 && len(pz.longQ) > 0) {
+		n := len(pz.longQ)
+		if n > maxLongPerPacket {
+			n = maxLongPerPacket
+		}
+		long := append([]wire.LongKV(nil), pz.longQ[:n]...)
+		pz.longQ = pz.longQ[n:]
+		return &wire.Packet{Type: wire.TypeLongKey, Long: long}, n, true
+	}
+	if pz.nonEmpty == 0 {
+		return nil, 0, false
+	}
+	return pz.emitData()
+}
+
+// emitData builds one data packet taking at most one tuple per unit.
+func (pz *packetizer) emitData() (*wire.Packet, int, bool) {
+	cfg := pz.layout.Config()
+	pkt := &wire.Packet{Type: wire.TypeData, Slots: make([]wire.Slot, cfg.NumAAs)}
+	tuples := 0
+	for u := range pz.buckets {
+		if len(pz.buckets[u]) == 0 {
+			continue
+		}
+		kv := pz.buckets[u][0]
+		pz.buckets[u] = pz.buckets[u][1:]
+		pz.buffered--
+		if len(pz.buckets[u]) == 0 {
+			pz.nonEmpty--
+		}
+		p := pz.layout.Place(kv.Key)
+		for j, kp := range p.KParts {
+			slot := wire.Slot{KPart: kp}
+			if j == len(p.KParts)-1 {
+				slot.Val = kv.Val
+			}
+			pkt.Slots[p.FirstSlot+j] = slot
+			pkt.Bitmap = pkt.Bitmap.Set(p.FirstSlot + j)
+		}
+		tuples++
+	}
+	return pkt, tuples, true
+}

@@ -1,0 +1,239 @@
+package hostd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keyspace"
+	"repro/internal/wire"
+)
+
+func testLayout(t *testing.T) *keyspace.Layout {
+	t.Helper()
+	l, err := keyspace.NewLayout(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// drainPackets collects every packet a packetizer emits.
+func drainPackets(pz *packetizer) []*wire.Packet {
+	var out []*wire.Packet
+	for {
+		pkt, _, ok := pz.next()
+		if !ok {
+			return out
+		}
+		out = append(out, pkt)
+	}
+}
+
+// decodeAll reconstructs all tuples carried by a packet list.
+func decodeAll(l *keyspace.Layout, pkts []*wire.Packet) []core.KV {
+	cfg := l.Config()
+	var out []core.KV
+	for _, pkt := range pkts {
+		switch pkt.Type {
+		case wire.TypeLongKey:
+			for _, lk := range pkt.Long {
+				out = append(out, core.KV{Key: lk.Key, Val: lk.Val})
+			}
+		case wire.TypeData:
+			shortSlots := l.ShortSlots()
+			for i := 0; i < shortSlots; i++ {
+				if pkt.Bitmap.Test(i) {
+					out = append(out, core.KV{Key: l.ReconstructShort(pkt.Slots[i].KPart), Val: pkt.Slots[i].Val})
+				}
+			}
+			for g := 0; g < cfg.MediumGroups; g++ {
+				first := shortSlots + g*cfg.MediumSegs
+				if !pkt.Bitmap.Test(first) {
+					continue
+				}
+				kparts := make([]uint64, cfg.MediumSegs)
+				for j := range kparts {
+					kparts[j] = pkt.Slots[first+j].KPart
+				}
+				out = append(out, core.KV{Key: l.ReconstructMedium(kparts), Val: pkt.Slots[first+cfg.MediumSegs-1].Val})
+			}
+		}
+	}
+	return out
+}
+
+func TestPacketizerLossless(t *testing.T) {
+	// Every input tuple appears in exactly one packet, with its value.
+	l := testLayout(t)
+	rng := rand.New(rand.NewSource(1))
+	var in []core.KV
+	for i := 0; i < 5000; i++ {
+		var key string
+		switch rng.Intn(3) {
+		case 0:
+			key = fmt.Sprintf("s%d", rng.Intn(100))
+		case 1:
+			key = fmt.Sprintf("med%04d", rng.Intn(100))
+		default:
+			key = fmt.Sprintf("quite_long_key_%06d", rng.Intn(100))
+		}
+		in = append(in, core.KV{Key: key, Val: int64(rng.Intn(1000))})
+	}
+	pz := newPacketizer(l, core.SliceStream(in))
+	out := decodeAll(l, drainPackets(pz))
+	want := core.Reference(core.OpSum, in)
+	got := core.Reference(core.OpSum, out)
+	if len(out) != len(in) {
+		t.Fatalf("tuples out = %d, want %d", len(out), len(in))
+	}
+	if !got.Equal(want) {
+		t.Fatalf("packetizer corrupted stream: %s", got.Diff(want, 8))
+	}
+}
+
+func TestPacketizerUniformFillsPackets(t *testing.T) {
+	// Uniform short keys across many distinct values fill almost every
+	// logical unit (Fig. 8(b) Uniform line).
+	l := testLayout(t)
+	rng := rand.New(rand.NewSource(2))
+	var in []core.KV
+	for i := 0; i < 20000; i++ {
+		in = append(in, core.KV{Key: fmt.Sprintf("k%06d", rng.Intn(10000)), Val: 1})
+	}
+	pz := newPacketizer(l, core.SliceStream(in))
+	pkts := drainPackets(pz)
+	var live, dataPkts int
+	for _, p := range pkts {
+		if p.Type == wire.TypeData {
+			live += p.LiveTuples()
+			dataPkts++
+		}
+	}
+	// Keys here are 7 bytes → medium: 8 groups × 2 slots each = 16 slots.
+	avg := float64(live) / float64(dataPkts)
+	if avg < 14.5 {
+		t.Fatalf("average live slots per packet = %.2f, want near 16", avg)
+	}
+}
+
+func TestPacketizerSkewLeavesBlanks(t *testing.T) {
+	// A single ultra-hot key can fill only its own slot: packets must still
+	// be emitted (bounded buffering), leaving other slots blank.
+	l := testLayout(t)
+	var in []core.KV
+	for i := 0; i < 4*bufferPerUnit; i++ {
+		in = append(in, core.KV{Key: "hot", Val: 1})
+	}
+	pz := newPacketizer(l, core.SliceStream(in))
+	pkts := drainPackets(pz)
+	if len(pkts) < 4 {
+		t.Fatalf("packets = %d; bounded buffering not working", len(pkts))
+	}
+	total := 0
+	for _, p := range pkts {
+		if got := p.LiveTuples(); got > 1 {
+			t.Fatalf("hot-key-only packet carries %d tuples", got)
+		}
+		total += p.LiveTuples()
+	}
+	if total != 4*bufferPerUnit {
+		t.Fatalf("tuples = %d, want %d", total, 4*bufferPerUnit)
+	}
+}
+
+func TestPacketizerLongKeysBypass(t *testing.T) {
+	l := testLayout(t)
+	in := []core.KV{
+		{Key: "short", Val: 1}, // 5 bytes → medium actually
+		{Key: "a_truly_long_key_beyond_groups", Val: 2},
+		{Key: "k", Val: 3},
+	}
+	pz := newPacketizer(l, core.SliceStream(in))
+	pkts := drainPackets(pz)
+	var longPkts, dataPkts int
+	for _, p := range pkts {
+		switch p.Type {
+		case wire.TypeLongKey:
+			longPkts++
+			if len(p.Long) != 1 || p.Long[0].Key != "a_truly_long_key_beyond_groups" {
+				t.Fatalf("long packet contents: %+v", p.Long)
+			}
+		case wire.TypeData:
+			dataPkts++
+		}
+	}
+	if longPkts != 1 || dataPkts == 0 {
+		t.Fatalf("long=%d data=%d", longPkts, dataPkts)
+	}
+}
+
+func TestPacketizerHugeValuesBypass(t *testing.T) {
+	l := testLayout(t)
+	in := []core.KV{{Key: "k", Val: 1 << 40}}
+	pz := newPacketizer(l, core.SliceStream(in))
+	pkts := drainPackets(pz)
+	if len(pkts) != 1 || pkts[0].Type != wire.TypeLongKey {
+		t.Fatalf("oversized value not routed to long path: %+v", pkts)
+	}
+	if pkts[0].Long[0].Val != 1<<40 {
+		t.Fatal("value corrupted")
+	}
+}
+
+func TestPacketizerLongPacketMTU(t *testing.T) {
+	l := testLayout(t)
+	var in []core.KV
+	for i := 0; i < 100; i++ {
+		in = append(in, core.KV{Key: fmt.Sprintf("very_long_key_number_%08d", i), Val: 1})
+	}
+	pz := newPacketizer(l, core.SliceStream(in))
+	for _, p := range drainPackets(pz) {
+		if p.Type != wire.TypeLongKey {
+			t.Fatalf("unexpected %v packet", p.Type)
+		}
+		if got := p.BufferBytes(4); got > wire.MTU {
+			t.Fatalf("long packet %d bytes exceeds MTU", got)
+		}
+	}
+}
+
+func TestPacketizerEmptyStream(t *testing.T) {
+	l := testLayout(t)
+	pz := newPacketizer(l, core.SliceStream(nil))
+	if pkts := drainPackets(pz); len(pkts) != 0 {
+		t.Fatalf("empty stream emitted %d packets", len(pkts))
+	}
+}
+
+func TestPacketizerSameKeySameSlotAcrossPackets(t *testing.T) {
+	// Single-key-single-spot: a key's slot must be identical in every
+	// packet that carries it (§3.2.2).
+	l := testLayout(t)
+	var in []core.KV
+	for i := 0; i < 1000; i++ {
+		in = append(in, core.KV{Key: "anchor", Val: 1})
+		in = append(in, core.KV{Key: fmt.Sprintf("f%d", i), Val: 1})
+	}
+	pz := newPacketizer(l, core.SliceStream(in))
+	slot := -1
+	anchorKP := l.Place("anchor").KParts[0]
+	for _, p := range drainPackets(pz) {
+		if p.Type != wire.TypeData {
+			continue
+		}
+		for i := range p.Slots {
+			if p.Bitmap.Test(i) && p.Slots[i].KPart == anchorKP {
+				if slot == -1 {
+					slot = i
+				} else if slot != i {
+					t.Fatalf("key moved from slot %d to %d", slot, i)
+				}
+			}
+		}
+	}
+	if slot == -1 {
+		t.Fatal("anchor key never seen")
+	}
+}

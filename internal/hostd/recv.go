@@ -1,0 +1,403 @@
+package hostd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/window"
+	"repro/internal/wire"
+)
+
+// RecvTaskStats counts receiver-side activity for one task.
+type RecvTaskStats struct {
+	DataPackets   int64 // data packets processed (fresh)
+	ResidueTuples int64 // tuples aggregated at the host
+	LongTuples    int64 // long-key tuples (subset of ResidueTuples)
+	SwitchEntries int64 // aggregator entries merged from fetches
+	Swaps         int64 // shadow-copy swaps completed
+}
+
+// recvTask is the receiver-side state of one aggregation task: the shared
+// memory segment (result map), FIN tracking, and the shadow-copy machinery.
+type recvTask struct {
+	d    *Daemon
+	spec core.TaskSpec
+
+	result core.Result // the task's shared-memory segment
+	finned map[core.HostID]bool
+
+	pktsSinceSwap int
+	swapping      bool
+	swapDone      *sim.Signal
+	swapAckSig    *sim.Signal
+	lastSwapAck   uint32
+	swapSeqNum    uint32
+	activeCopy    int
+
+	noRegion    bool
+	tearingDown bool
+	completed   bool
+	done        *sim.Signal
+
+	stats RecvTaskStats
+}
+
+// RecvHandle lets the receiving application wait for task completion and
+// read the result from the shared-memory segment (§3.1 steps ⑩–⑪).
+type RecvHandle struct{ t *recvTask }
+
+// Wait blocks until the aggregation completes and returns the final result.
+func (h *RecvHandle) Wait(p *sim.Proc) core.Result {
+	for !h.t.completed {
+		p.Wait(h.t.done)
+	}
+	return h.t.result
+}
+
+// Done reports whether the task completed.
+func (h *RecvHandle) Done() bool { return h.t.completed }
+
+// Stats returns the receiver-side counters.
+func (h *RecvHandle) Stats() RecvTaskStats { return h.t.stats }
+
+// Submit starts an aggregation task with this daemon's host as the receiver
+// (§3.1 steps ①–⑤): it allocates the shared-memory segment, requests a
+// switch memory region from the controller, and notifies every sender-side
+// daemon over the control channel. It must run in process context (the
+// control-plane RPC blocks).
+func (d *Daemon) Submit(p *sim.Proc, spec core.TaskSpec) (*RecvHandle, error) {
+	if spec.Receiver != d.host {
+		return nil, fmt.Errorf("hostd: task %d receiver is host %d, submitted at %d", spec.ID, spec.Receiver, d.host)
+	}
+	if _, dup := d.recvTasks[spec.ID]; dup {
+		return nil, fmt.Errorf("hostd: task %d already submitted", spec.ID)
+	}
+	t := &recvTask{
+		d:          d,
+		spec:       spec,
+		result:     make(core.Result),
+		finned:     make(map[core.HostID]bool),
+		noRegion:   spec.Rows < 0,
+		swapDone:   sim.NewSignal(d.sim),
+		swapAckSig: sim.NewSignal(d.sim),
+		done:       sim.NewSignal(d.sim),
+	}
+	d.recvTasks[spec.ID] = t
+	if !t.noRegion {
+		p.Sleep(cpumodel.ControlRPCLatency)
+		if err := d.ctrl.AllocRegion(spec.ID, d.host, spec.Op, spec.Rows); err != nil {
+			delete(d.recvTasks, spec.ID)
+			return nil, err
+		}
+	}
+	// Notify sender daemons (reliably, over the control channel); local
+	// senders are notified directly.
+	n := taskNotify{Task: spec.ID, Receiver: d.host, Op: spec.Op}
+	for _, s := range spec.Senders {
+		if s == d.host {
+			d.onNotify(n)
+		} else {
+			d.ctrlCh.send(p, s, n)
+		}
+	}
+	return &RecvHandle{t}, nil
+}
+
+// SubmitSend registers a sender-side stream for a task (§3.1 steps ⑥–⑦).
+// The stream starts flowing once the receiver's notification has arrived;
+// either order works.
+func (d *Daemon) SubmitSend(task core.TaskID, stream core.Stream) *SendHandle {
+	st := &sendTask{id: task, stream: stream, done: sim.NewSignal(d.sim)}
+	if n, ok := d.notified[task]; ok {
+		d.activateSend(st, n)
+	} else {
+		d.sendReady[task] = st
+	}
+	return &SendHandle{st}
+}
+
+// onNotify handles a task notification at a sender daemon.
+func (d *Daemon) onNotify(n taskNotify) {
+	if st, ok := d.sendReady[n.Task]; ok {
+		delete(d.sendReady, n.Task)
+		d.activateSend(st, n)
+		return
+	}
+	d.notified[n.Task] = n
+}
+
+// activateSend assigns the task to a data channel by hash(ID) (§3.1).
+func (d *Daemon) activateSend(st *sendTask, n taskNotify) {
+	st.receiver = n.Receiver
+	ch := d.channels[int(st.id)%len(d.channels)]
+	ch.enqueue(st)
+}
+
+// processInbound handles one flow packet on a channel's receive thread.
+func (d *Daemon) processInbound(p *sim.Proc, ch *dataChannel, f *netsim.Frame) {
+	pkt := f.Pkt
+	// The transport ACK went out at arrival (HandleFrame); here the packet
+	// is classified and merged exactly once.
+	verdict := d.dedupFor(pkt.Flow).Observe(pkt.Seq)
+	if verdict == window.Stale {
+		return
+	}
+	if verdict == window.Duplicate {
+		ch.rxThread.Run(p, cpumodel.PacketIOCost)
+		return
+	}
+
+	t := d.recvTasks[pkt.Task]
+	var kvs []core.KV
+	longTuples := 0
+	switch pkt.Type {
+	case wire.TypeData:
+		kvs = d.decodeResidue(pkt)
+	case wire.TypeLongKey:
+		for _, lk := range pkt.Long {
+			kvs = append(kvs, core.KV{Key: lk.Key, Val: lk.Val})
+		}
+		longTuples = len(kvs)
+	}
+	cost := cpumodel.PacketIOCost + time.Duration(len(kvs))*cpumodel.HostAggregateCost
+	ch.rxThread.Run(p, cost)
+	d.stats.PacketsReceived++
+
+	if t != nil && !t.completed {
+		for _, kv := range kvs {
+			t.result.MergeKV(kv, t.spec.Op)
+		}
+		t.stats.ResidueTuples += int64(len(kvs))
+		t.stats.LongTuples += int64(longTuples)
+		d.stats.ResidueTuples += int64(len(kvs))
+		switch pkt.Type {
+		case wire.TypeData:
+			t.stats.DataPackets++
+			t.pktsSinceSwap++
+			t.maybeSwap()
+		case wire.TypeFin:
+			t.onFin(pkt.Flow.Host)
+		}
+	}
+}
+
+// onFin records a sender's FIN; once every sender has finished, teardown
+// begins (§3.1 steps ⑨–⑫).
+func (t *recvTask) onFin(sender core.HostID) {
+	t.finned[sender] = true
+	for _, s := range t.spec.Senders {
+		if !t.finned[s] {
+			return
+		}
+	}
+	if t.tearingDown {
+		return
+	}
+	t.tearingDown = true
+	t.d.sim.Spawn(fmt.Sprintf("teardown-task%d", t.spec.ID), t.teardown)
+}
+
+// teardown fetches the remaining switch state, merges it with the local
+// result, and releases the switch region.
+func (t *recvTask) teardown(p *sim.Proc) {
+	for t.swapping {
+		p.Wait(t.swapDone)
+	}
+	if t.noRegion {
+		t.completed = true
+		t.done.Fire()
+		return
+	}
+	copies := 1
+	if t.d.cfg.ShadowCopy {
+		copies = 2
+	}
+	for c := 0; c < copies; c++ {
+		entries := t.d.fetchEntries(p, t.spec.ID, c, false)
+		t.mergeEntries(p, entries)
+	}
+	p.Sleep(cpumodel.ControlRPCLatency)
+	if err := t.d.ctrl.FreeRegion(t.spec.ID); err != nil {
+		panic(fmt.Sprintf("hostd: freeing region of task %d: %v", t.spec.ID, err))
+	}
+	t.completed = true
+	t.done.Fire()
+}
+
+// maybeSwap triggers a shadow-copy swap when enough packets have reached
+// the receiver since the last one (§3.4: forwarded packets indicate
+// aggregator conflicts, i.e. pressure on the active copy).
+func (t *recvTask) maybeSwap() {
+	if !t.d.cfg.ShadowCopy || t.d.cfg.SwapThreshold == 0 || t.noRegion ||
+		t.swapping || t.tearingDown || t.pktsSinceSwap < t.d.cfg.SwapThreshold {
+		return
+	}
+	t.swapping = true
+	t.pktsSinceSwap = 0
+	t.d.stats.SwapsTriggered++
+	t.d.sim.Spawn(fmt.Sprintf("swap-task%d", t.spec.ID), t.runSwap)
+}
+
+// runSwap executes one swap: notify the switch (exactly-once via the swap
+// sequence), then fetch, merge, and clear the now-idle copy so hot keys can
+// reseize aggregators.
+func (t *recvTask) runSwap(p *sim.Proc) {
+	t.swapSeqNum++
+	seq := t.swapSeqNum
+	old := t.activeCopy
+	pkt := &wire.Packet{
+		Type: wire.TypeSwap,
+		Task: t.spec.ID,
+		Flow: core.FlowKey{Host: t.d.host, Channel: t.d.ctrlCh.flow.Channel},
+		Seq:  seq,
+	}
+	for window.SeqLess(t.lastSwapAck, seq) {
+		t.d.sendFrame(t.d.host, pkt.Clone(), 0)
+		p.WaitTimeout(t.swapAckSig, t.d.cfg.RetransmitTimeout)
+	}
+	t.activeCopy ^= 1
+	entries := t.d.fetchEntries(p, t.spec.ID, old, true)
+	t.mergeEntries(p, entries)
+	t.stats.Swaps++
+	t.swapping = false
+	t.swapDone.Fire()
+}
+
+// onSwapAck records the switch's swap acknowledgment.
+func (t *recvTask) onSwapAck(seq uint32) {
+	if window.SeqLess(t.lastSwapAck, seq) {
+		t.lastSwapAck = seq
+	}
+	t.swapAckSig.Fire()
+}
+
+// mergeEntries folds fetched aggregator entries into the task result,
+// reconstructing short keys directly and medium keys from their coalesced
+// group members.
+func (t *recvTask) mergeEntries(p *sim.Proc, entries []wire.FetchEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	t.d.cpu.Exec(p, time.Duration(len(entries))*cpumodel.HostAggregateCost)
+	layout := t.d.layout
+	shortSlots := layout.ShortSlots()
+	m := t.d.cfg.MediumSegs
+	partial := make(core.Result)
+	type groupRow struct{ group, row int }
+	groups := make(map[groupRow][]wire.FetchEntry)
+	for _, e := range entries {
+		if e.AA < shortSlots {
+			key := layout.ReconstructShort(e.KPart)
+			if cur, ok := partial[key]; ok {
+				partial[key] = combine(t.spec.Op, cur, e.Val)
+			} else {
+				partial[key] = e.Val
+			}
+			continue
+		}
+		g := (e.AA - shortSlots) / m
+		groups[groupRow{g, e.Row}] = append(groups[groupRow{g, e.Row}], e)
+	}
+	for gr, es := range groups {
+		if len(es) != m {
+			panic(fmt.Sprintf("hostd: medium group %d row %d has %d of %d members", gr.group, gr.row, len(es), m))
+		}
+		kparts := make([]uint64, m)
+		var val int64
+		lastAA := shortSlots + gr.group*m + m - 1
+		for _, e := range es {
+			kparts[e.AA-shortSlots-gr.group*m] = e.KPart
+			if e.AA == lastAA {
+				val = e.Val
+			}
+		}
+		key := layout.ReconstructMedium(kparts)
+		if cur, ok := partial[key]; ok {
+			partial[key] = combine(t.spec.Op, cur, val)
+		} else {
+			partial[key] = val
+		}
+	}
+	t.result.Merge(partial, t.spec.Op)
+	t.stats.SwitchEntries += int64(len(entries))
+	t.d.stats.SwitchTuples += int64(len(entries))
+}
+
+// combine merges two partial aggregates of the same key (counts add).
+func combine(op core.Op, a, b int64) int64 {
+	if op == core.OpCount {
+		return a + b
+	}
+	return op.Apply(a, b)
+}
+
+// fetchRetry is the receiver's fetch/clear retransmission interval; it must
+// comfortably exceed one reply chunk's round trip.
+const fetchRetry = 500 * time.Microsecond
+
+// fetchReq tracks one in-flight fetch (or clear) request.
+type fetchReq struct {
+	id       uint32
+	chunks   map[uint16][]wire.FetchEntry
+	total    int
+	cleared  bool
+	progress *sim.Signal
+}
+
+func (fr *fetchReq) addChunk(pkt *wire.Packet) {
+	fr.total = int(pkt.FetchChunks)
+	if _, dup := fr.chunks[pkt.FetchChunk]; !dup {
+		fr.chunks[pkt.FetchChunk] = pkt.FetchEntries
+	}
+	fr.progress.Fire()
+}
+
+func (fr *fetchReq) complete() bool { return fr.total >= 0 && len(fr.chunks) == fr.total }
+
+// fetchEntries reliably reads one copy of a task's region (§3.4 Read): an
+// idempotent snapshot fetch retransmitted until all chunks arrive, followed
+// (optionally) by an idempotent clear retransmitted until acknowledged.
+func (d *Daemon) fetchEntries(p *sim.Proc, task core.TaskID, copy int, clear bool) []wire.FetchEntry {
+	d.nextFetch++
+	fr := &fetchReq{id: d.nextFetch, chunks: make(map[uint16][]wire.FetchEntry), total: -1, progress: sim.NewSignal(d.sim)}
+	d.fetchReqs[fr.id] = fr
+	req := &wire.Packet{
+		Type:      wire.TypeFetch,
+		Task:      task,
+		Flow:      core.FlowKey{Host: d.host, Channel: d.ctrlCh.flow.Channel},
+		Seq:       fr.id,
+		FetchCopy: copy,
+	}
+	d.sendFrame(d.host, req.Clone(), 0)
+	for !fr.complete() {
+		if !p.WaitTimeout(fr.progress, fetchRetry) && !fr.complete() {
+			d.sendFrame(d.host, req.Clone(), 0)
+		}
+	}
+	delete(d.fetchReqs, fr.id)
+	var entries []wire.FetchEntry
+	for c := 0; c < fr.total; c++ {
+		entries = append(entries, fr.chunks[uint16(c)]...)
+	}
+
+	if clear {
+		d.nextFetch++
+		cr := &fetchReq{id: d.nextFetch, chunks: map[uint16][]wire.FetchEntry{}, total: -1, progress: sim.NewSignal(d.sim)}
+		d.fetchReqs[cr.id] = cr
+		creq := req.Clone()
+		creq.Seq = cr.id
+		creq.FetchClear = true
+		d.sendFrame(d.host, creq.Clone(), 0)
+		for !cr.cleared {
+			if !p.WaitTimeout(cr.progress, fetchRetry) && !cr.cleared {
+				d.sendFrame(d.host, creq.Clone(), 0)
+			}
+		}
+		delete(d.fetchReqs, cr.id)
+	}
+	return entries
+}

@@ -1,0 +1,37 @@
+package keyspace_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/keyspace"
+)
+
+// Sender-assisted addressing (§3.2.2–3.2.3): keys classify by length, short
+// and medium keys map to stable packet slots, long keys bypass the switch.
+func ExampleLayout_Place() {
+	layout, err := keyspace.NewLayout(core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for _, key := range []string{"the", "yours", "internationalization"} {
+		p := layout.Place(key)
+		switch p.Class {
+		case keyspace.Short:
+			fmt.Printf("%-22q short  → slot %d (1 aggregator)\n", key, p.FirstSlot)
+		case keyspace.Medium:
+			fmt.Printf("%-22q medium → slots %d-%d (coalesced group)\n",
+				key, p.FirstSlot, p.FirstSlot+p.Segs-1)
+		case keyspace.Long:
+			fmt.Printf("%-22q long   → host bypass\n", key)
+		}
+	}
+	// The same key always lands in the same place (single-key-single-spot).
+	a, b := layout.Place("the"), layout.Place("the")
+	fmt.Println("stable:", a.FirstSlot == b.FirstSlot)
+	// Output:
+	// "the"                  short  → slot 12 (1 aggregator)
+	// "yours"                medium → slots 22-23 (coalesced group)
+	// "internationalization" long   → host bypass
+	// stable: true
+}

@@ -1,0 +1,218 @@
+// Package keyspace implements ASK's sender-assisted addressing (§3.2.2) and
+// coalesced placement for variable-length keys (§3.2.3).
+//
+// The whole key space is first divided by length into short, medium, and
+// long keys:
+//
+//   - short keys fit in one aggregator's kPart (≤ KPartBytes);
+//   - medium keys fit in one coalesced group of MediumSegs adjacent AAs
+//     (≤ KPartBytes·MediumSegs), padded to the group width;
+//   - long keys bypass the switch and are aggregated at the receiver host.
+//
+// The short subspace is then partitioned into ShortSlots ordered subspaces
+// with a uniform hash: a key always falls in the same subspace, is always
+// encoded at the same packet slot, and is therefore always processed by the
+// same AA — avoiding the single-key-multiple-spot problem. Medium keys are
+// likewise partitioned across the MediumGroups coalesced groups, and all
+// AAs of a group address the key with a unified row index (a hash of the
+// entire key), which avoids the partial-matching aggregation errors of the
+// naïve segment-independent design.
+//
+// Keys containing a NUL byte take the long-key bypass regardless of length:
+// kParts are zero-padded on the right, the all-zero kPart is the "blank
+// aggregator" sentinel, and NUL-free keys make the padding unambiguous.
+package keyspace
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Class is the length class of a key.
+type Class uint8
+
+const (
+	// Short keys fit in a single aggregator kPart.
+	Short Class = iota
+	// Medium keys occupy one coalesced group of adjacent AAs.
+	Medium
+	// Long keys bypass the switch.
+	Long
+)
+
+func (c Class) String() string {
+	switch c {
+	case Short:
+		return "short"
+	case Medium:
+		return "medium"
+	case Long:
+		return "long"
+	default:
+		return "invalid"
+	}
+}
+
+// FNV-1a 64-bit, with distinct offset bases so slot addressing and row
+// addressing are independent hash functions.
+const (
+	fnvPrime       = 1099511628211
+	fnvOffsetSlot  = 14695981039346656037
+	fnvOffsetRow   = 0x9e3779b97f4a7c15
+	fnvOffsetOrder = 0xc2b2ae3d27d4eb4f
+)
+
+func fnv64(offset uint64, s string) uint64 {
+	h := offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashSlot is the subspace-partition hash 𝔽 of §3.2.2.
+func HashSlot(key string) uint64 { return fnv64(fnvOffsetSlot, key) }
+
+// HashRow is the in-AA aggregator addressing hash of §3.2.1.
+func HashRow(key string) uint64 { return fnv64(fnvOffsetRow, key) }
+
+// HashOrder is a third independent hash used by workload generators.
+func HashOrder(key string) uint64 { return fnv64(fnvOffsetOrder, key) }
+
+// Layout precomputes the slot map for a configuration.
+type Layout struct {
+	cfg        core.Config
+	shortSlots int
+}
+
+// NewLayout builds the layout for cfg, validating it first.
+func NewLayout(cfg core.Config) (*Layout, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Layout{cfg: cfg, shortSlots: cfg.ShortSlots()}, nil
+}
+
+// Config returns the configuration the layout was built from.
+func (l *Layout) Config() core.Config { return l.cfg }
+
+// ShortSlots returns the number of packet slots serving short keys.
+func (l *Layout) ShortSlots() int { return l.shortSlots }
+
+// MediumGroups returns the number of coalesced medium-key groups.
+func (l *Layout) MediumGroups() int { return l.cfg.MediumGroups }
+
+// Classify returns the length class of key.
+func (l *Layout) Classify(key string) Class {
+	if strings.IndexByte(key, 0) >= 0 || len(key) == 0 {
+		return Long
+	}
+	if len(key) <= l.cfg.KPartBytes {
+		if l.shortSlots == 0 {
+			return Long
+		}
+		return Short
+	}
+	// A medium key must fill every segment of its group with at least one
+	// byte: an all-zero segment is indistinguishable from a blank
+	// aggregator, which would break the group matching invariant. With the
+	// paper's m = 2 this is just (KPartBytes, 2·KPartBytes]; larger m
+	// sacrifices the middle lengths to the bypass (see the medium-key
+	// ablation).
+	if l.cfg.MediumGroups > 0 &&
+		len(key) > l.cfg.KPartBytes*(l.cfg.MediumSegs-1) &&
+		len(key) <= l.cfg.MaxMediumKeyBytes() {
+		return Medium
+	}
+	return Long
+}
+
+// Placement describes where a key's tuple goes in a packet / on the switch.
+type Placement struct {
+	Class Class
+	// FirstSlot is the first packet slot (== first AA index) the key uses;
+	// a Short key uses exactly one slot, a Medium key uses Segs consecutive
+	// slots. Undefined for Long.
+	FirstSlot int
+	// Segs is the number of slots/AAs used (1 for short).
+	Segs int
+	// KParts are the packed key segments, one per used slot.
+	KParts []uint64
+	// RowHash is the unified aggregator row hash (whole-key hash); the
+	// switch reduces it modulo the live region size.
+	RowHash uint64
+}
+
+// Place computes the placement for key. Long keys get Placement{Class: Long}
+// with no slots.
+func (l *Layout) Place(key string) Placement {
+	switch l.Classify(key) {
+	case Short:
+		slot := int(HashSlot(key) % uint64(l.shortSlots))
+		return Placement{
+			Class:     Short,
+			FirstSlot: slot,
+			Segs:      1,
+			KParts:    []uint64{wire.PackKPart([]byte(key), l.cfg.KPartBytes)},
+			RowHash:   HashRow(key),
+		}
+	case Medium:
+		group := int(HashSlot(key) % uint64(l.cfg.MediumGroups))
+		first := l.shortSlots + group*l.cfg.MediumSegs
+		kparts := make([]uint64, l.cfg.MediumSegs)
+		for i := 0; i < l.cfg.MediumSegs; i++ {
+			lo := i * l.cfg.KPartBytes
+			hi := lo + l.cfg.KPartBytes
+			var seg []byte
+			if lo < len(key) {
+				if hi > len(key) {
+					hi = len(key)
+				}
+				seg = []byte(key[lo:hi])
+			}
+			kparts[i] = wire.PackKPart(seg, l.cfg.KPartBytes)
+		}
+		return Placement{
+			Class:     Medium,
+			FirstSlot: first,
+			Segs:      l.cfg.MediumSegs,
+			KParts:    kparts,
+			RowHash:   HashRow(key),
+		}
+	default:
+		return Placement{Class: Long}
+	}
+}
+
+// GroupOfSlot returns, for a packet slot index, which logical unit it belongs
+// to: unit index, the unit's first slot, and the unit's width in slots.
+// Short slots are single-slot units; medium slots belong to their group.
+func (l *Layout) GroupOfSlot(slot int) (first, segs int) {
+	if slot < l.shortSlots {
+		return slot, 1
+	}
+	g := (slot - l.shortSlots) / l.cfg.MediumSegs
+	return l.shortSlots + g*l.cfg.MediumSegs, l.cfg.MediumSegs
+}
+
+// ReconstructShort recovers a short key string from its packed kPart.
+func (l *Layout) ReconstructShort(kpart uint64) string {
+	return string(wire.UnpackKPart(kpart, l.cfg.KPartBytes))
+}
+
+// ReconstructMedium recovers a medium key string from its group's packed
+// kParts (in slot order).
+func (l *Layout) ReconstructMedium(kparts []uint64) string {
+	var b strings.Builder
+	for _, kp := range kparts {
+		b.Write(wire.UnpackKPart(kp, l.cfg.KPartBytes))
+	}
+	return b.String()
+}
+
+// LogicalUnits returns the number of logical tuple units a packet can carry:
+// ShortSlots short tuples plus MediumGroups medium tuples.
+func (l *Layout) LogicalUnits() int { return l.shortSlots + l.cfg.MediumGroups }

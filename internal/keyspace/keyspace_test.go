@@ -1,0 +1,237 @@
+package keyspace
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func defaultLayout(t *testing.T) *Layout {
+	t.Helper()
+	l, err := NewLayout(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestClassify(t *testing.T) {
+	l := defaultLayout(t) // KPartBytes=4, m=2 → medium is 5..8 bytes
+	cases := []struct {
+		key  string
+		want Class
+	}{
+		{"a", Short},
+		{"abcd", Short},
+		{"abcde", Medium},
+		{"yourself", Medium}, // 8 bytes
+		{"yourselfs", Long},  // 9 bytes
+		{"internationalization", Long},
+		{"ab\x00d", Long}, // NUL byte forces bypass
+		{"", Long},
+	}
+	for _, c := range cases {
+		if got := l.Classify(c.key); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.key, got, c.want)
+		}
+	}
+}
+
+func TestPlaceShortStability(t *testing.T) {
+	l := defaultLayout(t)
+	// The same key must always land on the same slot (single-key-single-spot).
+	for _, key := range []string{"a", "the", "word", "xy"} {
+		p1, p2 := l.Place(key), l.Place(key)
+		if p1.FirstSlot != p2.FirstSlot {
+			t.Errorf("Place(%q) unstable: %d vs %d", key, p1.FirstSlot, p2.FirstSlot)
+		}
+		if p1.Segs != 1 {
+			t.Errorf("short key %q uses %d segs", key, p1.Segs)
+		}
+		if p1.FirstSlot < 0 || p1.FirstSlot >= l.ShortSlots() {
+			t.Errorf("short key %q slot %d out of short range [0,%d)", key, p1.FirstSlot, l.ShortSlots())
+		}
+	}
+}
+
+func TestPlaceMediumGroup(t *testing.T) {
+	l := defaultLayout(t)
+	cfg := l.Config()
+	p := l.Place("yours") // 5 bytes → medium
+	if p.Class != Medium {
+		t.Fatalf("class = %v", p.Class)
+	}
+	if p.Segs != cfg.MediumSegs {
+		t.Fatalf("segs = %d, want %d", p.Segs, cfg.MediumSegs)
+	}
+	if p.FirstSlot < l.ShortSlots() || p.FirstSlot+p.Segs > cfg.NumAAs {
+		t.Fatalf("medium slots [%d,%d) outside medium range [%d,%d)",
+			p.FirstSlot, p.FirstSlot+p.Segs, l.ShortSlots(), cfg.NumAAs)
+	}
+	if (p.FirstSlot-l.ShortSlots())%cfg.MediumSegs != 0 {
+		t.Fatalf("medium first slot %d not group-aligned", p.FirstSlot)
+	}
+	if len(p.KParts) != cfg.MediumSegs {
+		t.Fatalf("kparts = %d, want %d", len(p.KParts), cfg.MediumSegs)
+	}
+	// "yours" splits into "your" + "s" (padded).
+	if got := l.ReconstructMedium(p.KParts); got != "yours" {
+		t.Fatalf("reconstruct = %q, want %q", got, "yours")
+	}
+}
+
+func TestMediumSharedPrefixDistinctRows(t *testing.T) {
+	l := defaultLayout(t)
+	// "yours" and "yourself" share the "your" first segment but must use
+	// different unified row hashes (§3.2.3: "yourself" reserves a different
+	// aggregator than "yours").
+	a, b := l.Place("yours"), l.Place("yourself")
+	if a.RowHash == b.RowHash {
+		t.Fatal("distinct medium keys share a row hash")
+	}
+	if a.KParts[0] != b.KParts[0] {
+		t.Fatal(`"yours" and "yourself" should share the "your" segment packing`)
+	}
+}
+
+func TestNaiveSegmentAmbiguityAvoided(t *testing.T) {
+	l := defaultLayout(t)
+	// The naïve design's failure case: X1X2 and Y1Y2 reserved, then X1Y2
+	// must NOT be recognized. With unified whole-key hashing, X1Y2's row
+	// hash differs from both.
+	x, y, xy := l.Place("aaaabbbb"), l.Place("ccccdddd"), l.Place("aaaadddd")
+	if xy.RowHash == x.RowHash || xy.RowHash == y.RowHash {
+		t.Fatal("composite key collides with component keys' rows")
+	}
+}
+
+func TestReconstructShortRoundtrip(t *testing.T) {
+	l := defaultLayout(t)
+	for _, key := range []string{"a", "ab", "abc", "abcd"} {
+		p := l.Place(key)
+		if got := l.ReconstructShort(p.KParts[0]); got != key {
+			t.Errorf("reconstruct(%q) = %q", key, got)
+		}
+	}
+}
+
+func TestGroupOfSlot(t *testing.T) {
+	l := defaultLayout(t)
+	cfg := l.Config()
+	// Short slots are their own unit.
+	for s := 0; s < l.ShortSlots(); s++ {
+		first, segs := l.GroupOfSlot(s)
+		if first != s || segs != 1 {
+			t.Fatalf("GroupOfSlot(%d) = (%d,%d), want (%d,1)", s, first, segs, s)
+		}
+	}
+	// Medium slots map to their group start.
+	for s := l.ShortSlots(); s < cfg.NumAAs; s++ {
+		first, segs := l.GroupOfSlot(s)
+		if segs != cfg.MediumSegs {
+			t.Fatalf("GroupOfSlot(%d) segs = %d", s, segs)
+		}
+		if s < first || s >= first+segs {
+			t.Fatalf("GroupOfSlot(%d) = (%d,%d) does not contain slot", s, first, segs)
+		}
+		if (first-l.ShortSlots())%cfg.MediumSegs != 0 {
+			t.Fatalf("GroupOfSlot(%d) start %d misaligned", s, first)
+		}
+	}
+}
+
+func TestSlotDistributionUniform(t *testing.T) {
+	l := defaultLayout(t)
+	counts := make([]int, l.ShortSlots())
+	n := 100000
+	for i := 0; i < n; i++ {
+		p := l.Place(fmt.Sprintf("k%d", i))
+		if p.Class != Short {
+			continue
+		}
+		counts[p.FirstSlot]++
+	}
+	mean := 0
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= len(counts)
+	for slot, c := range counts {
+		if c < mean*8/10 || c > mean*12/10 {
+			t.Errorf("slot %d count %d deviates >20%% from mean %d", slot, c, mean)
+		}
+	}
+}
+
+func TestPlaceQuickProperties(t *testing.T) {
+	l := defaultLayout(t)
+	cfg := l.Config()
+	f := func(raw []byte) bool {
+		key := strings.ReplaceAll(string(raw), "\x00", "x")
+		if key == "" {
+			return true
+		}
+		p := l.Place(key)
+		switch p.Class {
+		case Short:
+			return len(key) <= cfg.KPartBytes &&
+				p.FirstSlot < l.ShortSlots() &&
+				l.ReconstructShort(p.KParts[0]) == key
+		case Medium:
+			return len(key) > cfg.KPartBytes && len(key) <= cfg.MaxMediumKeyBytes() &&
+				l.ReconstructMedium(p.KParts) == key
+		case Long:
+			return len(key) > cfg.MaxMediumKeyBytes()
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoMediumGroupsConfig(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MediumGroups = 0
+	cfg.MediumSegs = 0
+	l, err := NewLayout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Classify("abcde"); got != Long {
+		t.Fatalf("with no medium groups, 5-byte key class = %v, want Long", got)
+	}
+	if l.LogicalUnits() != cfg.NumAAs {
+		t.Fatalf("LogicalUnits = %d, want %d", l.LogicalUnits(), cfg.NumAAs)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MediumGroups = 20 // 20×2 = 40 > 32 AAs
+	if _, err := NewLayout(cfg); err == nil {
+		t.Fatal("oversubscribed medium groups accepted")
+	}
+}
+
+func TestHashIndependence(t *testing.T) {
+	// HashSlot and HashRow must be effectively independent: keys colliding
+	// in one should mostly not collide in the other.
+	rng := rand.New(rand.NewSource(2))
+	same := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d-%d", i, rng.Int())
+		if HashSlot(k)%32 == HashRow(k)%32 {
+			same++
+		}
+	}
+	// Expect ~1/32 ≈ 3.1%; fail above 5%.
+	if frac := float64(same) / float64(n); frac > 0.05 {
+		t.Fatalf("slot/row hash correlation too high: %.3f", frac)
+	}
+}

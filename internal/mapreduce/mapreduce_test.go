@@ -1,0 +1,150 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func smallJob(tr Transport) Config {
+	return Config{
+		Machines:           3,
+		MappersPerMachine:  4,
+		ReducersPerMachine: 2,
+		TuplesPerMapper:    3000,
+		DistinctKeys:       500,
+		Transport:          tr,
+		Seed:               1,
+	}
+}
+
+// jobReference recomputes the expected WordCount output.
+func jobReference(cfg Config) core.Result {
+	cfg.defaults()
+	want := make(core.Result)
+	for m := 0; m < cfg.Machines; m++ {
+		for t := 0; t < cfg.MappersPerMachine; t++ {
+			want.Merge(cfg.Workload(m, t).Reference(core.OpSum), core.OpSum)
+		}
+	}
+	return want
+}
+
+func TestAllTransportsExact(t *testing.T) {
+	for _, tr := range []Transport{Vanilla, SHM, RDMA, ASK} {
+		tr := tr
+		t.Run(tr.String(), func(t *testing.T) {
+			cfg := smallJob(tr)
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := jobReference(cfg)
+			if !rep.Result.Equal(want) {
+				t.Fatalf("%v job result wrong: %s", tr, rep.Result.Diff(want, 8))
+			}
+			if rep.JCT <= 0 {
+				t.Fatal("no JCT")
+			}
+			if len(rep.MapperTCT) != cfg.Machines*cfg.MappersPerMachine {
+				t.Fatalf("mapper TCTs = %d", len(rep.MapperTCT))
+			}
+			if len(rep.ReducerTCT) != cfg.reducers() {
+				t.Fatalf("reducer TCTs = %d", len(rep.ReducerTCT))
+			}
+		})
+	}
+}
+
+func TestASKMappersMuchFaster(t *testing.T) {
+	// Fig. 11: ASK mappers skip pre-aggregation, so their TCT is a small
+	// fraction of Spark's.
+	cfg := smallJob(Vanilla)
+	cfg.TuplesPerMapper = 50000
+	vr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = ASK
+	ar, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(vr.MeanMapperTCT()) / float64(ar.MeanMapperTCT())
+	if ratio < 3 {
+		t.Fatalf("Spark/ASK mapper TCT ratio %.2f, want > 3 (map 17ns vs map+preagg 156ns)", ratio)
+	}
+}
+
+func TestASKBeatsVanillaJCT(t *testing.T) {
+	// Fig. 10: ASK's JCT is well below Spark's at WordCount scale.
+	cfg := smallJob(Vanilla)
+	cfg.TuplesPerMapper = 50000
+	cfg.DistinctKeys = 2000
+	vr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = ASK
+	ar, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.JCT >= vr.JCT {
+		t.Fatalf("ASK JCT %v not below Spark %v", ar.JCT, vr.JCT)
+	}
+}
+
+func TestSHMAndRDMACloseToVanilla(t *testing.T) {
+	// §5.5 observation: faster shuffle transports barely change JCT because
+	// pre-aggregation dominates.
+	base := smallJob(Vanilla)
+	base.TuplesPerMapper = 30000
+	vr, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []Transport{SHM, RDMA} {
+		cfg := base
+		cfg.Transport = tr
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(vr.JCT) / float64(r.JCT)
+		if ratio < 0.8 || ratio > 1.6 {
+			t.Fatalf("%v JCT %v vs Spark %v: ratio %.2f outside the 'no big win' band",
+				tr, r.JCT, vr.JCT, ratio)
+		}
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	cfg := smallJob(ASK)
+	cfg.Workload = func(machine, mapper int) workload.Spec {
+		return workload.Zipf(300, 2000, 1.2, workload.Shuffled, int64(machine*10+mapper))
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jobReference(cfg)
+	if !rep.Result.Equal(want) {
+		t.Fatalf("zipf job wrong: %s", rep.Result.Diff(want, 5))
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestTransportStrings(t *testing.T) {
+	for _, tr := range []Transport{Vanilla, SHM, RDMA, ASK, Transport(99)} {
+		if tr.String() == "" {
+			t.Fatal("empty transport name")
+		}
+	}
+}

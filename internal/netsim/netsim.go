@@ -1,0 +1,275 @@
+// Package netsim models the cluster network: hosts attached to a single
+// top-of-rack switch by full-duplex links with finite bandwidth, propagation
+// delay, and byte-accurate serialization cost, plus fault injection (loss,
+// duplication, reordering) used by the reliability experiments.
+//
+// Topology matches the paper's testbed (§5.1): every host connects to one
+// switch port by a 100 Gbps link. The switch forwards at line rate with a
+// fixed pipeline latency; its behaviour is supplied by a SwitchHandler (the
+// ASK program from internal/switchd, or a plain forwarder for baselines).
+//
+// Serialization is charged per frame as WireBytes·8/bandwidth on the sending
+// link, which reproduces the paper's goodput model: a data packet with x
+// 8-byte tuples costs 8x+78 bytes of wire time (§5.3).
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Frame is one packet in flight together with its byte accounting.
+type Frame struct {
+	Src, Dst core.HostID
+	Pkt      *wire.Packet
+	// WireBytes is the total on-wire cost including L1 framing.
+	WireBytes int
+	// GoodBytes is the application-payload portion, used for goodput
+	// metrics (e.g. 8 bytes per live tuple).
+	GoodBytes int
+}
+
+// HostHandler receives frames delivered to a host NIC.
+type HostHandler interface {
+	HandleFrame(f *Frame)
+}
+
+// SwitchFabric is the surface a switch program needs from its fabric: where
+// it is attached and how it emits frames toward hosts. *Network implements
+// it for the single-switch rack; TwoTier's per-TOR ports implement it for
+// the multi-rack deployment (§7).
+type SwitchFabric interface {
+	AttachSwitch(h SwitchHandler)
+	SwitchSend(f *Frame)
+}
+
+// HostFabric is the surface a host daemon needs from its fabric.
+type HostFabric interface {
+	AttachHost(id core.HostID, h HostHandler)
+	HostSend(f *Frame)
+	Uplink(id core.HostID) *Link
+}
+
+// SwitchHandler receives every frame entering the switch and drives
+// forwarding through the Network's SwitchSend/switch-side API.
+type SwitchHandler interface {
+	HandleIngress(f *Frame)
+}
+
+// Fault configures per-direction fault injection on a link.
+type Fault struct {
+	// LossProb is the probability a frame is silently dropped.
+	LossProb float64
+	// DupProb is the probability a frame is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a frame is delayed by an extra random
+	// amount up to ReorderDelay, letting later frames overtake it.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+}
+
+// LinkConfig describes one direction of a host-switch link.
+type LinkConfig struct {
+	// BandwidthBps is the line rate in bits per second.
+	BandwidthBps float64
+	// Propagation is the one-way propagation delay.
+	Propagation time.Duration
+	Fault       Fault
+}
+
+// DefaultLinkConfig returns the paper's 100 Gbps host links with a 1 µs
+// one-way propagation delay and no faults.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{BandwidthBps: 100e9, Propagation: time.Microsecond}
+}
+
+// LinkStats counts traffic on one link direction.
+type LinkStats struct {
+	TxFrames    int64
+	TxWireBytes int64
+	TxGoodBytes int64
+	Dropped     int64
+	Duplicated  int64
+	Reordered   int64
+}
+
+// Link is one direction of a point-to-point link.
+type Link struct {
+	sim       *sim.Simulation
+	cfg       LinkConfig
+	deliver   func(*Frame)
+	busyUntil sim.Time
+	// fracNs carries sub-nanosecond serialization debt so the long-run
+	// rate is exact despite integer-nanosecond timestamps.
+	fracNs float64
+	stats  LinkStats
+}
+
+func newLink(s *sim.Simulation, cfg LinkConfig, deliver func(*Frame)) *Link {
+	if cfg.BandwidthBps <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	return &Link{sim: s, cfg: cfg, deliver: deliver}
+}
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// NextFree returns the virtual time at which the transmitter finishes the
+// currently queued frames; senders can SleepUntil it to model NIC
+// backpressure instead of growing the queue without bound.
+func (l *Link) NextFree() sim.Time { return l.busyUntil }
+
+// Backlog returns how far ahead of now the transmitter is committed.
+func (l *Link) Backlog() time.Duration {
+	if l.busyUntil <= l.sim.Now() {
+		return 0
+	}
+	return l.busyUntil.Sub(l.sim.Now())
+}
+
+// serialize returns the wire time of n bytes at the link rate, carrying
+// sub-nanosecond remainders across calls.
+func (l *Link) serialize(n int) time.Duration {
+	total := float64(n*8)/l.cfg.BandwidthBps*1e9 + l.fracNs
+	d := time.Duration(total)
+	l.fracNs = total - float64(d)
+	return d
+}
+
+// Send enqueues f for transmission. The frame's packet is cloned at delivery
+// so receivers may mutate it freely without corrupting sender-side
+// retransmission buffers.
+func (l *Link) Send(f *Frame) {
+	now := l.sim.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start.Add(l.serialize(f.WireBytes))
+	l.busyUntil = done
+	l.stats.TxFrames++
+	l.stats.TxWireBytes += int64(f.WireBytes)
+	l.stats.TxGoodBytes += int64(f.GoodBytes)
+
+	rng := l.sim.Rand()
+	if l.cfg.Fault.LossProb > 0 && rng.Float64() < l.cfg.Fault.LossProb {
+		l.stats.Dropped++
+		return
+	}
+	copies := 1
+	if l.cfg.Fault.DupProb > 0 && rng.Float64() < l.cfg.Fault.DupProb {
+		l.stats.Duplicated++
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		arrive := done.Add(l.cfg.Propagation)
+		if l.cfg.Fault.ReorderProb > 0 && rng.Float64() < l.cfg.Fault.ReorderProb {
+			l.stats.Reordered++
+			extra := time.Duration(rng.Int63n(int64(l.cfg.Fault.ReorderDelay) + 1))
+			arrive = arrive.Add(extra)
+		}
+		g := &Frame{Src: f.Src, Dst: f.Dst, Pkt: f.Pkt.Clone(), WireBytes: f.WireBytes, GoodBytes: f.GoodBytes}
+		l.sim.At(arrive, func() { l.deliver(g) })
+	}
+}
+
+// port is the pair of directed links for one host.
+type port struct {
+	up   *Link // host -> switch
+	down *Link // switch -> host
+	host HostHandler
+}
+
+// Network is the single-switch fabric.
+type Network struct {
+	sim *sim.Simulation
+	// SwitchLatency is the fixed pipeline traversal latency applied to
+	// every frame entering the switch before the handler sees it.
+	SwitchLatency time.Duration
+	handler       SwitchHandler
+	ports         map[core.HostID]*port
+	defaultLink   LinkConfig
+}
+
+// New creates a network on s where every subsequently attached host gets a
+// link with the given configuration.
+func New(s *sim.Simulation, link LinkConfig) *Network {
+	return &Network{
+		sim:           s,
+		SwitchLatency: 800 * time.Nanosecond,
+		ports:         make(map[core.HostID]*port),
+		defaultLink:   link,
+	}
+}
+
+// Sim returns the simulation the network runs on.
+func (n *Network) Sim() *sim.Simulation { return n.sim }
+
+// AttachSwitch installs the switch program. Must be called before traffic.
+func (n *Network) AttachSwitch(h SwitchHandler) { n.handler = h }
+
+// AttachHost connects a host with the default link configuration.
+func (n *Network) AttachHost(id core.HostID, h HostHandler) {
+	n.AttachHostLink(id, h, n.defaultLink)
+}
+
+// AttachHostLink connects a host with a specific link configuration.
+func (n *Network) AttachHostLink(id core.HostID, h HostHandler, cfg LinkConfig) {
+	if _, dup := n.ports[id]; dup {
+		panic(fmt.Sprintf("netsim: host %d attached twice", id))
+	}
+	p := &port{host: h}
+	p.up = newLink(n.sim, cfg, func(f *Frame) {
+		if n.handler == nil {
+			panic("netsim: frame arrived with no switch attached")
+		}
+		n.sim.After(n.SwitchLatency, func() { n.handler.HandleIngress(f) })
+	})
+	p.down = newLink(n.sim, cfg, func(f *Frame) { p.host.HandleFrame(f) })
+	n.ports[id] = p
+}
+
+// HostSend transmits a frame from its Src host toward the switch.
+func (n *Network) HostSend(f *Frame) {
+	p, ok := n.ports[f.Src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: send from unattached host %d", f.Src))
+	}
+	p.up.Send(f)
+}
+
+// SwitchSend transmits a frame from the switch to f.Dst.
+func (n *Network) SwitchSend(f *Frame) {
+	p, ok := n.ports[f.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: send to unattached host %d", f.Dst))
+	}
+	p.down.Send(f)
+}
+
+// Uplink returns the host-to-switch link of a host (for stats/backpressure).
+func (n *Network) Uplink(id core.HostID) *Link { return n.ports[id].up }
+
+// Downlink returns the switch-to-host link of a host.
+func (n *Network) Downlink(id core.HostID) *Link { return n.ports[id].down }
+
+// Hosts returns the IDs of all attached hosts.
+func (n *Network) Hosts() []core.HostID {
+	ids := make([]core.HostID, 0, len(n.ports))
+	for id := range n.ports {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// ForwardingSwitch is a trivial SwitchHandler that forwards every frame to
+// its destination host — the "NoAggr" fabric used by baselines.
+type ForwardingSwitch struct{ Net *Network }
+
+// HandleIngress implements SwitchHandler.
+func (fs *ForwardingSwitch) HandleIngress(f *Frame) { fs.Net.SwitchSend(f) }

@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+type collector struct {
+	frames []*Frame
+	at     []sim.Time
+	s      *sim.Simulation
+}
+
+func (c *collector) HandleFrame(f *Frame) {
+	c.frames = append(c.frames, f)
+	c.at = append(c.at, c.s.Now())
+}
+
+func testNet(seed int64, cfg LinkConfig, hosts ...core.HostID) (*sim.Simulation, *Network, map[core.HostID]*collector) {
+	s := sim.New(seed)
+	n := New(s, cfg)
+	n.AttachSwitch(&ForwardingSwitch{Net: n})
+	cs := make(map[core.HostID]*collector)
+	for _, h := range hosts {
+		c := &collector{s: s}
+		cs[h] = c
+		n.AttachHost(h, c)
+	}
+	return s, n, cs
+}
+
+func frame(src, dst core.HostID, slots int) *Frame {
+	p := &wire.Packet{Type: wire.TypeData, Slots: make([]wire.Slot, slots)}
+	return &Frame{Src: src, Dst: dst, Pkt: p, WireBytes: p.WireBytes(4), GoodBytes: slots * 8}
+}
+
+func TestDeliveryAndLatency(t *testing.T) {
+	cfg := DefaultLinkConfig() // 100Gbps, 1µs propagation
+	s, n, cs := testNet(1, cfg, 1, 2)
+	f := frame(1, 2, 32) // 334 bytes on the wire
+	n.HostSend(f)
+	s.Run(0)
+	got := cs[2].frames
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(got))
+	}
+	// Expected latency: 2 serializations (uplink+downlink) + 2 propagation
+	// + switch latency. 334B at 100Gbps = 26.72ns each.
+	bw := 100e9
+	ser := time.Duration(float64(334*8) / bw * float64(time.Second))
+	want := sim.Time(0).Add(2*ser + 2*time.Microsecond + n.SwitchLatency)
+	if cs[2].at[0] != want {
+		t.Fatalf("arrival at %v, want %v", cs[2].at[0], want)
+	}
+}
+
+func TestSerializationThroughput(t *testing.T) {
+	// Sending N frames back-to-back must take N × serialization time:
+	// the link is the bottleneck and enforces line rate.
+	cfg := DefaultLinkConfig()
+	s, n, cs := testNet(1, cfg, 1, 2)
+	const N = 1000
+	for i := 0; i < N; i++ {
+		n.HostSend(frame(1, 2, 32))
+	}
+	serAll := n.Uplink(1).NextFree() // all frames queued at t=0, so the
+	// uplink is busy [0, serAll): total serialization time.
+	s.Run(0)
+	if len(cs[2].frames) != N {
+		t.Fatalf("delivered %d, want %d", len(cs[2].frames), N)
+	}
+	// Implied wire throughput ≈ 100Gbps on the uplink.
+	st := n.Uplink(1).Stats()
+	gbps := float64(st.TxWireBytes*8) / serAll.Seconds() / 1e9
+	if gbps < 99.99 || gbps > 100.01 {
+		t.Fatalf("uplink rate %.4f Gbps, want ~100", gbps)
+	}
+}
+
+func TestFIFOWithoutFaults(t *testing.T) {
+	s, n, cs := testNet(1, DefaultLinkConfig(), 1, 2)
+	for i := 0; i < 50; i++ {
+		f := frame(1, 2, 1)
+		f.Pkt.Seq = uint32(i)
+		n.HostSend(f)
+	}
+	s.Run(0)
+	for i, f := range cs[2].frames {
+		if f.Pkt.Seq != uint32(i) {
+			t.Fatalf("frame %d has seq %d: reordered without faults", i, f.Pkt.Seq)
+		}
+	}
+}
+
+func TestLoss(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cfg.Fault.LossProb = 0.3
+	s, n, cs := testNet(42, cfg, 1, 2)
+	const N = 5000
+	for i := 0; i < N; i++ {
+		n.HostSend(frame(1, 2, 1))
+	}
+	s.Run(0)
+	// Loss applies independently on uplink and downlink: P(delivered) ≈ 0.49.
+	got := float64(len(cs[2].frames)) / N
+	if got < 0.44 || got > 0.54 {
+		t.Fatalf("delivery rate %.3f, want ~0.49", got)
+	}
+	if n.Uplink(1).Stats().Dropped == 0 {
+		t.Fatal("no drops recorded")
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cfg.Fault.DupProb = 0.5
+	s, n, cs := testNet(7, cfg, 1, 2)
+	const N = 2000
+	for i := 0; i < N; i++ {
+		n.HostSend(frame(1, 2, 1))
+	}
+	s.Run(0)
+	// Each hop duplicates with p=0.5: E[copies] = 1.5² = 2.25.
+	ratio := float64(len(cs[2].frames)) / N
+	if ratio < 2.0 || ratio > 2.5 {
+		t.Fatalf("dup ratio %.3f, want ~2.25", ratio)
+	}
+}
+
+func TestReorder(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cfg.Fault.ReorderProb = 0.2
+	cfg.Fault.ReorderDelay = 50 * time.Microsecond
+	s, n, cs := testNet(3, cfg, 1, 2)
+	const N = 500
+	for i := 0; i < N; i++ {
+		f := frame(1, 2, 1)
+		f.Pkt.Seq = uint32(i)
+		n.HostSend(f)
+	}
+	s.Run(0)
+	if len(cs[2].frames) != N {
+		t.Fatalf("delivered %d, want %d (reorder must not lose)", len(cs[2].frames), N)
+	}
+	inversions := 0
+	for i := 1; i < len(cs[2].frames); i++ {
+		if cs[2].frames[i].Pkt.Seq < cs[2].frames[i-1].Pkt.Seq {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("no reordering observed")
+	}
+}
+
+func TestDeliveredFramesAreClones(t *testing.T) {
+	s, n, cs := testNet(1, DefaultLinkConfig(), 1, 2)
+	f := frame(1, 2, 4)
+	f.Pkt.Bitmap = wire.Bitmap(0).Set(0).Set(1)
+	n.HostSend(f)
+	s.Run(0)
+	got := cs[2].frames[0].Pkt
+	got.Bitmap = got.Bitmap.Clear(0)
+	got.Slots[0].Val = 999
+	if !f.Pkt.Bitmap.Test(0) || f.Pkt.Slots[0].Val == 999 {
+		t.Fatal("receiver mutation leaked into sender's packet")
+	}
+}
+
+func TestBackpressureSignals(t *testing.T) {
+	s, n, _ := testNet(1, DefaultLinkConfig(), 1, 2)
+	l := n.Uplink(1)
+	if l.Backlog() != 0 {
+		t.Fatal("idle link has backlog")
+	}
+	for i := 0; i < 100; i++ {
+		n.HostSend(frame(1, 2, 32))
+	}
+	if l.Backlog() == 0 {
+		t.Fatal("loaded link reports no backlog")
+	}
+	if l.NextFree() <= s.Now() {
+		t.Fatal("NextFree not in the future")
+	}
+	s.Run(0)
+}
+
+func TestPerHostLinkConfig(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultLinkConfig())
+	n.AttachSwitch(&ForwardingSwitch{Net: n})
+	slow := DefaultLinkConfig()
+	slow.BandwidthBps = 10e9
+	c1, c2 := &collector{s: s}, &collector{s: s}
+	n.AttachHostLink(1, c1, slow)
+	n.AttachHost(2, c2)
+	n.HostSend(frame(1, 2, 32))
+	s.Run(0)
+	if len(c2.frames) != 1 {
+		t.Fatal("frame not delivered across mixed-speed links")
+	}
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double attach did not panic")
+		}
+	}()
+	s := sim.New(1)
+	n := New(s, DefaultLinkConfig())
+	c := &collector{s: s}
+	n.AttachHost(1, c)
+	n.AttachHost(1, c)
+}
+
+func TestSendToUnattachedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send from unattached host did not panic")
+		}
+	}()
+	s := sim.New(1)
+	n := New(s, DefaultLinkConfig())
+	n.HostSend(frame(9, 2, 1))
+}

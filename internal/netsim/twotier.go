@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TwoTier is the multi-rack fabric of §7 (Deployment in Multi-rack
+// networks): R racks of hosts, each rack with its own top-of-rack switch
+// running an ASK program, all TORs connected to a core switch that only
+// forwards.
+//
+// Routing follows the paper's state-bounding rule: a TOR applies its switch
+// program only to traffic ENTERING from its own rack's hosts (its leaf
+// nodes, whose data-channel state it holds); traffic arriving from the core
+// bypasses the program and is delivered straight to the destination host.
+// Cross-rack aggregation therefore happens at the receiver host, while
+// rack-local traffic enjoys in-network aggregation at its TOR.
+type TwoTier struct {
+	sim *sim.Simulation
+	// SwitchLatency applies per switch traversal (TOR or core).
+	SwitchLatency time.Duration
+	racks         []*torPort
+	hostRack      map[core.HostID]int
+	hostPorts     map[core.HostID]*port
+	hostLink      LinkConfig
+	coreLink      LinkConfig
+}
+
+// torPort is one rack's TOR: the SwitchFabric its ASK program attaches to.
+type torPort struct {
+	tt      *TwoTier
+	rack    int
+	handler SwitchHandler
+	// up/down are the TOR↔core links.
+	up   *Link
+	down *Link
+}
+
+// NewTwoTier builds a fabric with the given number of racks. hostLink
+// configures host↔TOR links, coreLink the TOR↔core links (typically fatter).
+func NewTwoTier(s *sim.Simulation, racks int, hostLink, coreLink LinkConfig) *TwoTier {
+	if racks <= 0 {
+		panic("netsim: need at least one rack")
+	}
+	tt := &TwoTier{
+		sim:           s,
+		SwitchLatency: 800 * time.Nanosecond,
+		hostRack:      make(map[core.HostID]int),
+		hostPorts:     make(map[core.HostID]*port),
+		hostLink:      hostLink,
+		coreLink:      coreLink,
+	}
+	for r := 0; r < racks; r++ {
+		tp := &torPort{tt: tt, rack: r}
+		tp.up = newLink(s, coreLink, func(f *Frame) {
+			s.After(tt.SwitchLatency, func() { tt.coreForward(f) })
+		})
+		tp.down = newLink(s, coreLink, func(f *Frame) {
+			// From the core into the TOR: bypass the program (§7) and
+			// deliver to the local destination host.
+			s.After(tt.SwitchLatency, func() { tp.deliverLocal(f) })
+		})
+		tt.racks = append(tt.racks, tp)
+	}
+	return tt
+}
+
+// Racks returns the rack count.
+func (tt *TwoTier) Racks() int { return len(tt.racks) }
+
+// TOR returns rack r's switch attachment point (a SwitchFabric).
+func (tt *TwoTier) TOR(r int) SwitchFabric { return tt.racks[r] }
+
+// RackOf returns the rack a host lives in.
+func (tt *TwoTier) RackOf(id core.HostID) int { return tt.hostRack[id] }
+
+// AttachHostRack connects a host to rack r's TOR.
+func (tt *TwoTier) AttachHostRack(r int, id core.HostID, h HostHandler) {
+	if _, dup := tt.hostPorts[id]; dup {
+		panic(fmt.Sprintf("netsim: host %d attached twice", id))
+	}
+	if r < 0 || r >= len(tt.racks) {
+		panic(fmt.Sprintf("netsim: rack %d out of range", r))
+	}
+	tp := tt.racks[r]
+	p := &port{host: h}
+	p.up = newLink(tt.sim, tt.hostLink, func(f *Frame) {
+		tt.sim.After(tt.SwitchLatency, func() { tp.ingress(f) })
+	})
+	p.down = newLink(tt.sim, tt.hostLink, func(f *Frame) { p.host.HandleFrame(f) })
+	tt.hostPorts[id] = p
+	tt.hostRack[id] = r
+}
+
+// AttachHost implements HostFabric for single-rack convenience (rack 0).
+func (tt *TwoTier) AttachHost(id core.HostID, h HostHandler) { tt.AttachHostRack(0, id, h) }
+
+// HostSend transmits a frame from its Src host toward its rack's TOR.
+func (tt *TwoTier) HostSend(f *Frame) {
+	p, ok := tt.hostPorts[f.Src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: send from unattached host %d", f.Src))
+	}
+	p.up.Send(f)
+}
+
+// Uplink returns a host's uplink (for backpressure and stats).
+func (tt *TwoTier) Uplink(id core.HostID) *Link { return tt.hostPorts[id].up }
+
+// Downlink returns a host's downlink.
+func (tt *TwoTier) Downlink(id core.HostID) *Link { return tt.hostPorts[id].down }
+
+// CoreUplink returns rack r's TOR→core link (for stats).
+func (tt *TwoTier) CoreUplink(r int) *Link { return tt.racks[r].up }
+
+// coreForward routes a frame arriving at the core toward its rack.
+func (tt *TwoTier) coreForward(f *Frame) {
+	r, ok := tt.hostRack[f.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: core routing to unattached host %d", f.Dst))
+	}
+	tt.racks[r].down.Send(f)
+}
+
+// ingress runs rack-local traffic through the TOR's switch program.
+func (tp *torPort) ingress(f *Frame) {
+	if tp.handler == nil {
+		panic(fmt.Sprintf("netsim: rack %d TOR has no switch attached", tp.rack))
+	}
+	tp.handler.HandleIngress(f)
+}
+
+// deliverLocal hands a frame from the core to the destination host in this
+// rack.
+func (tp *torPort) deliverLocal(f *Frame) {
+	p, ok := tp.tt.hostPorts[f.Dst]
+	if !ok || tp.tt.hostRack[f.Dst] != tp.rack {
+		panic(fmt.Sprintf("netsim: rack %d asked to deliver to foreign host %d", tp.rack, f.Dst))
+	}
+	p.down.Send(f)
+}
+
+// AttachSwitch implements SwitchFabric for the TOR.
+func (tp *torPort) AttachSwitch(h SwitchHandler) { tp.handler = h }
+
+// SwitchSend implements SwitchFabric: the TOR's program emits a frame,
+// which goes to a local host directly or over the core to a remote rack.
+func (tp *torPort) SwitchSend(f *Frame) {
+	r, ok := tp.tt.hostRack[f.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: TOR %d sending to unattached host %d", tp.rack, f.Dst))
+	}
+	if r == tp.rack {
+		tp.tt.hostPorts[f.Dst].down.Send(f)
+		return
+	}
+	tp.up.Send(f)
+}

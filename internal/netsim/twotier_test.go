@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// recordingTOR counts frames its program sees and forwards them.
+type recordingTOR struct {
+	fab  SwitchFabric
+	seen int
+}
+
+func (r *recordingTOR) HandleIngress(f *Frame) {
+	r.seen++
+	r.fab.SwitchSend(f)
+}
+
+func buildTwoTier(t *testing.T, seed int64) (*sim.Simulation, *TwoTier, map[core.HostID]*collector, []*recordingTOR) {
+	t.Helper()
+	s := sim.New(seed)
+	core100 := DefaultLinkConfig()
+	tt := NewTwoTier(s, 2, DefaultLinkConfig(), core100)
+	tors := make([]*recordingTOR, 2)
+	for r := 0; r < 2; r++ {
+		tor := &recordingTOR{fab: tt.TOR(r)}
+		tt.TOR(r).AttachSwitch(tor)
+		tors[r] = tor
+	}
+	// Hosts 0,1 in rack 0; hosts 2,3 in rack 1.
+	cs := make(map[core.HostID]*collector)
+	for h := core.HostID(0); h < 4; h++ {
+		c := &collector{s: s}
+		cs[h] = c
+		tt.AttachHostRack(int(h)/2, h, c)
+	}
+	return s, tt, cs, tors
+}
+
+func TestTwoTierIntraRack(t *testing.T) {
+	s, tt, cs, tors := buildTwoTier(t, 1)
+	f := frame(0, 1, 4)
+	tt.HostSend(f)
+	s.Run(0)
+	if len(cs[1].frames) != 1 {
+		t.Fatalf("intra-rack frame not delivered")
+	}
+	if tors[0].seen != 1 || tors[1].seen != 0 {
+		t.Fatalf("TOR programs saw %d/%d frames, want 1/0", tors[0].seen, tors[1].seen)
+	}
+}
+
+func TestTwoTierCrossRackBypassesRemoteTOR(t *testing.T) {
+	s, tt, cs, tors := buildTwoTier(t, 1)
+	tt.HostSend(frame(0, 3, 4)) // rack 0 → rack 1
+	s.Run(0)
+	if len(cs[3].frames) != 1 {
+		t.Fatal("cross-rack frame not delivered")
+	}
+	// §7: only the sender's TOR runs the program; the receiver's TOR is
+	// bypassed for traffic arriving from the core.
+	if tors[0].seen != 1 {
+		t.Fatalf("sender TOR saw %d frames, want 1", tors[0].seen)
+	}
+	if tors[1].seen != 0 {
+		t.Fatalf("receiver TOR program saw %d frames, want 0 (bypass)", tors[1].seen)
+	}
+}
+
+func TestTwoTierCrossRackLatency(t *testing.T) {
+	s, tt, cs, _ := buildTwoTier(t, 1)
+	tt.HostSend(frame(0, 3, 32)) // 334 B
+	s.Run(0)
+	// Path: host ser + prop, TOR latency, TOR→core ser + prop, core
+	// latency, core→TOR ser + prop, TOR latency, TOR→host ser + prop.
+	bw := 100e9
+	ser := time.Duration(float64(334*8) / bw * float64(time.Second))
+	want := sim.Time(0).Add(4*ser + 4*time.Microsecond + 3*tt.SwitchLatency)
+	if got := cs[3].at[0]; got != want {
+		t.Fatalf("arrival %v, want %v", got, want)
+	}
+}
+
+func TestTwoTierHostLookups(t *testing.T) {
+	_, tt, _, _ := buildTwoTier(t, 1)
+	if tt.Racks() != 2 {
+		t.Fatalf("Racks = %d", tt.Racks())
+	}
+	if tt.RackOf(0) != 0 || tt.RackOf(3) != 1 {
+		t.Fatal("RackOf wrong")
+	}
+	if tt.Uplink(2) == nil || tt.Downlink(2) == nil || tt.CoreUplink(1) == nil {
+		t.Fatal("link accessors nil")
+	}
+}
+
+func TestTwoTierPanicsOnMisuse(t *testing.T) {
+	s := sim.New(1)
+	tt := NewTwoTier(s, 1, DefaultLinkConfig(), DefaultLinkConfig())
+	c := &collector{s: s}
+	tt.AttachHostRack(0, 1, c)
+	for name, fn := range map[string]func(){
+		"double attach":   func() { tt.AttachHostRack(0, 1, c) },
+		"bad rack":        func() { tt.AttachHostRack(5, 2, c) },
+		"unattached send": func() { tt.HostSend(frame(9, 1, 1)) },
+		"zero racks":      func() { NewTwoTier(s, 0, DefaultLinkConfig(), DefaultLinkConfig()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTwoTierCoreBottleneck(t *testing.T) {
+	// Cross-rack flows share the TOR→core uplink: its stats must account
+	// every cross-rack frame and no intra-rack ones.
+	s, tt, _, _ := buildTwoTier(t, 1)
+	for i := 0; i < 50; i++ {
+		tt.HostSend(frame(0, 3, 32)) // cross
+		tt.HostSend(frame(0, 1, 32)) // intra
+	}
+	s.Run(0)
+	if got := tt.CoreUplink(0).Stats().TxFrames; got != 50 {
+		t.Fatalf("core uplink carried %d frames, want 50", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Everything in this repository — the network fabric, the PISA switch model,
+// host daemons, and the application baselines — runs on virtual time managed
+// by a Simulation. Events are executed in strictly non-decreasing time order,
+// with FIFO ordering among events scheduled for the same instant, so a run is
+// fully reproducible given the same seed.
+//
+// Two programming styles are supported:
+//
+//   - Callback style: schedule closures with At/After and build state
+//     machines (used by the network and switch models).
+//   - Process style: Spawn a goroutine-backed Proc that can Sleep, wait on
+//     Signals, and acquire Resources, which reads like straight-line code
+//     (used by host threads, mappers, reducers, and trainers).
+//
+// Only one goroutine executes simulation logic at any moment; the kernel
+// hands control back and forth between the event loop and at most one parked
+// process, so no locking is required in model code.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations re-exported for convenience when scheduling.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats the time as a duration since the start of the run.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a single scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among same-time events
+	fn   func()
+	idx  int // heap index, -1 when popped or cancelled
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulation is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; call New.
+type Simulation struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	running bool
+	stopped bool
+
+	// current non-nil while the loop is inside an event callback; used to
+	// catch illegal blocking calls from plain callbacks.
+	inProc *Proc
+}
+
+// New returns a Simulation whose random source is seeded with seed.
+func New(seed int64) *Simulation {
+	return &Simulation{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. Model code must
+// use this source (never the global one) so runs stay reproducible.
+func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct{ e *event }
+
+// Stop cancels the timer. It reports whether the callback was still pending.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t Timer) Stop() bool {
+	if t.e == nil || t.e.dead || t.e.idx < 0 {
+		return false
+	}
+	t.e.dead = true
+	return true
+}
+
+// Pending reports whether the timer's callback has not yet run or been stopped.
+func (t Timer) Pending() bool { return t.e != nil && !t.e.dead && t.e.idx >= 0 }
+
+// At schedules fn to run at time t. Scheduling in the past is an error;
+// scheduling at the current time runs fn after all previously scheduled
+// events for this instant.
+func (s *Simulation) At(t Time, fn func()) Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return Timer{e}
+}
+
+// After schedules fn to run d from now.
+func (s *Simulation) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty, Stop is called, or the
+// virtual clock would pass limit (limit <= 0 means no limit). It returns the
+// virtual time at which the run ended.
+func (s *Simulation) Run(limit Time) Time {
+	if s.running {
+		panic("sim: Run called re-entrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		e := s.events[0]
+		if e.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if limit > 0 && e.at > limit {
+			s.now = limit
+			return s.now
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// RunFor runs the simulation for at most d of virtual time from now.
+func (s *Simulation) RunFor(d time.Duration) Time { return s.Run(s.now.Add(d)) }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (s *Simulation) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package streaming
+
+// Unit tests against a fake Service; the real end-to-end windowing over a
+// cluster is tested in the ask package.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// fakeService records submissions and aggregates each window inline.
+type fakeService struct {
+	specs    []core.TaskSpec
+	pendings []*fakePending
+	failAt   int // task index whose Start fails (-1: never)
+	ran      bool
+}
+
+type fakePending struct {
+	res core.Result
+	err error
+}
+
+func (fp *fakePending) Result() (core.Result, sim.Time, error) {
+	return fp.res, sim.Time(1), fp.err
+}
+
+func (fs *fakeService) Start(spec core.TaskSpec, streams map[core.HostID]core.Stream) (Pending, error) {
+	if fs.failAt == len(fs.specs) {
+		return nil, errors.New("synthetic start failure")
+	}
+	fs.specs = append(fs.specs, spec)
+	res := make(core.Result)
+	for _, s := range streams {
+		for {
+			kv, ok := s()
+			if !ok {
+				break
+			}
+			res.MergeKV(kv, spec.Op)
+		}
+	}
+	fp := &fakePending{res: res}
+	fs.pendings = append(fs.pendings, fp)
+	return fp, nil
+}
+
+func (fs *fakeService) Run() { fs.ran = true }
+
+func kvStream(n int, prefix string) core.Stream {
+	kvs := make([]core.KV, n)
+	for i := range kvs {
+		kvs[i] = core.KV{Key: fmt.Sprintf("%s%d", prefix, i%5), Val: 1}
+	}
+	return core.SliceStream(kvs)
+}
+
+func TestRunWindowsPartitionStreams(t *testing.T) {
+	fs := &fakeService{failAt: -1}
+	results, err := Run(fs, Config{
+		Receiver: 0, Sources: []core.HostID{1, 2},
+		WindowTuples: 10, Windows: 3, Op: core.OpSum, BaseTask: 50, Rows: 7,
+	}, map[core.HostID]core.Stream{1: kvStream(30, "a"), 2: kvStream(30, "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.ran {
+		t.Fatal("service never ran")
+	}
+	if len(results) != 3 || len(fs.specs) != 3 {
+		t.Fatalf("windows = %d/%d", len(results), len(fs.specs))
+	}
+	for w, spec := range fs.specs {
+		if spec.ID != core.TaskID(50+w) || spec.Rows != 7 || spec.Receiver != 0 {
+			t.Fatalf("window %d spec = %+v", w, spec)
+		}
+	}
+	// Each window holds exactly 10 tuples per source: 4 keys ×2 + ... the
+	// totals per window must be 20.
+	for w, res := range results {
+		var total int64
+		for _, v := range res.Result {
+			total += v
+		}
+		if total != 20 {
+			t.Fatalf("window %d total = %d, want 20", w, total)
+		}
+		if res.Index != w {
+			t.Fatalf("window %d index = %d", w, res.Index)
+		}
+	}
+}
+
+func TestRunStartFailure(t *testing.T) {
+	fs := &fakeService{failAt: 1}
+	_, err := Run(fs, Config{
+		Receiver: 0, Sources: []core.HostID{1},
+		WindowTuples: 5, Windows: 3, BaseTask: 1,
+	}, map[core.HostID]core.Stream{1: kvStream(100, "x")})
+	if err == nil {
+		t.Fatal("start failure not surfaced")
+	}
+}
+
+// poisoningService fails a window at resolution time (after Run), the way
+// a region-allocation error surfaces from a real cluster.
+type poisoningService struct {
+	fakeService
+	poison int
+}
+
+func (ps *poisoningService) Run() {
+	ps.fakeService.Run()
+	ps.pendings[ps.poison].err = errors.New("synthetic window failure")
+}
+
+func TestRunPendingFailure(t *testing.T) {
+	ps := &poisoningService{fakeService: fakeService{failAt: -1}, poison: 1}
+	_, err := Run(ps, Config{
+		Receiver: 0, Sources: []core.HostID{1},
+		WindowTuples: 5, Windows: 2, BaseTask: 1,
+	}, map[core.HostID]core.Stream{1: kvStream(100, "x")})
+	if err == nil {
+		t.Fatal("window failure not surfaced")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	fs := &fakeService{failAt: -1}
+	bad := []Config{
+		{Sources: []core.HostID{1}, WindowTuples: 0, Windows: 1},
+		{Sources: []core.HostID{1}, WindowTuples: 1, Windows: 0},
+		{Sources: nil, WindowTuples: 1, Windows: 1},
+		{Sources: []core.HostID{1}, WindowTuples: 1, Windows: 1}, // missing stream
+	}
+	for i, cfg := range bad {
+		if _, err := Run(fs, cfg, nil); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTakeBoundsAndPartition(t *testing.T) {
+	s := kvStream(7, "k")
+	w1 := core.Collect(take(s, 3))
+	w2 := core.Collect(take(s, 3))
+	w3 := core.Collect(take(s, 3))
+	if len(w1) != 3 || len(w2) != 3 || len(w3) != 1 {
+		t.Fatalf("window sizes %d/%d/%d", len(w1), len(w2), len(w3))
+	}
+}

@@ -1,0 +1,277 @@
+package switchd
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/window"
+	"repro/internal/wire"
+)
+
+// HandleIngress implements netsim.SwitchHandler: the switch's per-packet
+// entry point.
+func (sw *Switch) HandleIngress(f *netsim.Frame) {
+	switch f.Pkt.Type {
+	case wire.TypeData, wire.TypeLongKey, wire.TypeFin:
+		sw.processFlowPacket(f)
+	case wire.TypeSwap:
+		sw.processSwap(f)
+	case wire.TypeFetch:
+		sw.processFetch(f)
+	case wire.TypeAck, wire.TypeCtrl, wire.TypeFetchReply:
+		sw.forward(f)
+	default:
+		panic(fmt.Sprintf("switchd: unknown packet type %v", f.Pkt.Type))
+	}
+}
+
+func (sw *Switch) forward(f *netsim.Frame) {
+	sw.stats.Forwarded++
+	sw.net.SwitchSend(f)
+}
+
+// processFlowPacket runs the ASK pipeline for a sequenced flow packet
+// (data, long-key, or FIN): the reliability stages always run; the AA
+// stages run only for fresh data packets of tasks with a live region.
+func (sw *Switch) processFlowPacket(f *netsim.Frame) {
+	pkt := f.Pkt
+	fi, registered := sw.flows[pkt.Flow]
+	if !registered {
+		// Unregistered flows get best-effort forwarding with no switch
+		// reliability state; the host receiver still deduplicates.
+		sw.stats.UnregisteredFwd++
+		sw.forward(f)
+		return
+	}
+	region := sw.regions[pkt.Task]
+	w := uint32(sw.cfg.Window)
+
+	ps := sw.pipe.Begin()
+
+	// Stage 0: max_seq — advance and classify staleness (§3.3 corner case).
+	stale := sw.raMaxSeq.RMW(ps, fi, func(cur uint64) (uint64, uint64) {
+		cur32 := uint32(cur)
+		if window.SeqLess(cur32, pkt.Seq) {
+			return uint64(pkt.Seq), 0
+		}
+		if cur32-pkt.Seq >= w {
+			return cur, 1
+		}
+		return cur, 0
+	}) == 1
+	if stale {
+		sw.stats.StaleDropped++
+		return
+	}
+
+	// Stage 1: copy indicator (data packets of live regions) and seen.
+	copyIdx := 0
+	if region != nil && pkt.Type == wire.TypeData {
+		copyIdx = int(sw.raCopyInd.RMW(ps, region.idx, func(cur uint64) (uint64, uint64) {
+			return cur, cur
+		}))
+	}
+	odd := (pkt.Seq/w)&1 == 1
+	observed := sw.raSeen.RMW(ps, fi*sw.cfg.Window+int(pkt.Seq%w), func(cur uint64) (uint64, uint64) {
+		next, obs := window.SeenUpdate(cur, odd)
+		if obs {
+			return next, 1
+		}
+		return next, 0
+	}) == 1
+
+	// Stages 2..9: vectorized aggregation for fresh data packets.
+	if pkt.Type == wire.TypeData && !observed && region != nil {
+		sw.aggregate(ps, pkt, region, copyIdx)
+	}
+	if pkt.Type == wire.TypeData && !observed {
+		ts := sw.taskStats(pkt.Task)
+		ts.DataPackets++
+	}
+
+	// Stage 10: PktState — record on first appearance, restore on
+	// retransmission (Eq. 9–10).
+	psIdx := fi*sw.cfg.Window + int(pkt.Seq%w)
+	if !observed {
+		sw.raPktState.RMW(ps, psIdx, func(cur uint64) (uint64, uint64) {
+			return uint64(pkt.Bitmap), 0
+		})
+	} else {
+		sw.stats.DupPackets++
+		restored := sw.raPktState.RMW(ps, psIdx, func(cur uint64) (uint64, uint64) {
+			return cur, cur
+		})
+		if pkt.Type == wire.TypeData {
+			pkt.Bitmap = wire.Bitmap(restored)
+		}
+	}
+
+	// Egress: a data packet whose tuples were all consumed is dropped and
+	// acknowledged to the sender; anything else continues to the receiver.
+	if pkt.Type == wire.TypeData && pkt.Bitmap.Empty() {
+		sw.taskStats(pkt.Task).AckedPackets++
+		sw.sendAck(f, pkt)
+		return
+	}
+	sw.taskStats(pkt.Task).ForwardedPackets++
+	sw.forward(f)
+}
+
+// aggregate runs the AA stages for one packet: each logical tuple unit
+// (short slot or medium group) is matched against its AA(s); consumed
+// tuples have their bitmap bits cleared (§3.2.1).
+func (sw *Switch) aggregate(ps *pisaPass, pkt *wire.Packet, region *Region, copyIdx int) {
+	ts := sw.taskStats(pkt.Task)
+	rowBase := region.Lo + copyIdx*region.CopyRows
+	if region.Copies == 1 {
+		rowBase = region.Lo
+	}
+
+	// Short slots: one AA each.
+	shortSlots := sw.layout.ShortSlots()
+	for i := 0; i < shortSlots && i < len(pkt.Slots); i++ {
+		if !pkt.Bitmap.Test(i) {
+			continue
+		}
+		ts.TuplesIn++
+		row := rowBase + int(rowHash(pkt.Slots[i].KPart)%uint64(region.CopyRows))
+		if sw.slotRMW(ps, sw.raAAs[i], row, pkt.Slots[i], region.Op, true) {
+			pkt.Bitmap = pkt.Bitmap.Clear(i)
+			ts.TuplesAggregated++
+		} else {
+			ts.TuplesConflicted++
+		}
+	}
+
+	// Medium groups: m adjacent AAs with a unified row index. The value
+	// rides in the last member; earlier members carry (segment, 0).
+	m := sw.cfg.MediumSegs
+	for g := 0; g < sw.cfg.MediumGroups; g++ {
+		first := shortSlots + g*m
+		if first >= len(pkt.Slots) {
+			break
+		}
+		if !pkt.Bitmap.Test(first) {
+			continue
+		}
+		ts.TuplesIn++
+		kparts := make([]uint64, m)
+		for j := 0; j < m; j++ {
+			kparts[j] = pkt.Slots[first+j].KPart
+		}
+		row := rowBase + int(rowHash(kparts...)%uint64(region.CopyRows))
+		ok := true
+		for j := 0; j < m; j++ {
+			slot := pkt.Slots[first+j]
+			last := j == m-1
+			// Members after a failed one are skipped; by the pairing
+			// invariant a group either fully matches/reserves or fails at
+			// its first conflicting member without partial writes.
+			if ok {
+				ok = sw.slotRMW(ps, sw.raAAs[first+j], row, slot, region.Op, last)
+			}
+		}
+		if ok {
+			for j := 0; j < m; j++ {
+				pkt.Bitmap = pkt.Bitmap.Clear(first + j)
+			}
+			ts.TuplesAggregated++
+		} else {
+			ts.TuplesConflicted++
+		}
+	}
+}
+
+// slotRMW performs one aggregator register action: match-or-reserve the key
+// part, and fold the value if applyVal. It reports success.
+func (sw *Switch) slotRMW(ps *pisaPass, aa *pisaArray, row int, slot wire.Slot, op core.Op, applyVal bool) bool {
+	kp := sw.kPartN(slot.KPart)
+	n := uint(8 * sw.cfg.KPartBytes)
+	ok := aa.RMW(ps, row, func(cur uint64) (uint64, uint64) {
+		curKP := cur >> n
+		curV := cur & sw.nMask()
+		switch {
+		case curKP == 0: // blank: reserve
+			v := uint64(0)
+			if applyVal {
+				v = sw.encodeVal(op.Apply(op.Identity(), slot.Val))
+			}
+			return kp<<n | v, 1
+		case curKP == kp: // match: fold
+			v := curV
+			if applyVal {
+				v = sw.encodeVal(op.Apply(sw.decodeVal(curV), slot.Val))
+			}
+			return kp<<n | v, 1
+		default: // conflict
+			return cur, 0
+		}
+	})
+	return ok == 1
+}
+
+// sendAck emits a switch-generated ACK back to the packet's sender with the
+// same sequence number (§3.2.1).
+func (sw *Switch) sendAck(f *netsim.Frame, pkt *wire.Packet) {
+	ack := &wire.Packet{
+		Type:   wire.TypeAck,
+		AckFor: pkt.Type,
+		Task:   pkt.Task,
+		Flow:   pkt.Flow,
+		Seq:    pkt.Seq,
+	}
+	sw.stats.SwitchAcks++
+	sw.net.SwitchSend(&netsim.Frame{
+		Src:       f.Dst, // on behalf of the receiver's address
+		Dst:       pkt.Flow.Host,
+		Pkt:       ack,
+		WireBytes: ack.WireBytes(sw.cfg.KPartBytes),
+	})
+}
+
+// processSwap flips a region's copy indicator exactly once per swap sequence
+// number (§3.4 Switch()) and acknowledges the receiver.
+func (sw *Switch) processSwap(f *netsim.Frame) {
+	pkt := f.Pkt
+	region := sw.regions[pkt.Task]
+	if region != nil {
+		ps := sw.pipe.Begin()
+		// Stage 0: swap_seq decides whether this notification is new.
+		fresh := sw.raSwapSeq.RMW(ps, region.idx, func(cur uint64) (uint64, uint64) {
+			if uint32(cur)+1 == pkt.Seq {
+				return uint64(pkt.Seq), 1
+			}
+			return cur, 0
+		}) == 1
+		// Stage 1: conditional atomic flip of the copy indicator.
+		if fresh {
+			sw.raCopyInd.RMW(ps, region.idx, func(cur uint64) (uint64, uint64) {
+				return cur ^ 1, 0
+			})
+			sw.stats.Swaps++
+		}
+	}
+	ack := &wire.Packet{
+		Type:   wire.TypeAck,
+		AckFor: wire.TypeSwap,
+		Task:   pkt.Task,
+		Flow:   pkt.Flow,
+		Seq:    pkt.Seq,
+	}
+	sw.net.SwitchSend(&netsim.Frame{
+		Src:       f.Dst,
+		Dst:       f.Src,
+		Pkt:       ack,
+		WireBytes: ack.WireBytes(sw.cfg.KPartBytes),
+	})
+}
+
+// ActiveCopy returns the region's current write copy (for tests).
+func (sw *Switch) ActiveCopy(task core.TaskID) int {
+	r := sw.regions[task]
+	if r == nil {
+		return -1
+	}
+	return int(sw.raCopyInd.ControlRead(r.idx))
+}

@@ -1,0 +1,64 @@
+package switchd
+
+import "repro/internal/core"
+
+// Stats are switch-global counters.
+type Stats struct {
+	Forwarded       int64 // frames forwarded toward a host
+	UnregisteredFwd int64 // flow packets forwarded without reliability state
+	StaleDropped    int64 // packets outside the live window, dropped silently
+	DupPackets      int64 // retransmissions identified by seen
+	SwitchAcks      int64 // ACKs generated for fully aggregated packets
+	Swaps           int64 // shadow-copy flips applied
+	Fetches         int64 // fetch requests served
+	Clears          int64 // clear requests served
+}
+
+// TaskStats are per-task aggregation counters, the source of Table 1 and
+// Fig. 9.
+type TaskStats struct {
+	// TuplesIn counts live tuples in fresh data packets entering the AAs.
+	TuplesIn int64
+	// TuplesAggregated counts tuples consumed by switch aggregators.
+	TuplesAggregated int64
+	// TuplesConflicted counts tuples forwarded after an aggregator conflict.
+	TuplesConflicted int64
+	// DataPackets counts fresh data packets of the task.
+	DataPackets int64
+	// AckedPackets counts data packets fully absorbed (switch-ACKed).
+	AckedPackets int64
+	// ForwardedPackets counts data packets forwarded to the receiver.
+	ForwardedPackets int64
+}
+
+// AggregatedTupleRatio is Table 1's first row: aggregated/incoming tuples.
+func (t *TaskStats) AggregatedTupleRatio() float64 {
+	if t.TuplesIn == 0 {
+		return 0
+	}
+	return float64(t.TuplesAggregated) / float64(t.TuplesIn)
+}
+
+// AckedPacketRatio is Table 1's second row: switch-ACKed/total data packets.
+func (t *TaskStats) AckedPacketRatio() float64 {
+	if t.DataPackets == 0 {
+		return 0
+	}
+	return float64(t.AckedPackets) / float64(t.DataPackets)
+}
+
+// Stats returns a copy of the switch-global counters.
+func (sw *Switch) Stats() Stats { return sw.stats }
+
+// TaskStatsOf returns the live per-task counters (shared pointer; callers
+// read after the task quiesces). Unknown tasks return an empty stats object.
+func (sw *Switch) TaskStatsOf(task core.TaskID) *TaskStats { return sw.taskStats(task) }
+
+func (sw *Switch) taskStats(task core.TaskID) *TaskStats {
+	ts, ok := sw.tasks[task]
+	if !ok {
+		ts = &TaskStats{}
+		sw.tasks[task] = ts
+	}
+	return ts
+}

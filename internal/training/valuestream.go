@@ -1,0 +1,80 @@
+package training
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Value-stream adapter (§2.1.3, §5.6): value streams are a special case of
+// key-value streams where the element index is the key, so a gradient
+// tensor can be pushed through ASK's generic asynchronous path unchanged.
+// Indices are encoded as 4 NUL-free bytes so they classify as short keys
+// and ride the switch aggregators; every worker uses the same encoding, so
+// the sender-assisted addressing (§3.2.2) lines the same index up on the
+// same aggregator across workers.
+
+// MaxTensorLen is the largest addressable tensor: four base-255 digits.
+const MaxTensorLen = 255 * 255 * 255 * 255
+
+// IndexKey encodes a tensor element index as a 4-byte NUL-free short key
+// (base-255, offset by one). idx must be below MaxTensorLen (4.2 G
+// elements — larger tensors are chunked by the plugin).
+func IndexKey(idx uint32) string {
+	if idx >= MaxTensorLen {
+		panic(fmt.Sprintf("training: tensor index %d exceeds MaxTensorLen", idx))
+	}
+	var b [4]byte
+	for i := 3; i >= 0; i-- {
+		b[i] = byte(idx%255) + 1
+		idx /= 255
+	}
+	return string(b[:])
+}
+
+// ParseIndexKey reverses IndexKey.
+func ParseIndexKey(key string) (uint32, error) {
+	if len(key) != 4 {
+		return 0, fmt.Errorf("training: index key %q is not 4 bytes", key)
+	}
+	var idx uint32
+	for i := 0; i < 4; i++ {
+		d := key[i]
+		if d == 0 {
+			return 0, fmt.Errorf("training: index key %q has a NUL digit", key)
+		}
+		idx = idx*255 + uint32(d-1)
+	}
+	return idx, nil
+}
+
+// TensorStream yields the (index, value) tuples of a gradient tensor.
+func TensorStream(tensor []int64) core.Stream {
+	i := 0
+	return func() (core.KV, bool) {
+		if i >= len(tensor) {
+			return core.KV{}, false
+		}
+		kv := core.KV{Key: IndexKey(uint32(i)), Val: tensor[i]}
+		i++
+		return kv, true
+	}
+}
+
+// DecodeTensor reconstructs an aggregated tensor of length n from an ASK
+// result. Missing indices decode to zero (a zero gradient never leaves the
+// identity at the aggregator).
+func DecodeTensor(res core.Result, n int) ([]int64, error) {
+	out := make([]int64, n)
+	for k, v := range res {
+		idx, err := ParseIndexKey(k)
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= n {
+			return nil, fmt.Errorf("training: index %d out of tensor bounds %d", idx, n)
+		}
+		out[idx] = v
+	}
+	return out, nil
+}

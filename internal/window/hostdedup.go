@@ -1,0 +1,73 @@
+package window
+
+// HostDedup is the host receiver's receive window. Unlike the switch, a
+// host receiver does not necessarily observe every sequence number of a flow:
+// a persistent data channel serves many tasks, and consecutive tasks may have
+// different receivers, so each receiver sees only a subset of the flow's
+// sequence space. The compact seen's parity alternation requires observing
+// every sequence, so hosts — which have plentiful memory — instead keep an
+// exact set of the sequences seen inside the live window (at most W entries),
+// guarded by the same max_seq staleness rule.
+//
+// Safety of the stale verdict: the sender never has more than W packets in
+// flight, so any packet that still needs processing satisfies
+// seq > maxSeqGlobal − W ≥ maxSeqLocal − W and is never classified stale.
+type HostDedup struct {
+	w      uint32
+	guard  *StaleGuard
+	inWin  map[uint32]struct{}
+	pruned uint32 // all seqs <= pruned (serially) are evicted
+	primed bool
+}
+
+// NewHostDedup returns host-side dedup state for window size w.
+func NewHostDedup(w int) *HostDedup {
+	if w <= 0 {
+		panic("window: size must be positive")
+	}
+	return &HostDedup{w: uint32(w), guard: NewStaleGuard(w), inWin: make(map[uint32]struct{})}
+}
+
+// Observe classifies seq and updates the state.
+func (h *HostDedup) Observe(seq uint32) Verdict {
+	if h.guard.Check(seq) {
+		return Stale
+	}
+	if _, dup := h.inWin[seq]; dup {
+		return Duplicate
+	}
+	h.inWin[seq] = struct{}{}
+	h.prune()
+	return Fresh
+}
+
+// prune evicts sequences that fell out of the live window, bounding memory
+// at W entries. Eviction walks forward from the last pruned point so the
+// total work is O(1) amortized per observation.
+func (h *HostDedup) prune() {
+	max := h.guard.MaxSeq()
+	floor := max - h.w // everything <= floor is stale now
+	if !h.primed {
+		h.primed = true
+		h.pruned = floor
+		return
+	}
+	if floor-h.pruned > 2*h.w {
+		// The flow jumped far ahead (this receiver saw only a subset of the
+		// sequence space); sweep the ≤W-entry map instead of walking the gap.
+		for s := range h.inWin {
+			if !SeqLess(floor, s) { // s <= floor
+				delete(h.inWin, s)
+			}
+		}
+		h.pruned = floor
+		return
+	}
+	for SeqLess(h.pruned, floor) {
+		h.pruned++
+		delete(h.inWin, h.pruned)
+	}
+}
+
+// Len returns the number of tracked in-window sequences (for tests).
+func (h *HostDedup) Len() int { return len(h.inWin) }

@@ -1,0 +1,110 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHostDedupBasics(t *testing.T) {
+	h := NewHostDedup(8)
+	if v := h.Observe(100); v != Fresh {
+		t.Fatalf("first = %v", v)
+	}
+	if v := h.Observe(100); v != Duplicate {
+		t.Fatalf("repeat = %v", v)
+	}
+	if v := h.Observe(120); v != Fresh {
+		t.Fatalf("jump = %v", v)
+	}
+	if v := h.Observe(100); v != Stale {
+		t.Fatalf("old = %v", v)
+	}
+}
+
+func TestHostDedupSubsetFlows(t *testing.T) {
+	// A receiver that sees only a sparse subset of the flow's sequence
+	// space (channels multiplex tasks across receivers) must still classify
+	// correctly — this is where the compact seen cannot be used host-side.
+	h := NewHostDedup(16)
+	seqs := []uint32{5, 21, 37, 1000, 1003, 1001} // huge gaps, odd parities
+	for _, s := range seqs[:3] {
+		if v := h.Observe(s); s == 5 && v != Fresh {
+			t.Fatalf("seq %d = %v", s, v)
+		}
+	}
+	for _, s := range seqs[3:] {
+		if v := h.Observe(s); v != Fresh {
+			t.Fatalf("seq %d = %v, want fresh", s, v)
+		}
+	}
+	if v := h.Observe(1003); v != Duplicate {
+		t.Fatalf("1003 repeat = %v", v)
+	}
+}
+
+func TestHostDedupMemoryBounded(t *testing.T) {
+	h := NewHostDedup(64)
+	for i := uint32(0); i < 100000; i++ {
+		h.Observe(i)
+	}
+	if h.Len() > 64+1 {
+		t.Fatalf("dedup holds %d entries, window is 64", h.Len())
+	}
+}
+
+func TestHostDedupMemoryBoundedWithGaps(t *testing.T) {
+	h := NewHostDedup(64)
+	rng := rand.New(rand.NewSource(5))
+	seq := uint32(0)
+	for i := 0; i < 5000; i++ {
+		seq += uint32(1 + rng.Intn(100000)) // large jumps
+		h.Observe(seq)
+	}
+	if h.Len() > 65 {
+		t.Fatalf("dedup holds %d entries after gappy flow", h.Len())
+	}
+}
+
+func TestHostDedupMatchesCompactOnFullFlows(t *testing.T) {
+	// When the receiver does see every sequence (single-receiver flow), the
+	// host dedup and the switch's compact dedup agree everywhere.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		w := 1 << (3 + rng.Intn(3))
+		start := rng.Uint32()
+		arrivals := windowedArrivalSeq(rng, w, 500, start)
+		hd := NewHostDedup(w)
+		cd := NewDedupAt(w, start)
+		for i, seq := range arrivals {
+			hv, cv := hd.Observe(seq), cd.Observe(seq)
+			if hv != cv {
+				t.Fatalf("trial %d arrival %d seq %d: host=%v compact=%v", trial, i, seq, hv, cv)
+			}
+		}
+	}
+}
+
+func TestHostDedupWraparound(t *testing.T) {
+	h := NewHostDedup(16)
+	if v := h.Observe(0xfffffffa); v != Fresh {
+		t.Fatalf("pre-wrap = %v", v)
+	}
+	if v := h.Observe(3); v != Fresh {
+		t.Fatalf("post-wrap = %v", v)
+	}
+	if v := h.Observe(0xfffffffa); v != Duplicate {
+		t.Fatalf("pre-wrap repeat = %v (still in window)", v)
+	}
+	if v := h.Observe(0xffffffe0); v != Stale {
+		t.Fatalf("ancient = %v", v)
+	}
+}
+
+func TestHostDedupValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHostDedup(0) did not panic")
+		}
+	}()
+	NewHostDedup(0)
+}

@@ -1,0 +1,218 @@
+package window
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// SenderStats counts sender-window activity.
+type SenderStats struct {
+	Sent        int64 // first transmissions
+	Retransmits int64
+	Acked       int64
+	DupAcks     int64 // ACKs for packets no longer in flight
+}
+
+// Congestion is the optional loss-based congestion control of §7
+// (Discussion): an AIMD congestion window whose ceiling is the reliability
+// window W — "the congestion window should not exceed the maximum window
+// defined in the reliability mechanism, protecting the switch receive
+// window from malfunctioning". Slow start doubles per window of ACKs up to
+// ssthresh, then congestion avoidance adds one packet per window; a timeout
+// halves ssthresh and restarts from a small window.
+type congestion struct {
+	cwnd     float64
+	ssthresh float64
+	max      float64
+}
+
+func newCongestion(w int) *congestion {
+	return &congestion{cwnd: 2, ssthresh: float64(w) / 2, max: float64(w)}
+}
+
+func (c *congestion) allow() int { return int(c.cwnd) }
+
+func (c *congestion) onAck() {
+	if c.cwnd < c.ssthresh {
+		c.cwnd++ // slow start
+	} else {
+		c.cwnd += 1 / c.cwnd // congestion avoidance
+	}
+	if c.cwnd > c.max {
+		c.cwnd = c.max
+	}
+}
+
+func (c *congestion) onTimeout() {
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 2 {
+		c.ssthresh = 2
+	}
+	c.cwnd = 2
+}
+
+// Sender is the host-side sliding window of §3.3: at most W packets in
+// flight, per-packet retransmission on a fine-grained timeout (100 µs in the
+// paper), and no reaction to out-of-order ACKs — the switch and the host
+// receiver both emit ACKs, so ordering carries no loss signal.
+//
+// Sequence numbers are assigned by the window so the in-flight span never
+// exceeds W, which the switch's receive window requires.
+type Sender struct {
+	sim      *sim.Simulation
+	w        uint32
+	timeout  time.Duration
+	transmit func(*wire.Packet)
+
+	nextSeq  uint32
+	base     uint32 // lowest unacked sequence
+	inflight map[uint32]*flight
+
+	spaceSig *sim.Signal // fired when window space opens
+	idleSig  *sim.Signal // fired when nothing is in flight
+
+	cc    *congestion // nil unless EnableCongestionControl
+	stats SenderStats
+}
+
+type flight struct {
+	pkt   *wire.Packet
+	timer sim.Timer
+}
+
+// NewSender returns a sender window. transmit is invoked for every
+// transmission and retransmission; it must not retain the packet.
+func NewSender(s *sim.Simulation, w int, timeout time.Duration, transmit func(*wire.Packet)) *Sender {
+	if w <= 0 || w&(w-1) != 0 {
+		panic("window: sender window must be a positive power of two")
+	}
+	if timeout <= 0 {
+		panic("window: non-positive retransmission timeout")
+	}
+	if transmit == nil {
+		panic("window: nil transmit")
+	}
+	return &Sender{
+		sim:      s,
+		w:        uint32(w),
+		timeout:  timeout,
+		transmit: transmit,
+		inflight: make(map[uint32]*flight),
+		spaceSig: sim.NewSignal(s),
+		idleSig:  sim.NewSignal(s),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// InFlight returns the number of unacknowledged packets.
+func (s *Sender) InFlight() int { return len(s.inflight) }
+
+// Idle reports whether every sent packet has been acknowledged.
+func (s *Sender) Idle() bool { return len(s.inflight) == 0 }
+
+// EnableCongestionControl turns on the AIMD congestion window (§7). Call
+// before the first Send.
+func (s *Sender) EnableCongestionControl() { s.cc = newCongestion(int(s.w)) }
+
+// Cwnd returns the current congestion window in packets (W when congestion
+// control is off).
+func (s *Sender) Cwnd() int {
+	if s.cc == nil {
+		return int(s.w)
+	}
+	return s.cc.allow()
+}
+
+// CanSend reports whether the window has room for another packet.
+func (s *Sender) CanSend() bool {
+	limit := s.w
+	if s.cc != nil {
+		if cl := uint32(s.cc.allow()); cl < limit {
+			limit = cl
+		}
+	}
+	return s.nextSeq-s.base < limit
+}
+
+// Send assigns the next sequence number to pkt, transmits it, and arms its
+// retransmission timer. The caller must ensure CanSend; blocking callers use
+// SendBlocking.
+func (s *Sender) Send(pkt *wire.Packet) {
+	if !s.CanSend() {
+		panic(fmt.Sprintf("window: Send with full window (base=%d next=%d)", s.base, s.nextSeq))
+	}
+	pkt.Seq = s.nextSeq
+	s.nextSeq++
+	f := &flight{pkt: pkt}
+	s.inflight[pkt.Seq] = f
+	s.stats.Sent++
+	s.transmit(pkt)
+	s.arm(f)
+}
+
+// SendBlocking is Send for process-style callers: it blocks p until window
+// space is available.
+func (s *Sender) SendBlocking(p *sim.Proc, pkt *wire.Packet) {
+	for !s.CanSend() {
+		p.Wait(s.spaceSig)
+	}
+	s.Send(pkt)
+}
+
+// WaitIdle blocks p until all sent packets are acknowledged.
+func (s *Sender) WaitIdle(p *sim.Proc) {
+	for !s.Idle() {
+		p.Wait(s.idleSig)
+	}
+}
+
+func (s *Sender) arm(f *flight) {
+	f.timer = s.sim.After(s.timeout, func() {
+		// Still unacked: retransmit and re-arm.
+		s.stats.Retransmits++
+		if s.cc != nil {
+			s.cc.onTimeout()
+		}
+		s.transmit(f.pkt)
+		s.arm(f)
+	})
+}
+
+// Ack processes an acknowledgment for seq. Duplicate or unknown ACKs are
+// counted and ignored.
+func (s *Sender) Ack(seq uint32) {
+	f, ok := s.inflight[seq]
+	if !ok {
+		s.stats.DupAcks++
+		return
+	}
+	f.timer.Stop()
+	delete(s.inflight, seq)
+	s.stats.Acked++
+	ccGrew := false
+	if s.cc != nil {
+		before := s.cc.allow()
+		s.cc.onAck()
+		ccGrew = s.cc.allow() > before
+	}
+	// Advance the base over the acknowledged prefix.
+	advanced := false
+	for s.base != s.nextSeq {
+		if _, live := s.inflight[s.base]; live {
+			break
+		}
+		s.base++
+		advanced = true
+	}
+	if advanced || ccGrew {
+		s.spaceSig.Fire()
+	}
+	if len(s.inflight) == 0 {
+		s.idleSig.Fire()
+	}
+}

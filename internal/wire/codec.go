@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Codec marshals packets to and from the byte layout documented in wire.go.
+// The simulation's fast path passes *Packet values directly, but the codec is
+// the authoritative definition of the format: tests round-trip packets
+// through it and assert that the encoded length matches BufferBytes, which
+// keeps the analytical size accounting honest. TypeCtrl payloads are opaque
+// simulation objects and cannot be marshalled.
+type Codec struct {
+	// KPartBytes is the per-slot key-part width (Config.KPartBytes).
+	KPartBytes int
+}
+
+// Marshal encodes p into a fresh buffer of exactly p.BufferBytes(KPartBytes)
+// bytes (headers + payload, no L1 framing).
+func (c Codec) Marshal(p *Packet) ([]byte, error) {
+	if c.KPartBytes <= 0 || c.KPartBytes > 8 {
+		return nil, fmt.Errorf("wire: invalid KPartBytes %d", c.KPartBytes)
+	}
+	if p.Type == TypeCtrl {
+		return nil, fmt.Errorf("wire: TypeCtrl payloads are not marshallable")
+	}
+	buf := make([]byte, p.BufferBytes(c.KPartBytes))
+	// Ethernet+IP headers are opaque padding in this model.
+	h := buf[EthIPBytes:]
+	h[0] = byte(p.Type)
+	h[1] = byte(p.Flow.Channel)
+	binary.BigEndian.PutUint16(h[2:], uint16(p.Flow.Host))
+	binary.BigEndian.PutUint32(h[4:], uint32(p.Task))
+	binary.BigEndian.PutUint32(h[8:], p.Seq)
+	binary.BigEndian.PutUint64(h[12:], uint64(p.Bitmap))
+	if p.Type == TypeAck {
+		// ACKs are header-only; the otherwise-unused bitmap field carries
+		// the acknowledged packet type.
+		h[12] = byte(p.AckFor)
+	}
+	body := buf[HeaderBytes:]
+	switch p.Type {
+	case TypeData:
+		off := 0
+		for _, s := range p.Slots {
+			putUintN(body[off:], s.KPart>>uint(8*(8-c.KPartBytes)), c.KPartBytes)
+			off += c.KPartBytes
+			putUintN(body[off:], uint64(s.Val)&mask(c.KPartBytes), c.KPartBytes)
+			off += c.KPartBytes
+		}
+	case TypeLongKey:
+		off := 0
+		for _, kv := range p.Long {
+			if len(kv.Key) > 0xffff {
+				return nil, fmt.Errorf("wire: long key of %d bytes exceeds length field", len(kv.Key))
+			}
+			binary.BigEndian.PutUint16(body[off:], uint16(len(kv.Key)))
+			off += 2
+			copy(body[off:], kv.Key)
+			off += len(kv.Key)
+			binary.BigEndian.PutUint64(body[off:], uint64(kv.Val))
+			off += 8
+		}
+	case TypeFetch:
+		binary.BigEndian.PutUint32(body[0:], uint32(p.FetchCopy))
+		if p.FetchClear {
+			body[4] = 1
+		}
+	case TypeFetchReply:
+		binary.BigEndian.PutUint16(body[0:], p.FetchChunk)
+		binary.BigEndian.PutUint16(body[2:], p.FetchChunks)
+		off := 4
+		for _, e := range p.FetchEntries {
+			body[off] = byte(e.AA)
+			binary.BigEndian.PutUint32(body[off+1:], uint32(e.Row))
+			binary.BigEndian.PutUint64(body[off+5:], e.KPart)
+			binary.BigEndian.PutUint64(body[off+13:], uint64(e.Val))
+			off += fetchEntryWireBytes
+		}
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a buffer produced by Marshal.
+func (c Codec) Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderBytes {
+		return nil, fmt.Errorf("wire: buffer of %d bytes shorter than header", len(buf))
+	}
+	h := buf[EthIPBytes:]
+	p := &Packet{
+		Type:   Type(h[0]),
+		Flow:   core.FlowKey{Host: core.HostID(binary.BigEndian.Uint16(h[2:])), Channel: core.ChannelID(h[1])},
+		Task:   core.TaskID(binary.BigEndian.Uint32(h[4:])),
+		Seq:    binary.BigEndian.Uint32(h[8:]),
+		Bitmap: Bitmap(binary.BigEndian.Uint64(h[12:])),
+	}
+	if p.Type == TypeAck {
+		p.AckFor = Type(h[12])
+		p.Bitmap = 0
+	}
+	body := buf[HeaderBytes:]
+	switch p.Type {
+	case TypeData:
+		slotBytes := 2 * c.KPartBytes
+		if len(body)%slotBytes != 0 {
+			return nil, fmt.Errorf("wire: data payload of %d bytes not a multiple of slot size %d", len(body), slotBytes)
+		}
+		n := len(body) / slotBytes
+		p.Slots = make([]Slot, n)
+		off := 0
+		for i := 0; i < n; i++ {
+			p.Slots[i].KPart = getUintN(body[off:], c.KPartBytes) << uint(8*(8-c.KPartBytes))
+			off += c.KPartBytes
+			p.Slots[i].Val = signExtend(getUintN(body[off:], c.KPartBytes), c.KPartBytes)
+			off += c.KPartBytes
+		}
+	case TypeLongKey:
+		off := 0
+		for off < len(body) {
+			if off+2 > len(body) {
+				return nil, fmt.Errorf("wire: truncated long-key length at %d", off)
+			}
+			kl := int(binary.BigEndian.Uint16(body[off:]))
+			off += 2
+			if off+kl+8 > len(body) {
+				return nil, fmt.Errorf("wire: truncated long-key tuple at %d", off)
+			}
+			key := string(body[off : off+kl])
+			off += kl
+			val := int64(binary.BigEndian.Uint64(body[off:]))
+			off += 8
+			p.Long = append(p.Long, LongKV{Key: key, Val: val})
+		}
+	case TypeFetch:
+		if len(body) < 12 {
+			return nil, fmt.Errorf("wire: truncated fetch payload")
+		}
+		p.FetchCopy = int(binary.BigEndian.Uint32(body[0:]))
+		p.FetchClear = body[4] == 1
+	case TypeFetchReply:
+		if len(body) < 4 || (len(body)-4)%fetchEntryWireBytes != 0 {
+			return nil, fmt.Errorf("wire: fetch-reply payload of %d bytes malformed", len(body))
+		}
+		p.FetchChunk = binary.BigEndian.Uint16(body[0:])
+		p.FetchChunks = binary.BigEndian.Uint16(body[2:])
+		for off := 4; off < len(body); off += fetchEntryWireBytes {
+			p.FetchEntries = append(p.FetchEntries, FetchEntry{
+				AA:    int(body[off]),
+				Row:   int(binary.BigEndian.Uint32(body[off+1:])),
+				KPart: binary.BigEndian.Uint64(body[off+5:]),
+				Val:   int64(binary.BigEndian.Uint64(body[off+13:])),
+			})
+		}
+	case TypeAck, TypeFin, TypeSwap:
+		// Header-only.
+	default:
+		return nil, fmt.Errorf("wire: unknown packet type %d", h[0])
+	}
+	return p, nil
+}
+
+func mask(n int) uint64 {
+	if n >= 8 {
+		return ^uint64(0)
+	}
+	return (1 << uint(8*n)) - 1
+}
+
+// signExtend interprets the low n bytes of v as a signed two's-complement
+// integer.
+func signExtend(v uint64, n int) int64 {
+	shift := uint(64 - 8*n)
+	return int64(v<<shift) >> shift
+}
+
+func putUintN(b []byte, v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+func getUintN(b []byte, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

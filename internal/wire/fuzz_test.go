@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanics feeds the codec adversarial buffers: random
+// bytes, truncated valid packets, and bit-flipped valid packets. Unmarshal
+// must return an error or a packet, never panic — the decoder guards every
+// length before reading.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	c := Codec{KPartBytes: 4}
+	check := func(buf []byte) (recovered any) {
+		defer func() { recovered = recover() }()
+		_, _ = c.Unmarshal(buf)
+		return nil
+	}
+
+	// Pure random buffers.
+	f := func(raw []byte) bool { return check(raw) == nil }
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations and bit flips of valid packets of every type.
+	rng := rand.New(rand.NewSource(3))
+	valids := [][]byte{}
+	for _, p := range []*Packet{
+		{Type: TypeData, Slots: make([]Slot, 8), Bitmap: 0xff},
+		{Type: TypeLongKey, Long: []LongKV{{Key: "some-longish-key", Val: 1}}},
+		{Type: TypeAck, AckFor: TypeData},
+		{Type: TypeFin},
+		{Type: TypeSwap},
+		{Type: TypeFetch, FetchCopy: 1, FetchClear: true},
+		{Type: TypeFetchReply, FetchEntries: []FetchEntry{{AA: 1, Row: 2, KPart: 3, Val: 4}}},
+	} {
+		buf, err := c.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valids = append(valids, buf)
+	}
+	for _, buf := range valids {
+		for cut := 0; cut <= len(buf); cut++ {
+			if r := check(buf[:cut]); r != nil {
+				t.Fatalf("panic on truncation to %d bytes: %v", cut, r)
+			}
+		}
+		for trial := 0; trial < 200; trial++ {
+			mut := append([]byte(nil), buf...)
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			if r := check(mut); r != nil {
+				t.Fatalf("panic on bit-flipped packet: %v", r)
+			}
+		}
+	}
+}
+
+// TestMarshalUnmarshalFuzzRoundtrip: any packet the codec accepts for
+// marshalling must survive a roundtrip bit-exactly.
+func TestMarshalUnmarshalFuzzRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := Codec{KPartBytes: 4}
+	for trial := 0; trial < 500; trial++ {
+		p := randomDataPacket(rng, 1+rng.Intn(64), 4)
+		buf, err := c.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := c.Unmarshal(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf2, err := c.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(buf2) {
+			t.Fatal("re-marshal differs")
+		}
+	}
+}

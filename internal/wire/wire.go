@@ -1,0 +1,285 @@
+// Package wire defines the ASK packet format and its byte-level encoding.
+//
+// The layout follows §3.2.1 and the overhead accounting of §5.3 footnote 9:
+// every packet on the wire costs
+//
+//	78 bytes = 12 (inter-packet gap) + 7 (preamble) + 1 (SFD)
+//	         + 14 (Ethernet) + 20 (IP) + 20 (ASK header) + 4 (CRC)
+//
+// plus its ASK payload. A data packet's payload is a fixed array of tuple
+// slots, one per aggregator array (AA) on the switch; the i-th slot is
+// processed by the i-th AA. The header carries an N-bit bitmap whose i-th
+// bit indicates that the i-th slot holds a live tuple; the switch clears
+// bits as it consumes tuples.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// Byte-accounting constants (bytes).
+const (
+	// L1Overhead is the per-packet link-layer framing cost that never
+	// appears in the packet buffer: inter-packet gap, preamble, start frame
+	// delimiter, and CRC.
+	L1Overhead = 12 + 7 + 1 + 4 // 24
+	// EthIPBytes is the Ethernet plus IPv4 header size.
+	EthIPBytes = 14 + 20
+	// ASKHeaderBytes is the ASK transport header size.
+	ASKHeaderBytes = 20
+	// HeaderBytes is everything before the ASK payload in the packet buffer.
+	HeaderBytes = EthIPBytes + ASKHeaderBytes // 54
+	// PerPacketOverhead is the total non-payload cost of one packet on the
+	// wire: 78 bytes, matching the paper's goodput model 8x/(8x+78).
+	PerPacketOverhead = L1Overhead + HeaderBytes // 78
+	// MTU bounds the packet buffer size (headers + payload, excluding L1).
+	MTU = 1500
+)
+
+// Type discriminates ASK packets.
+type Type uint8
+
+const (
+	// TypeData carries slotted key-value tuples for switch aggregation.
+	TypeData Type = iota + 1
+	// TypeAck acknowledges a data, long-key, or FIN packet back to the
+	// sender; it carries the acknowledged sequence number.
+	TypeAck
+	// TypeLongKey carries variable-length keys too long for coalesced
+	// placement; the switch forwards it untouched (§3.2.3).
+	TypeLongKey
+	// TypeFin signals that a sender's stream for a task is complete and
+	// fully acknowledged (§3.1 Task Teardown).
+	TypeFin
+	// TypeSwap asks the switch to flip a task's shadow-copy indicator
+	// (§3.4, Algorithm 1 Switch()).
+	TypeSwap
+	// TypeFetch asks the switch to read out (and optionally clear) a range
+	// of aggregators from one copy of a task's region.
+	TypeFetch
+	// TypeFetchReply returns fetched aggregator contents to the receiver.
+	TypeFetchReply
+	// TypeCtrl is a control-channel message between host daemons (task
+	// notify/ready); the switch forwards it untouched.
+	TypeCtrl
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeAck:
+		return "ACK"
+	case TypeLongKey:
+		return "LONGKEY"
+	case TypeFin:
+		return "FIN"
+	case TypeSwap:
+		return "SWAP"
+	case TypeFetch:
+		return "FETCH"
+	case TypeFetchReply:
+		return "FETCHREPLY"
+	case TypeCtrl:
+		return "CTRL"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Bitmap is the per-packet tuple-liveness bitmap (up to 64 slots).
+type Bitmap uint64
+
+// Set returns the bitmap with bit i set.
+func (b Bitmap) Set(i int) Bitmap { return b | 1<<uint(i) }
+
+// Clear returns the bitmap with bit i cleared.
+func (b Bitmap) Clear(i int) Bitmap { return b &^ (1 << uint(i)) }
+
+// Test reports whether bit i is set.
+func (b Bitmap) Test(i int) bool { return b&(1<<uint(i)) != 0 }
+
+// Count returns the number of set bits (live tuples).
+func (b Bitmap) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Empty reports whether no bits are set.
+func (b Bitmap) Empty() bool { return b == 0 }
+
+// Slot is one tuple slot in a data packet payload. KPart holds up to 8 key
+// bytes left-aligned (big-endian; shorter keys are zero-padded on the
+// right), and Val holds the value. On the wire each occupies KPartBytes.
+type Slot struct {
+	KPart uint64
+	Val   int64
+}
+
+// Blank reports whether the slot carries no key material.
+func (s Slot) Blank() bool { return s.KPart == 0 }
+
+// PackKPart packs up to n bytes of key material (n = KPartBytes) into a
+// left-aligned big-endian uint64, zero-padded on the right.
+func PackKPart(seg []byte, n int) uint64 {
+	if len(seg) > n || n > 8 {
+		panic(fmt.Sprintf("wire: segment of %d bytes does not fit kPart of %d", len(seg), n))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v <<= 8
+		if i < len(seg) {
+			v |= uint64(seg[i])
+		}
+	}
+	// Left-align within the 64-bit container so representations are
+	// independent of n when comparing.
+	return v << uint(8*(8-n))
+}
+
+// UnpackKPart reverses PackKPart, trimming the right zero padding. The
+// result is exact for NUL-free keys (keys containing 0x00 take the long-key
+// bypass; see internal/keyspace).
+func UnpackKPart(v uint64, n int) []byte {
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b := byte(v >> uint(8*(7-i)))
+		out = append(out, b)
+	}
+	// Trim right zero padding.
+	end := len(out)
+	for end > 0 && out[end-1] == 0 {
+		end--
+	}
+	return out[:end:end]
+}
+
+// LongKV is a variable-length tuple carried by a TypeLongKey packet.
+type LongKV struct {
+	Key string
+	Val int64
+}
+
+// FetchEntry is one aggregator read out by a fetch.
+type FetchEntry struct {
+	AA    int    // aggregator array index
+	Row   int    // row within the copy
+	KPart uint64 // stored key part (0 = blank)
+	Val   int64
+}
+
+// Packet is the in-simulation representation of an ASK packet. The network
+// model passes packets by pointer and charges WireSize bytes per hop; the
+// byte codec in codec.go is the authoritative layout and is exercised by
+// tests to keep WireSize honest.
+type Packet struct {
+	Type Type
+	Task core.TaskID
+	Flow core.FlowKey // originating sender host + data channel
+	Seq  uint32
+	// AckFor (TypeAck only) names the packet type being acknowledged, so a
+	// host can route data/FIN ACKs to the sender window and swap ACKs to
+	// the shadow-copy machinery.
+	AckFor Type
+	// Bitmap is meaningful for TypeData: live-tuple bits.
+	Bitmap Bitmap
+	// Slots is the fixed tuple-slot array for TypeData (len = NumAAs).
+	Slots []Slot
+	// Long carries tuples for TypeLongKey.
+	Long []LongKV
+	// Fetch fields. Fetch requests are idempotent reads identified by Seq;
+	// replies echo Seq and carry chunk FetchChunk of FetchChunks.
+	FetchCopy    int // which shadow copy to read (0/1)
+	FetchClear   bool
+	FetchChunk   uint16
+	FetchChunks  uint16
+	FetchEntries []FetchEntry // TypeFetchReply
+	// Ctrl carries an opaque control message for TypeCtrl (not byte-encoded;
+	// charged CtrlBytes on the wire).
+	Ctrl any
+}
+
+// CtrlBytes is the nominal wire size charged for a control message payload.
+const CtrlBytes = 64
+
+// longKVWireBytes is the per-tuple cost inside a TypeLongKey payload:
+// 2-byte length, key bytes, 8-byte value.
+func longKVWireBytes(kv LongKV) int { return 2 + len(kv.Key) + 8 }
+
+// fetchEntryWireBytes is the per-entry cost inside a TypeFetchReply payload:
+// 1-byte AA, 4-byte row, 8-byte kPart, 8-byte value.
+const fetchEntryWireBytes = 1 + 4 + 8 + 8
+
+// PayloadBytes returns the ASK payload size in bytes, given the deployment's
+// per-slot key-part width.
+func (p *Packet) PayloadBytes(kPartBytes int) int {
+	switch p.Type {
+	case TypeData:
+		return len(p.Slots) * 2 * kPartBytes
+	case TypeLongKey:
+		n := 0
+		for _, kv := range p.Long {
+			n += longKVWireBytes(kv)
+		}
+		return n
+	case TypeFetchReply:
+		return 4 + len(p.FetchEntries)*fetchEntryWireBytes // chunk, chunks
+	case TypeFetch:
+		return 12 // copy, clear, row range
+	case TypeCtrl:
+		return CtrlBytes
+	default: // ACK, FIN, SWAP: header-only
+		return 0
+	}
+}
+
+// BufferBytes returns the packet buffer size (headers + payload, no L1).
+func (p *Packet) BufferBytes(kPartBytes int) int {
+	return HeaderBytes + p.PayloadBytes(kPartBytes)
+}
+
+// WireBytes returns the total cost of the packet on the wire including the
+// 24-byte L1 framing: PerPacketOverhead + payload.
+func (p *Packet) WireBytes(kPartBytes int) int {
+	return PerPacketOverhead + p.PayloadBytes(kPartBytes)
+}
+
+// LiveTuples returns the number of live tuples in a data packet.
+func (p *Packet) LiveTuples() int { return p.Bitmap.Count() }
+
+func (p *Packet) String() string {
+	switch p.Type {
+	case TypeData:
+		return fmt.Sprintf("%s task=%d %s seq=%d live=%d", p.Type, p.Task, p.Flow, p.Seq, p.LiveTuples())
+	default:
+		return fmt.Sprintf("%s task=%d %s seq=%d", p.Type, p.Task, p.Flow, p.Seq)
+	}
+}
+
+// Clone returns a deep copy of the packet. The network fault model uses it
+// for duplication, and the switch uses it when a forwarded packet must
+// diverge from the sender's retransmission buffer.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Slots != nil {
+		q.Slots = append([]Slot(nil), p.Slots...)
+	}
+	if p.Long != nil {
+		q.Long = append([]LongKV(nil), p.Long...)
+	}
+	if p.FetchEntries != nil {
+		q.FetchEntries = append([]FetchEntry(nil), p.FetchEntries...)
+	}
+	return &q
+}
+
+// headerLayout documents the 20-byte ASK header encoding used by the codec:
+//
+//	offset 0  : Type (1)
+//	offset 1  : Channel (1)
+//	offset 2-3: Host (2, big-endian)
+//	offset 4-7: Task (4)
+//	offset 8-11: Seq (4)
+//	offset 12-19: Bitmap (8)
+var _ = binary.BigEndian

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// WriteTSV serializes a stream as one "key<TAB>value" line per tuple — the
+// trace format cmd/askgen emits and cmd/asksim replays.
+func WriteTSV(w io.Writer, s core.Stream) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for {
+		kv, ok := s()
+		if !ok {
+			break
+		}
+		if strings.ContainsRune(kv.Key, '\t') || strings.ContainsRune(kv.Key, '\n') {
+			return n, fmt.Errorf("workload: key %q contains a TSV delimiter", kv.Key)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\n", kv.Key, kv.Val); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// ReadTSV parses a trace written by WriteTSV.
+func ReadTSV(r io.Reader) ([]core.KV, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []core.KV
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		tab := strings.LastIndexByte(text, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("workload: line %d: no tab separator", line)
+		}
+		val, err := strconv.ParseInt(text[tab+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad value: %w", line, err)
+		}
+		out = append(out, core.KV{Key: text[:tab], Val: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SplitRoundRobin deals a trace to n senders, preserving per-sender order.
+func SplitRoundRobin(kvs []core.KV, n int) [][]core.KV {
+	out := make([][]core.KV, n)
+	for i, kv := range kvs {
+		out[i%n] = append(out[i%n], kv)
+	}
+	return out
+}
