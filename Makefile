@@ -1,0 +1,24 @@
+# Development targets. CI (.github/workflows/ci.yml) runs `make ci`.
+
+GO ?= go
+
+.PHONY: all vet build test race bench ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+ci: vet build test race

@@ -26,6 +26,7 @@ package ask
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpumodel"
@@ -68,6 +69,11 @@ type controllerAdapter struct{ sw *switchd.Switch }
 
 func (c controllerAdapter) RegisterFlow(fk core.FlowKey) error {
 	_, err := c.sw.RegisterFlow(fk)
+	return err
+}
+
+func (c controllerAdapter) RegisterFlowAt(fk core.FlowKey, start uint32) error {
+	_, err := c.sw.RegisterFlowAt(fk, start)
 	return err
 }
 
@@ -141,6 +147,30 @@ type TaskResult struct {
 	Recv hostd.RecvTaskStats
 	// Switch holds the switch-side counters for the task.
 	Switch switchd.TaskStats
+	// Degraded is the longest time any participating daemon spent in
+	// degraded (host-only) mode while the task ran; zero on a fault-free
+	// run or when Config.Failover is off.
+	Degraded time.Duration
+}
+
+// RevokeRegion mimics the controller reclaiming a task's aggregator rows
+// mid-flight (e.g. to make room for a higher-priority tenant): the switch
+// stops aggregating for the task immediately, and after one control-RPC
+// latency the receiver daemon learns of the revocation, drains the absorbed
+// state, and continues host-only. Requires Config.Failover.
+func (c *Cluster) RevokeRegion(task core.TaskID, receiver core.HostID) error {
+	if !c.opts.Config.Failover {
+		return fmt.Errorf("ask: RevokeRegion requires Config.Failover")
+	}
+	d, ok := c.daemons[receiver]
+	if !ok {
+		return fmt.Errorf("ask: receiver host %d not in cluster", receiver)
+	}
+	if err := c.Switch.RevokeRegion(task); err != nil {
+		return err
+	}
+	c.Sim.After(cpumodel.ControlRPCLatency, func() { d.OnRegionRevoked(task) })
+	return nil
 }
 
 // Aggregate runs one complete aggregation task to completion: the receiver
@@ -200,11 +230,22 @@ func (c *Cluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Str
 			c.daemons[s].SubmitSend(spec.ID, streams[s])
 		}
 		result := h.Wait(p)
+		var degraded time.Duration
+		for _, hid := range append([]core.HostID{spec.Receiver}, senders...) {
+			if dt := c.daemons[hid].FailoverStats().DegradedTime; dt > degraded {
+				degraded = dt
+			}
+		}
+		// A region revocation degrades only the task, not the daemon.
+		if dt := h.Stats().Degraded; dt > degraded {
+			degraded = dt
+		}
 		pt.result = &TaskResult{
-			Result:  result,
-			Elapsed: p.Now() - pt.start,
-			Recv:    h.Stats(),
-			Switch:  *c.Switch.TaskStatsOf(spec.ID),
+			Result:   result,
+			Elapsed:  p.Now() - pt.start,
+			Recv:     h.Stats(),
+			Switch:   *c.Switch.TaskStatsOf(spec.ID),
+			Degraded: degraded,
 		}
 	})
 	return pt, nil

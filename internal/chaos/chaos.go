@@ -1,0 +1,188 @@
+// Package chaos is the fault-injection orchestrator for the simulated ASK
+// rack: it schedules scripted failures — switch crashes and reboots, per-task
+// AA-region revocations, link black-holes and degradations, host daemon
+// stalls — on the deterministic virtual clock, so every chaos run is exactly
+// reproducible for a given seed and script.
+//
+// The orchestrator is a thin scheduling layer over ask.Cluster: each injected
+// event is a named closure fired at an absolute virtual time via sim.At, and
+// every firing is appended to a log that experiments and tests can assert
+// against. Faults must heal within the script (a crash needs a matching
+// reboot, a black-hole a matching clear), otherwise in-flight tasks cannot
+// complete and the simulation will not quiesce.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Record is one fired injection.
+type Record struct {
+	At   sim.Time
+	Desc string
+}
+
+// Orchestrator schedules fault injections against one cluster.
+type Orchestrator struct {
+	cl  *ask.Cluster
+	log []Record
+}
+
+// New wraps a cluster in an orchestrator. The cluster should run with
+// Config.Failover on; injecting switch faults into a non-failover cluster
+// deadlocks tasks whose state died with the switch.
+func New(cl *ask.Cluster) *Orchestrator { return &Orchestrator{cl: cl} }
+
+// Cluster returns the rack under test.
+func (o *Orchestrator) Cluster() *ask.Cluster { return o.cl }
+
+// Log returns the fired injections in firing order.
+func (o *Orchestrator) Log() []Record { return o.log }
+
+// At schedules fn at absolute virtual time d (an offset from t=0, which for
+// the usual build-then-run flow is also cluster creation time). Events fire
+// between simulation steps, never preempting a running process mid-yield.
+func (o *Orchestrator) At(d time.Duration, desc string, fn func()) {
+	t := sim.Time(0).Add(d)
+	o.cl.Sim.At(t, func() {
+		o.log = append(o.log, Record{At: o.cl.Sim.Now(), Desc: desc})
+		fn()
+	})
+}
+
+// SwitchOutage crashes the switch at `at` and reboots it downFor later: the
+// rack loses all in-switch aggregation state (registers, flows, regions) and
+// every frame in the outage window is black-holed. Hosts detect the outage
+// via probe timeouts, run degraded (host-only), and re-attach to the new
+// switch incarnation after the reboot.
+func (o *Orchestrator) SwitchOutage(at, downFor time.Duration) {
+	o.At(at, "switch crash", o.cl.Switch.Crash)
+	o.At(at+downFor, "switch reboot", o.cl.Switch.Reboot)
+}
+
+// RevokeRegion reclaims a task's aggregator rows at `at`. The switch keeps
+// forwarding the task's packets host-only; the receiver drains the absorbed
+// partials exactly once and finishes without in-network help.
+func (o *Orchestrator) RevokeRegion(at time.Duration, task core.TaskID, receiver core.HostID) {
+	o.At(at, fmt.Sprintf("revoke region task=%d", task), func() {
+		// The region can legitimately be gone already (task finished or a
+		// reboot wiped it); revoking nothing is a no-op fault.
+		_ = o.cl.RevokeRegion(task, receiver)
+	})
+}
+
+// LinkBlackhole drops every frame on a host's uplink and downlink for the
+// window [at, at+dur). The sliding window retransmits across the hole; with
+// Config.MaxRetries bounded, a hole longer than the retry budget aborts the
+// stream instead.
+func (o *Orchestrator) LinkBlackhole(at, dur time.Duration, host core.HostID) {
+	o.At(at, fmt.Sprintf("blackhole host=%d", host), func() {
+		o.cl.Net.Uplink(host).SetBlackhole(true)
+		o.cl.Net.Downlink(host).SetBlackhole(true)
+	})
+	o.At(at+dur, fmt.Sprintf("heal blackhole host=%d", host), func() {
+		o.cl.Net.Uplink(host).SetBlackhole(false)
+		o.cl.Net.Downlink(host).SetBlackhole(false)
+	})
+}
+
+// LinkDegrade overrides a host's uplink and downlink fault model (loss,
+// duplication, reordering) for the window [at, at+dur), then restores the
+// configured model.
+func (o *Orchestrator) LinkDegrade(at, dur time.Duration, host core.HostID, f netsim.Fault) {
+	o.At(at, fmt.Sprintf("degrade link host=%d", host), func() {
+		o.cl.Net.Uplink(host).SetFault(f)
+		o.cl.Net.Downlink(host).SetFault(f)
+	})
+	o.At(at+dur, fmt.Sprintf("heal link host=%d", host), func() {
+		o.cl.Net.Uplink(host).ClearFault()
+		o.cl.Net.Downlink(host).ClearFault()
+	})
+}
+
+// HostStall freezes a host daemon for [at, at+dur): it neither sends nor
+// receives (crash-stop that later resumes with its state intact — the
+// process survived, the box was wedged). Peers retransmit across the stall.
+func (o *Orchestrator) HostStall(at, dur time.Duration, host core.HostID) {
+	o.At(at, fmt.Sprintf("stall host=%d", host), o.cl.Daemon(host).Stall)
+	o.At(at+dur, fmt.Sprintf("resume host=%d", host), o.cl.Daemon(host).Resume)
+}
+
+// Scenario is a named, reproducible fault script.
+type Scenario struct {
+	Name string
+	Desc string
+	// Inject schedules the scenario's events; timings are expressed as
+	// fractions of scale, the expected fault-free task duration, so the
+	// faults land mid-task at any workload size.
+	Inject func(o *Orchestrator, scale time.Duration)
+}
+
+// Scenarios is the standard library of fault scripts used by the chaos
+// experiment and the correctness-invariant tests. task and receiver identify
+// the aggregation task the revocation scenario targets; sender is the host
+// whose link/daemon the network scenarios disturb.
+func Scenarios(task core.TaskID, receiver core.HostID, sender core.HostID) []Scenario {
+	frac := func(scale time.Duration, num, den int64) time.Duration {
+		return scale * time.Duration(num) / time.Duration(den)
+	}
+	return []Scenario{
+		{
+			Name: "switch-reboot",
+			Desc: "switch crashes mid-task, reboots; hosts re-attach",
+			Inject: func(o *Orchestrator, s time.Duration) {
+				o.SwitchOutage(frac(s, 1, 4), frac(s, 1, 4))
+			},
+		},
+		{
+			Name: "double-reboot",
+			Desc: "two switch outages in one task",
+			Inject: func(o *Orchestrator, s time.Duration) {
+				o.SwitchOutage(frac(s, 1, 5), frac(s, 3, 20))
+				o.SwitchOutage(frac(s, 3, 5), frac(s, 3, 20))
+			},
+		},
+		{
+			Name: "region-revoked",
+			Desc: "controller reclaims the task's AA rows mid-task",
+			Inject: func(o *Orchestrator, s time.Duration) {
+				o.RevokeRegion(frac(s, 3, 10), task, receiver)
+			},
+		},
+		{
+			Name: "link-loss",
+			Desc: "one sender's link drops 20% of frames for half the task",
+			Inject: func(o *Orchestrator, s time.Duration) {
+				o.LinkDegrade(frac(s, 1, 5), frac(s, 1, 2), sender, netsim.Fault{LossProb: 0.2})
+			},
+		},
+		{
+			Name: "link-blackhole",
+			Desc: "one sender's link goes dark briefly; retransmission bridges it",
+			Inject: func(o *Orchestrator, s time.Duration) {
+				o.LinkBlackhole(frac(s, 3, 10), frac(s, 1, 10), sender)
+			},
+		},
+		{
+			Name: "host-stall",
+			Desc: "one sender daemon freezes briefly, then resumes",
+			Inject: func(o *Orchestrator, s time.Duration) {
+				o.HostStall(frac(s, 3, 10), frac(s, 1, 10), sender)
+			},
+		},
+		{
+			Name: "reboot-under-loss",
+			Desc: "switch outage while every frame also risks 5% loss",
+			Inject: func(o *Orchestrator, s time.Duration) {
+				o.LinkDegrade(0, s, sender, netsim.Fault{LossProb: 0.05})
+				o.SwitchOutage(frac(s, 1, 4), frac(s, 1, 4))
+			},
+		},
+	}
+}

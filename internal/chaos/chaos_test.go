@@ -1,0 +1,240 @@
+package chaos_test
+
+// Correctness-invariant tests: every scripted fault scenario must produce an
+// aggregation result identical to the fault-free golden run on the same seed
+// and workload, and the failure-model telemetry (degraded time, re-attach,
+// replays, bounded retries) must reflect what the script injected.
+
+import (
+	"testing"
+	"time"
+
+	"repro/ask"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+const (
+	testSenders = 2
+	testTuples  = 40_000
+	testSeed    = 7
+)
+
+func failoverOptions() ask.Options {
+	c := core.DefaultConfig()
+	c.ShadowCopy = false // failover replay cannot attribute swap fetches
+	c.Failover = true
+	return ask.Options{Hosts: testSenders + 1, Config: c, Seed: testSeed}
+}
+
+func buildTask() (core.TaskSpec, map[core.HostID]core.Stream, core.Result) {
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum}
+	streams := make(map[core.HostID]core.Stream)
+	want := make(core.Result)
+	for i := 0; i < testSenders; i++ {
+		h := core.HostID(i + 1)
+		spec.Senders = append(spec.Senders, h)
+		w := workload.Uniform(512, testTuples, testSeed+int64(h))
+		streams[h] = w.Stream()
+		want.Merge(w.Reference(core.OpSum), core.OpSum)
+	}
+	return spec, streams, want
+}
+
+// goldenElapsed runs the fault-free task once and returns its duration, the
+// timing scale the scenarios use to land faults mid-task.
+func goldenElapsed(t *testing.T) time.Duration {
+	t.Helper()
+	spec, streams, want := buildTask()
+	cl, err := ask.NewCluster(failoverOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Aggregate(spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Equal(want) {
+		t.Fatalf("golden run wrong: %s", res.Result.Diff(want, 5))
+	}
+	if res.Degraded != 0 {
+		t.Fatalf("golden run reports degraded time %v", res.Degraded)
+	}
+	return time.Duration(res.Elapsed)
+}
+
+func TestEveryScenarioMatchesGolden(t *testing.T) {
+	scale := goldenElapsed(t)
+	spec, _, want := buildTask()
+	for _, sc := range chaos.Scenarios(spec.ID, spec.Receiver, spec.Senders[0]) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			cl, err := ask.NewCluster(failoverOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			orch := chaos.New(cl)
+			sc.Inject(orch, scale)
+			_, streams, _ := buildTask()
+			res, err := cl.Aggregate(spec, streams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Result.Equal(want) {
+				t.Fatalf("scenario diverged from golden: %s", res.Result.Diff(want, 5))
+			}
+			if len(orch.Log()) == 0 {
+				t.Fatal("scenario injected no events")
+			}
+		})
+	}
+}
+
+func TestSwitchRebootDegradesAndReattaches(t *testing.T) {
+	// A mid-stream switch outage: the result must still match the fault-free
+	// run, the task must report non-zero degraded (host-only) time, senders
+	// must replay their history to reconcile lost in-switch state, and the
+	// switch's per-task aggregation counter must resume increasing after the
+	// reboot — the re-attach.
+	spec, streams, want := buildTask()
+	cl, err := ask.NewCluster(failoverOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch := chaos.New(cl)
+	const crashAt, rebootAt = 300 * time.Microsecond, 400 * time.Microsecond
+	orch.SwitchOutage(crashAt, rebootAt-crashAt)
+	var aggAtReboot int64 = -1
+	cl.Sim.At(cl.Sim.Now().Add(rebootAt+time.Microsecond), func() {
+		aggAtReboot = cl.Switch.TaskStatsOf(spec.ID).TuplesAggregated
+	})
+	res, err := cl.Aggregate(spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Equal(want) {
+		t.Fatalf("reboot run diverged: %s", res.Result.Diff(want, 5))
+	}
+	if res.Degraded <= 0 {
+		t.Fatalf("Degraded = %v, want > 0", res.Degraded)
+	}
+	if aggAtReboot <= 0 {
+		t.Fatalf("no switch aggregation before the crash (aggAtReboot=%d); retune crash time", aggAtReboot)
+	}
+	final := cl.Switch.TaskStatsOf(spec.ID).TuplesAggregated
+	if final <= aggAtReboot {
+		t.Fatalf("switch aggregation did not resume after reboot: %d at reboot, %d final", aggAtReboot, final)
+	}
+	if cl.Switch.Epoch() != 2 || cl.Switch.Stats().Reboots != 1 {
+		t.Fatalf("switch epoch/reboots = %d/%d", cl.Switch.Epoch(), cl.Switch.Stats().Reboots)
+	}
+	var replays int64
+	var sawEpoch, sawDegraded bool
+	for h := core.HostID(0); h < core.HostID(testSenders+1); h++ {
+		fs := cl.Daemon(h).FailoverStats()
+		replays += fs.ReplaysSent
+		sawEpoch = sawEpoch || fs.EpochChanges > 0
+		sawDegraded = sawDegraded || fs.DegradedTime > 0
+		if cl.Daemon(h).Epoch() != 2 {
+			t.Fatalf("host %d never observed epoch 2", h)
+		}
+		if cl.Daemon(h).Degraded() {
+			t.Fatalf("host %d still degraded after recovery", h)
+		}
+	}
+	if replays == 0 || !sawEpoch || !sawDegraded {
+		t.Fatalf("failover telemetry missing: replays=%d epoch=%v degraded=%v", replays, sawEpoch, sawDegraded)
+	}
+}
+
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	spec, _, _ := buildTask()
+	run := func() (time.Duration, int64) {
+		cl, err := ask.NewCluster(failoverOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		orch := chaos.New(cl)
+		// Loss plus an outage: both rng-driven fault paths in one run.
+		orch.LinkDegrade(0, time.Millisecond, spec.Senders[0], netsim.Fault{LossProb: 0.1})
+		orch.SwitchOutage(250*time.Microsecond, 150*time.Microsecond)
+		_, streams, _ := buildTask()
+		res, err := cl.Aggregate(spec, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Duration(res.Elapsed), cl.Switch.TaskStatsOf(spec.ID).TuplesAggregated
+	}
+	e1, a1 := run()
+	e2, a2 := run()
+	if e1 != e2 || a1 != a2 {
+		t.Fatalf("identical seeds diverged: elapsed %v vs %v, aggregated %d vs %d", e1, e2, a1, a2)
+	}
+}
+
+func TestRegionRevocationDrainsExactlyOnce(t *testing.T) {
+	scale := goldenElapsed(t)
+	spec, streams, want := buildTask()
+	cl, err := ask.NewCluster(failoverOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch := chaos.New(cl)
+	orch.RevokeRegion(scale*2/5, spec.ID, spec.Receiver)
+	res, err := cl.Aggregate(spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Equal(want) {
+		t.Fatalf("revocation run diverged: %s", res.Result.Diff(want, 5))
+	}
+	if cl.Switch.Stats().Revocations != 1 {
+		t.Fatalf("Revocations = %d", cl.Switch.Stats().Revocations)
+	}
+	// Aggregation stopped at revocation: strictly less in-switch work than
+	// the fault-free run (which absorbs the entire stream).
+	if agg := res.Switch.TuplesAggregated; agg <= 0 || agg >= int64(testSenders)*testTuples {
+		t.Fatalf("TuplesAggregated = %d, want partial absorption", agg)
+	}
+	if res.Recv.Degraded <= 0 {
+		t.Fatalf("receiver task Degraded = %v, want > 0 (post-revocation host-only time)", res.Recv.Degraded)
+	}
+}
+
+func TestBoundedRetriesAbortSenderStream(t *testing.T) {
+	// A link that stays dark longer than the retry budget must abort the
+	// sender's stream with an error instead of retrying forever. Failover is
+	// off (no probe machinery), so the simulation quiesces with the receiver
+	// still waiting — exactly the degradation ladder's final rung.
+	c := core.DefaultConfig()
+	c.MaxRetries = 3
+	cl, err := ask.NewCluster(ask.Options{Hosts: 2, Config: c, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch := chaos.New(cl)
+	// Let task setup finish, then cut the sender's link until well past the
+	// retry budget (3 retries x 100µs RTO), healing late so control-channel
+	// retransmissions can drain and the simulation quiesces.
+	orch.LinkBlackhole(300*time.Microsecond, 20*time.Millisecond, 1)
+	w := workload.Uniform(256, 30_000, 3)
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}, Op: core.OpSum}
+	pt, err := cl.StartTask(spec, map[core.HostID]core.Stream{1: w.Stream()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Sim.Run(0)
+	if _, err := pt.Get(); err == nil {
+		t.Fatal("task completed despite an aborted sender stream")
+	}
+	st := cl.Daemon(1).ChannelStats()
+	var aborts int64
+	for _, cs := range st {
+		aborts += cs.Aborts
+	}
+	if aborts == 0 {
+		t.Fatal("no channel recorded a transport abort")
+	}
+}

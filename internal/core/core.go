@@ -287,6 +287,26 @@ type Config struct {
 	// CongestionControl enables the loss-based AIMD congestion window of
 	// §7 on every data channel, bounded by Window as the paper requires.
 	CongestionControl bool
+	// Failover enables the switch-failure failover protocol: host daemons
+	// probe the switch for liveness, detect reboots via the epoch stamped in
+	// ACKs and probe replies, degrade to host-only aggregation while the
+	// switch is unavailable, and re-attach (replaying absorbed history) when
+	// it recovers. Requires ShadowCopy off: mid-task swap fetches cannot be
+	// attributed to individual packets, which the exactly-once replay
+	// reconciliation needs.
+	Failover bool
+	// ProbeInterval is the idle spacing between health probes when Failover
+	// is on (zero selects the 200µs default).
+	ProbeInterval time.Duration
+	// ProbeMisses is the number of consecutive unanswered probes after which
+	// a daemon declares the switch down and enters degraded mode (zero
+	// selects the default of 3).
+	ProbeMisses int
+	// MaxRetries bounds per-packet retransmissions on the data channels
+	// before the sender aborts the window (the degradation ladder's last
+	// rung). Zero means retry forever — the right setting under Failover,
+	// where recovery is handled by the replay protocol instead.
+	MaxRetries int
 }
 
 // DefaultConfig returns the paper's prototype configuration.
@@ -339,8 +359,24 @@ func (c Config) Validate() error {
 	if c.ShadowCopy && c.AARows%2 != 0 {
 		return fmt.Errorf("core: AARows must be even when ShadowCopy is on")
 	}
+	if c.Failover && c.ShadowCopy {
+		return fmt.Errorf("core: Failover requires ShadowCopy off (replay reconciliation cannot attribute swap fetches to packets)")
+	}
+	if c.ProbeInterval < 0 {
+		return fmt.Errorf("core: ProbeInterval must be non-negative")
+	}
+	if c.ProbeMisses < 0 || c.MaxRetries < 0 {
+		return fmt.Errorf("core: ProbeMisses and MaxRetries must be non-negative")
+	}
 	return nil
 }
+
+// DefaultProbeInterval and DefaultProbeMisses are the failover prober's
+// defaults when the corresponding Config fields are zero.
+const (
+	DefaultProbeInterval = 200 * time.Microsecond
+	DefaultProbeMisses   = 3
+)
 
 // ShortSlots returns the number of packet slots (and AAs) serving short keys,
 // i.e. those not dedicated to medium-key groups.

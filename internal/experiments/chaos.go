@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/ask"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ChaosConfig parameterizes the fault-injection study: every scenario of the
+// standard chaos library runs against the same multi-sender aggregation task
+// and must produce a result bit-identical to the fault-free golden run at the
+// same seed, while the table reports what the fault cost (elapsed inflation,
+// degraded-mode time, replay traffic, in-network work retained).
+type ChaosConfig struct {
+	// Senders is the number of sending hosts (receiver is host 0).
+	Senders int
+	// Distinct is the per-sender distinct-key count.
+	Distinct int
+	// Tuples is the per-sender stream length.
+	Tuples int64
+	Seed   int64
+}
+
+// DefaultChaos is the benchmark-scale preset: streams long enough that a
+// switch outage spans several probe intervals, so silence detection (probe
+// timeouts) engages as well as epoch detection.
+func DefaultChaos() ChaosConfig {
+	return ChaosConfig{Senders: 3, Distinct: 2048, Tuples: 300_000, Seed: 1}
+}
+
+// QuickChaos is the test-scale preset.
+func QuickChaos() ChaosConfig {
+	return ChaosConfig{Senders: 2, Distinct: 512, Tuples: 40_000, Seed: 1}
+}
+
+// chaosOptions is the cluster configuration every chaos run uses: the
+// failover machinery on (which requires the shadow-copy prioritization off)
+// and unbounded retries so faults stretch tasks instead of aborting them.
+func chaosOptions(cfg ChaosConfig) ask.Options {
+	c := core.DefaultConfig()
+	c.ShadowCopy = false
+	c.Failover = true
+	return ask.Options{Hosts: cfg.Senders + 1, Config: c, Seed: cfg.Seed}
+}
+
+// chaosTask builds the task spec and per-sender streams (plus the reference
+// aggregation) shared by the golden and every fault run.
+func chaosTask(cfg ChaosConfig) (core.TaskSpec, map[core.HostID]core.Stream, core.Result) {
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum}
+	streams := make(map[core.HostID]core.Stream, cfg.Senders)
+	want := make(core.Result)
+	for i := 0; i < cfg.Senders; i++ {
+		h := core.HostID(i + 1)
+		spec.Senders = append(spec.Senders, h)
+		w := workload.Uniform(cfg.Distinct, cfg.Tuples, cfg.Seed+int64(h))
+		streams[h] = w.Stream()
+		want.Merge(w.Reference(core.OpSum), core.OpSum)
+	}
+	return spec, streams, want
+}
+
+// Chaos runs the fault-injection sweep. The first row is the golden
+// (fault-free) run; each subsequent row is one scenario of the standard
+// library, checked bit-identical against the golden result.
+func Chaos(cfg ChaosConfig) (*stats.Table, error) {
+	spec, streams, want := chaosTask(cfg)
+
+	// Golden run: failover machinery armed, no faults injected. Its elapsed
+	// time is the timing scale the scenarios use to land faults mid-task.
+	golden, goldenCl, err := runAggregation(chaosOptions(cfg), spec, streams)
+	if err != nil {
+		return nil, err
+	}
+	if !golden.Result.Equal(want) {
+		return nil, fmt.Errorf("chaos: golden run wrong: %s", golden.Result.Diff(want, 5))
+	}
+	scale := time.Duration(golden.Elapsed)
+
+	t := &stats.Table{
+		Title: "Chaos: fault injection vs fault-free golden run",
+		Note: fmt.Sprintf("%d senders x %d tuples; every scenario must reproduce the golden result exactly; degraded = host-only time",
+			cfg.Senders, cfg.Tuples),
+		Header: []string{"scenario", "elapsed", "x golden", "exact", "degraded", "replays", "replay-merged", "sw-aggr", "events"},
+	}
+	goldenAgg := golden.Switch.TuplesAggregated
+	t.AddRow("golden", time.Duration(golden.Elapsed), 1.0, true, time.Duration(0), int64(0), int64(0), goldenAgg, 0)
+	_ = goldenCl
+
+	for _, sc := range chaos.Scenarios(spec.ID, spec.Receiver, spec.Senders[0]) {
+		cl, err := ask.NewCluster(chaosOptions(cfg))
+		if err != nil {
+			return nil, err
+		}
+		orch := chaos.New(cl)
+		sc.Inject(orch, scale)
+		// Streams are deterministic generators; rebuild them per run.
+		_, runStreams, _ := chaosTask(cfg)
+		res, err := cl.Aggregate(spec, runStreams)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: scenario %s: %w", sc.Name, err)
+		}
+		exact := res.Result.Equal(want)
+		if !exact {
+			return nil, fmt.Errorf("chaos: scenario %s diverged from golden: %s",
+				sc.Name, res.Result.Diff(want, 5))
+		}
+		var replays, replayMerged int64
+		for h := 0; h < cfg.Senders+1; h++ {
+			fs := cl.Daemon(core.HostID(h)).FailoverStats()
+			replays += fs.ReplaysSent
+			replayMerged += fs.ReplayTuplesMerged
+		}
+		t.AddRow(sc.Name,
+			time.Duration(res.Elapsed),
+			float64(res.Elapsed)/float64(golden.Elapsed),
+			exact,
+			res.Degraded,
+			replays,
+			replayMerged,
+			res.Switch.TuplesAggregated,
+			len(orch.Log()))
+	}
+	return t, nil
+}

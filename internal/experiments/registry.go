@@ -125,6 +125,12 @@ func All() []Runner {
 			Quick: one(func() (*stats.Table, error) { return AblationMedium(QuickAblationMedium()) }),
 			Full:  one(func() (*stats.Table, error) { return AblationMedium(DefaultAblationMedium()) }),
 		},
+		{
+			Name:  "chaos",
+			Desc:  "fault injection: switch failover + degradation vs golden run",
+			Quick: one(func() (*stats.Table, error) { return Chaos(QuickChaos()) }),
+			Full:  one(func() (*stats.Table, error) { return Chaos(DefaultChaos()) }),
+		},
 	}
 }
 

@@ -1,6 +1,8 @@
 package hostd
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/netsim"
@@ -16,21 +18,32 @@ type sendTask struct {
 	stream   core.Stream
 	done     *sim.Signal
 	finished bool
+	// err records a transport abort (MaxRetries exhausted); the stream was
+	// not fully delivered.
+	err error
+	// history retains every sent data packet for failover replay (failover
+	// mode only); released when the receiver confirms the task result.
+	history []*wire.Packet
 }
 
 // SendHandle lets the sending application wait for its stream to be fully
 // aggregated and acknowledged (data + FIN).
 type SendHandle struct{ t *sendTask }
 
-// Wait blocks until the task's FIN is acknowledged.
+// Wait blocks until the task's FIN is acknowledged (or the transport
+// aborts; check Err).
 func (h *SendHandle) Wait(p *sim.Proc) {
 	for !h.t.finished {
 		p.Wait(h.t.done)
 	}
 }
 
-// Done reports whether the stream completed.
+// Done reports whether the stream completed (successfully or not).
 func (h *SendHandle) Done() bool { return h.t.finished }
+
+// Err returns the transport abort error, or nil if the stream was fully
+// delivered.
+func (h *SendHandle) Err() error { return h.t.err }
 
 // dataChannel is one duplex persistent channel: a send loop draining queued
 // tasks through the sliding window, and a receive loop processing inbound
@@ -43,6 +56,15 @@ type dataChannel struct {
 	queue    []*sendTask
 	queueSig *sim.Signal
 	curDst   core.HostID
+
+	// retained maps tasks whose history may still need replaying after a
+	// switch reboot (failover mode only).
+	retained map[core.TaskID]*sendTask
+	// recoverReq, when non-zero, asks txLoop to run doRecover for that
+	// recovery generation at its next safe point (set synchronously by
+	// observeEpoch; recovery runs inline so no concurrent send can race it).
+	recoverReq   uint32
+	recoveredGen uint32
 
 	rxQ   []*netsim.Frame
 	rxSig *sim.Signal
@@ -57,6 +79,7 @@ func newDataChannel(d *Daemon, flow core.FlowKey) *dataChannel {
 		flow:     flow,
 		queueSig: sim.NewSignal(d.sim),
 		rxSig:    sim.NewSignal(d.sim),
+		retained: make(map[core.TaskID]*sendTask),
 		txThread: d.cpu.NewThread(),
 		rxThread: d.cpu.NewThread(),
 	}
@@ -64,14 +87,21 @@ func newDataChannel(d *Daemon, flow core.FlowKey) *dataChannel {
 	if d.cfg.CongestionControl {
 		ch.win.EnableCongestionControl()
 	}
+	if d.cfg.MaxRetries > 0 {
+		ch.win.SetMaxRetries(d.cfg.MaxRetries)
+	}
+	if d.cfg.Failover {
+		ch.win.EnableBackoff()
+	}
 	d.sim.Spawn("tx-"+flow.String(), ch.txLoop)
 	d.sim.Spawn("rx-"+flow.String(), ch.rxLoop)
 	return ch
 }
 
 // transmit puts a window packet on the wire toward the current task's
-// receiver (tasks are served FIFO and serialized per channel, so curDst is
-// stable while any packet of a task is in flight).
+// receiver (tasks are served FIFO and serialized per channel — including
+// inline failover replay — so curDst is stable while any packet of a task
+// is in flight).
 func (ch *dataChannel) transmit(pkt *wire.Packet) {
 	good := 0
 	switch pkt.Type {
@@ -91,15 +121,38 @@ func (ch *dataChannel) enqueue(t *sendTask) {
 	ch.queueSig.Fire()
 }
 
+// maybeRecover runs the inline failover recovery if one is pending. It is
+// called only from txLoop (between sends), so the window is never driven by
+// two processes at once.
+func (ch *dataChannel) maybeRecover(p *sim.Proc) {
+	if ch.recoverReq != 0 {
+		ch.doRecover(p)
+	}
+}
+
 // txLoop serves queued tasks in FIFO order: packetize, window-send, FIN.
 func (ch *dataChannel) txLoop(p *sim.Proc) {
 	for {
 		for len(ch.queue) == 0 {
+			ch.maybeRecover(p)
+			// Re-check before parking: recovery blocks, and an enqueue (or a
+			// fresh recovery request) signalled during it would be lost if we
+			// waited unconditionally.
+			if len(ch.queue) != 0 || ch.recoverReq != 0 {
+				continue
+			}
 			p.Wait(ch.queueSig)
+		}
+		ch.maybeRecover(p)
+		if len(ch.queue) == 0 {
+			continue
 		}
 		task := ch.queue[0]
 		ch.queue = ch.queue[1:]
 		ch.curDst = task.receiver
+		if ch.d.failover {
+			ch.retained[task.id] = task
+		}
 
 		pz := newPacketizer(ch.d.layout, task.stream)
 		for {
@@ -132,18 +185,121 @@ func (ch *dataChannel) txLoop(p *sim.Proc) {
 			} else {
 				ch.d.stats.SlotFill[pkt.Bitmap.Count()]++
 			}
-			ch.win.SendBlocking(p, pkt)
+			if err := ch.win.SendBlocking(p, pkt); err != nil {
+				task.err = err
+				break
+			}
+			if ch.d.failover && pkt.Type == wire.TypeData {
+				// The sender-side packet struct is never mutated by the
+				// network (frames clone at delivery), so the original slots
+				// and liveness bitmap are intact for replay.
+				task.history = append(task.history, pkt)
+			}
+			ch.maybeRecover(p)
+			// Recovery may have changed curDst while replaying other
+			// retained tasks; restore it for this task's next packet.
+			ch.curDst = task.receiver
 		}
-		ch.win.WaitIdle(p)
+		if task.err == nil {
+			if err := ch.win.WaitIdle(p); err != nil {
+				task.err = err
+			}
+		}
 
-		// FIN: stream complete and fully acknowledged (§3.1 teardown).
-		fin := &wire.Packet{Type: wire.TypeFin, Task: task.id, Flow: ch.flow}
-		ch.txThread.Run(p, cpumodel.PacketIOCost)
-		ch.win.SendBlocking(p, fin)
-		ch.win.WaitIdle(p)
+		if task.err == nil {
+			// Replay first if a reboot interleaved, so the FIN generation
+			// below post-dates every replayed packet (teardown ordering).
+			ch.maybeRecover(p)
+			ch.curDst = task.receiver
+			// FIN: stream complete and fully acknowledged (§3.1 teardown).
+			// OrigSeq carries the FIN generation — the epoch the sender
+			// observed when it cut the FIN.
+			fin := &wire.Packet{Type: wire.TypeFin, Task: task.id, Flow: ch.flow, OrigSeq: ch.d.epoch}
+			ch.txThread.Run(p, cpumodel.PacketIOCost)
+			if err := ch.win.SendBlocking(p, fin); err != nil {
+				task.err = err
+			} else if err := ch.win.WaitIdle(p); err != nil {
+				task.err = err
+			}
+		}
+		if task.err != nil {
+			// Transport abort: drop the in-flight packets and restore the
+			// window so subsequent tasks on this channel still run. Sequence
+			// numbers are not reused, so receiver dedup state stays valid.
+			ch.win.Reset()
+		}
 
 		task.finished = true
 		task.done.Fire()
+	}
+}
+
+// doRecover replays this channel's retained history after a switch reboot
+// (failover §recovery): drain the window, re-register the flow at its
+// current sequence position, then resend every retained task's data packets
+// as TypeReplay (host-only bypass) and re-FIN finished tasks. Runs inline on
+// txLoop so it is the only driver of the window.
+func (ch *dataChannel) doRecover(p *sim.Proc) {
+	for ch.recoverReq != 0 {
+		gen := ch.recoverReq
+		ch.recoverReq = 0
+		// Drain in-flight packets of the old epoch first: they keep
+		// retransmitting and, with the flow unregistered on the rebooted
+		// switch, stream through whole to the receiver, which merges and
+		// ACKs them. Re-registering before they drain would misclassify
+		// them against fresh reliability state.
+		if err := ch.win.WaitIdle(p); err != nil {
+			ch.win.Reset()
+		}
+		if gen != ch.d.recoveryGen {
+			ch.recoverReq = ch.d.recoveryGen
+			continue
+		}
+		p.Sleep(cpumodel.ControlRPCLatency)
+		if err := ch.d.ctrl.RegisterFlowAt(ch.flow, ch.win.NextSeq()); err != nil {
+			// Flow table full on the rebooted switch: stay unregistered.
+			// Packets forward host-only; correctness is unaffected.
+			_ = err
+		}
+		saved := ch.curDst
+		ids := make([]core.TaskID, 0, len(ch.retained))
+		for id := range ch.retained {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			t := ch.retained[id]
+			ch.curDst = t.receiver
+			for _, orig := range t.history {
+				ch.txThread.Run(p, cpumodel.PacketIOCost)
+				rp := &wire.Packet{
+					Type:    wire.TypeReplay,
+					Task:    t.id,
+					Flow:    ch.flow,
+					OrigSeq: orig.Seq,
+					Bitmap:  orig.Bitmap,
+					Slots:   orig.Slots,
+				}
+				if err := ch.win.SendBlocking(p, rp); err != nil {
+					break
+				}
+				ch.d.fstats.ReplaysSent++
+			}
+			if t.finished && t.err == nil {
+				// Re-FIN after the replays are acknowledged so the receiver
+				// processes the new-generation FIN last.
+				if err := ch.win.WaitIdle(p); err == nil {
+					fin := &wire.Packet{Type: wire.TypeFin, Task: t.id, Flow: ch.flow, OrigSeq: ch.d.epoch}
+					ch.txThread.Run(p, cpumodel.PacketIOCost)
+					_ = ch.win.SendBlocking(p, fin)
+				}
+			}
+			if err := ch.win.WaitIdle(p); err != nil {
+				ch.win.Reset()
+			}
+		}
+		ch.curDst = saved
+		ch.d.channelRecovered(ch, gen)
 	}
 }
 

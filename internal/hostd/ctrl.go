@@ -27,6 +27,12 @@ type taskNotify struct {
 	Op       core.Op
 }
 
+// taskRelease tells a sender daemon that the receiver's result for a task is
+// final, so the sender may drop its retained failover replay history.
+type taskRelease struct {
+	Task core.TaskID
+}
+
 // ctrlChannel is the daemon's persistent control channel: one dedicated
 // thread, reliable delivery via the same sliding-window machinery as data.
 type ctrlChannel struct {
@@ -94,6 +100,8 @@ func (ch *ctrlChannel) process(p *sim.Proc, pkt *wire.Packet) {
 		switch body := msg.Body.(type) {
 		case taskNotify:
 			ch.d.onNotify(body)
+		case taskRelease:
+			ch.d.onRelease(body.Task)
 		default:
 			// Unknown control bodies are ignored (forward compatibility).
 		}

@@ -28,6 +28,10 @@ import (
 // internal/switchd, adapted in the public ask package).
 type Controller interface {
 	RegisterFlow(fk core.FlowKey) error
+	// RegisterFlowAt registers a flow whose next sequence number is start —
+	// the re-attach path after a switch reboot, where the flow's window is
+	// mid-stream rather than at zero.
+	RegisterFlowAt(fk core.FlowKey, start uint32) error
 	AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, rows int) error
 	FreeRegion(task core.TaskID) error
 }
@@ -71,6 +75,24 @@ type Daemon struct {
 	nextFetch  uint32
 	stats      Stats
 	taskSerial uint32
+
+	// Failover state (failover.go). epoch starts at 1 and tracks the switch
+	// incarnation; all other fields are idle unless cfg.Failover is set.
+	failover      bool
+	epoch         uint32
+	degraded      bool
+	degradedAt    sim.Time
+	recovering    bool
+	recoveryGen   uint32
+	stalled       bool
+	probeSig      *sim.Signal
+	probeSeq      uint32
+	probeReplySeq uint32
+	activity      int
+	activitySig   *sim.Signal
+	chRecoverSig  *sim.Signal
+	activeSends   map[core.TaskID]*sendTask
+	fstats        FailoverStats
 }
 
 // New boots a daemon on host, attaches it to the network, and registers its
@@ -84,18 +106,24 @@ func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.
 		return nil, err
 	}
 	d := &Daemon{
-		sim:       s,
-		net:       net,
-		cpu:       cpu,
-		cfg:       cfg,
-		layout:    layout,
-		host:      host,
-		ctrl:      ctrl,
-		flowDedup: make(map[core.FlowKey]*window.HostDedup),
-		recvTasks: make(map[core.TaskID]*recvTask),
-		sendReady: make(map[core.TaskID]*sendTask),
-		notified:  make(map[core.TaskID]taskNotify),
-		fetchReqs: make(map[uint32]*fetchReq),
+		sim:         s,
+		net:         net,
+		cpu:         cpu,
+		cfg:         cfg,
+		layout:      layout,
+		host:        host,
+		ctrl:        ctrl,
+		flowDedup:   make(map[core.FlowKey]*window.HostDedup),
+		recvTasks:   make(map[core.TaskID]*recvTask),
+		sendReady:   make(map[core.TaskID]*sendTask),
+		notified:    make(map[core.TaskID]taskNotify),
+		fetchReqs:   make(map[uint32]*fetchReq),
+		failover:    cfg.Failover,
+		epoch:       1,
+		probeSig:    sim.NewSignal(s),
+		activitySig: sim.NewSignal(s),
+		chRecoverSig: sim.NewSignal(s),
+		activeSends: make(map[core.TaskID]*sendTask),
 	}
 	net.AttachHost(host, d)
 	for i := 0; i < cfg.DataChannels; i++ {
@@ -106,6 +134,9 @@ func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.
 		d.channels = append(d.channels, newDataChannel(d, fk))
 	}
 	d.ctrlCh = newCtrlChannel(d)
+	if d.failover {
+		s.Spawn(fmt.Sprintf("probe-h%d", host), d.probeLoop)
+	}
 	return d, nil
 }
 
@@ -133,7 +164,14 @@ func (d *Daemon) dedupFor(fk core.FlowKey) *window.HostDedup {
 // packet's PacketIOCost, see cpumodel calibration) or queue for a channel
 // thread (packet processing with real CPU cost).
 func (d *Daemon) HandleFrame(f *netsim.Frame) {
+	if d.stalled {
+		return // crashed daemon: inbound frames are lost
+	}
 	pkt := f.Pkt
+	// Every switch-stamped packet doubles as an epoch beacon; a fresher
+	// epoch triggers recovery synchronously, BEFORE the packet itself is
+	// processed, so e.g. a post-reboot FIN never races its own invalidation.
+	d.observeEpoch(pkt.Epoch)
 	switch pkt.Type {
 	case wire.TypeAck:
 		switch pkt.AckFor {
@@ -159,7 +197,12 @@ func (d *Daemon) HandleFrame(f *netsim.Frame) {
 		}
 	case wire.TypeCtrl:
 		d.ctrlCh.enqueue(f)
-	case wire.TypeData, wire.TypeLongKey, wire.TypeFin:
+	case wire.TypeProbeReply:
+		if window.SeqLess(d.probeReplySeq, pkt.Seq) {
+			d.probeReplySeq = pkt.Seq
+		}
+		d.probeSig.Fire()
+	case wire.TypeData, wire.TypeLongKey, wire.TypeFin, wire.TypeReplay:
 		// Acknowledge at the transport layer immediately — processing
 		// happens asynchronously on a channel thread, and holding the ACK
 		// behind CPU work would trip the sender's fine-grained 100 µs
@@ -179,6 +222,9 @@ func (d *Daemon) HandleFrame(f *netsim.Frame) {
 
 // sendFrame transmits a packet from this host.
 func (d *Daemon) sendFrame(dst core.HostID, pkt *wire.Packet, goodBytes int) {
+	if d.stalled {
+		return // crashed daemon: outbound frames are lost
+	}
 	d.net.HostSend(&netsim.Frame{
 		Src:       d.host,
 		Dst:       dst,
@@ -194,13 +240,15 @@ func (d *Daemon) sendAck(pkt *wire.Packet) {
 	d.sendFrame(pkt.Flow.Host, ack, 0)
 }
 
-// decodeResidue reconstructs the live tuples of a data packet into key-value
-// pairs for host-side aggregation.
-func (d *Daemon) decodeResidue(pkt *wire.Packet) []core.KV {
+// decodeResidueBits reconstructs the tuples of a data (or replay) packet
+// selected by the eff bitmap into key-value pairs for host-side aggregation.
+// eff is normally the packet's own liveness bitmap; under failover it is the
+// packet's bitmap minus the bits the receiver already merged (claimBits).
+func (d *Daemon) decodeResidueBits(pkt *wire.Packet, eff wire.Bitmap) []core.KV {
 	var out []core.KV
 	shortSlots := d.layout.ShortSlots()
 	for i := 0; i < shortSlots && i < len(pkt.Slots); i++ {
-		if !pkt.Bitmap.Test(i) {
+		if !eff.Test(i) {
 			continue
 		}
 		out = append(out, core.KV{
@@ -211,7 +259,7 @@ func (d *Daemon) decodeResidue(pkt *wire.Packet) []core.KV {
 	m := d.cfg.MediumSegs
 	for g := 0; g < d.cfg.MediumGroups; g++ {
 		first := shortSlots + g*m
-		if first >= len(pkt.Slots) || !pkt.Bitmap.Test(first) {
+		if first >= len(pkt.Slots) || !eff.Test(first) {
 			continue
 		}
 		kparts := make([]uint64, m)

@@ -22,6 +22,10 @@ func (c ctrlAdapter) RegisterFlow(fk core.FlowKey) error {
 	_, err := c.sw.RegisterFlow(fk)
 	return err
 }
+func (c ctrlAdapter) RegisterFlowAt(fk core.FlowKey, start uint32) error {
+	_, err := c.sw.RegisterFlowAt(fk, start)
+	return err
+}
 func (c ctrlAdapter) AllocRegion(task core.TaskID, recv core.HostID, op core.Op, rows int) error {
 	_, err := c.sw.AllocRegion(task, recv, op, rows)
 	return err

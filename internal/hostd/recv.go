@@ -17,8 +17,19 @@ type RecvTaskStats struct {
 	DataPackets   int64 // data packets processed (fresh)
 	ResidueTuples int64 // tuples aggregated at the host
 	LongTuples    int64 // long-key tuples (subset of ResidueTuples)
+	ReplayTuples  int64 // tuples recovered from failover replays (subset)
 	SwitchEntries int64 // aggregator entries merged from fetches
 	Swaps         int64 // shadow-copy swaps completed
+	// Degraded is how long the task ran without switch aggregation after a
+	// region revocation (zero if the region was never revoked).
+	Degraded time.Duration
+}
+
+// pktID identifies one sent data packet across the INA → bypass transition:
+// a TypeData packet by its own (flow, seq), a TypeReplay by (flow, OrigSeq).
+type pktID struct {
+	flow core.FlowKey
+	seq  uint32
 }
 
 // recvTask is the receiver-side state of one aggregation task: the shared
@@ -28,7 +39,19 @@ type recvTask struct {
 	spec core.TaskSpec
 
 	result core.Result // the task's shared-memory segment
-	finned map[core.HostID]bool
+	// finned records, per sender, the generation (sender epoch) of its
+	// latest FIN. A FIN only counts toward completion if its generation
+	// matches the receiver's current epoch: after a switch reboot, stale
+	// FINs cut before the sender replayed its history must not trigger the
+	// final fetch (the replays have not arrived yet).
+	finned map[core.HostID]uint32
+	finSig *sim.Signal
+
+	// merged is the per-packet reconciliation ledger (failover mode): which
+	// slot bits of each sent packet this receiver has already counted. A
+	// replay contributes only its unclaimed bits, so nothing double-counts
+	// across the INA → bypass transition.
+	merged map[pktID]wire.Bitmap
 
 	pktsSinceSwap int
 	swapping      bool
@@ -38,12 +61,44 @@ type recvTask struct {
 	swapSeqNum    uint32
 	activeCopy    int
 
-	noRegion    bool
+	noRegion bool
+	// regionEpoch is the switch incarnation under which the task's region
+	// was (re-)allocated; recovery skips tasks already re-attached.
+	regionEpoch uint32
+	// switchCommitted marks the point after which switch state has been (or
+	// is being) folded into the result; later replays are ignored.
+	switchCommitted bool
+	// revoked/draining track a controller region revocation (failover.go).
+	revoked   bool
+	revokedAt sim.Time
+	draining  bool
+
 	tearingDown bool
 	completed   bool
 	done        *sim.Signal
 
 	stats RecvTaskStats
+}
+
+// claimBits returns the not-yet-counted subset of b for packet (fk, seq) and
+// records it as counted.
+func (t *recvTask) claimBits(fk core.FlowKey, seq uint32, b wire.Bitmap) wire.Bitmap {
+	id := pktID{fk, seq}
+	prev := t.merged[id]
+	eff := b &^ prev
+	t.merged[id] = prev | b
+	return eff
+}
+
+// allFinned reports whether every sender has FINished under the current
+// switch incarnation.
+func (t *recvTask) allFinned() bool {
+	for _, s := range t.spec.Senders {
+		if t.finned[s] < t.d.epoch {
+			return false
+		}
+	}
+	return true
 }
 
 // RecvHandle lets the receiving application wait for task completion and
@@ -80,11 +135,15 @@ func (d *Daemon) Submit(p *sim.Proc, spec core.TaskSpec) (*RecvHandle, error) {
 		d:          d,
 		spec:       spec,
 		result:     make(core.Result),
-		finned:     make(map[core.HostID]bool),
+		finned:     make(map[core.HostID]uint32),
 		noRegion:   spec.Rows < 0,
 		swapDone:   sim.NewSignal(d.sim),
 		swapAckSig: sim.NewSignal(d.sim),
+		finSig:     sim.NewSignal(d.sim),
 		done:       sim.NewSignal(d.sim),
+	}
+	if d.failover {
+		t.merged = make(map[pktID]wire.Bitmap)
 	}
 	d.recvTasks[spec.ID] = t
 	if !t.noRegion {
@@ -93,6 +152,10 @@ func (d *Daemon) Submit(p *sim.Proc, spec core.TaskSpec) (*RecvHandle, error) {
 			delete(d.recvTasks, spec.ID)
 			return nil, err
 		}
+		t.regionEpoch = d.epoch
+	}
+	if d.failover {
+		d.bumpActivity(1)
 	}
 	// Notify sender daemons (reliably, over the control channel); local
 	// senders are notified directly.
@@ -133,6 +196,12 @@ func (d *Daemon) onNotify(n taskNotify) {
 // activateSend assigns the task to a data channel by hash(ID) (§3.1).
 func (d *Daemon) activateSend(st *sendTask, n taskNotify) {
 	st.receiver = n.Receiver
+	if d.failover {
+		if _, dup := d.activeSends[st.id]; !dup {
+			d.activeSends[st.id] = st
+			d.bumpActivity(1)
+		}
+	}
 	ch := d.channels[int(st.id)%len(d.channels)]
 	ch.enqueue(st)
 }
@@ -156,7 +225,20 @@ func (d *Daemon) processInbound(p *sim.Proc, ch *dataChannel, f *netsim.Frame) {
 	longTuples := 0
 	switch pkt.Type {
 	case wire.TypeData:
-		kvs = d.decodeResidue(pkt)
+		eff := pkt.Bitmap
+		if d.failover && t != nil && !t.completed {
+			eff = t.claimBits(pkt.Flow, pkt.Seq, pkt.Bitmap)
+		}
+		kvs = d.decodeResidueBits(pkt, eff)
+	case wire.TypeReplay:
+		// Failover replay: merge only the bits not already counted from the
+		// original packet's residue path, and nothing at all once switch
+		// state has been committed (the replayed tuples were either merged
+		// then or surrendered by the pre-reboot switch — never both).
+		if t != nil && !t.completed && !t.switchCommitted && t.merged != nil {
+			eff := t.claimBits(pkt.Flow, pkt.OrigSeq, pkt.Bitmap)
+			kvs = d.decodeResidueBits(pkt, eff)
+		}
 	case wire.TypeLongKey:
 		for _, lk := range pkt.Long {
 			kvs = append(kvs, core.KV{Key: lk.Key, Val: lk.Val})
@@ -179,22 +261,27 @@ func (d *Daemon) processInbound(p *sim.Proc, ch *dataChannel, f *netsim.Frame) {
 			t.stats.DataPackets++
 			t.pktsSinceSwap++
 			t.maybeSwap()
+		case wire.TypeReplay:
+			t.stats.ReplayTuples += int64(len(kvs))
+			d.fstats.ReplayTuplesMerged += int64(len(kvs))
 		case wire.TypeFin:
-			t.onFin(pkt.Flow.Host)
+			t.onFin(pkt.Flow.Host, pkt.OrigSeq)
 		}
 	}
 }
 
-// onFin records a sender's FIN; once every sender has finished, teardown
-// begins (§3.1 steps ⑨–⑫).
-func (t *recvTask) onFin(sender core.HostID) {
-	t.finned[sender] = true
-	for _, s := range t.spec.Senders {
-		if !t.finned[s] {
-			return
-		}
+// onFin records a sender's FIN with its generation; once every sender has
+// finished under the current switch incarnation, teardown begins (§3.1
+// steps ⑨–⑫).
+func (t *recvTask) onFin(sender core.HostID, gen uint32) {
+	if gen == 0 {
+		gen = 1 // pre-failover senders carry no generation
 	}
-	if t.tearingDown {
+	if t.finned[sender] < gen {
+		t.finned[sender] = gen
+	}
+	t.finSig.Fire()
+	if !t.allFinned() || t.tearingDown {
 		return
 	}
 	t.tearingDown = true
@@ -202,29 +289,80 @@ func (t *recvTask) onFin(sender core.HostID) {
 }
 
 // teardown fetches the remaining switch state, merges it with the local
-// result, and releases the switch region.
+// result, and releases the switch region. Under failover the loop re-arms:
+// a switch reboot observed mid-fetch invalidates the FIN set (senders will
+// replay and re-FIN under the new epoch), and the fetched entries of the
+// dead incarnation are discarded.
 func (t *recvTask) teardown(p *sim.Proc) {
-	for t.swapping {
-		p.Wait(t.swapDone)
+	for {
+		if !t.allFinned() {
+			p.Wait(t.finSig)
+			continue
+		}
+		if t.swapping {
+			p.Wait(t.swapDone)
+			continue
+		}
+		if t.draining {
+			p.Wait(t.finSig)
+			continue
+		}
+		if t.noRegion || t.switchCommitted {
+			break
+		}
+		e := t.d.epoch
+		copies := 1
+		if t.d.cfg.ShadowCopy {
+			copies = 2
+		}
+		var all []wire.FetchEntry
+		stale := false
+		for c := 0; c < copies; c++ {
+			entries := t.d.fetchEntries(p, t.spec.ID, c, false)
+			if t.d.epoch != e {
+				stale = true
+				break
+			}
+			all = append(all, entries...)
+		}
+		if stale {
+			continue
+		}
+		// Commit point: from here on, replays are ignored — every absorbed
+		// tuple is either in `all` or was already claimed on the residue
+		// path. No yields between the epoch check above and this line.
+		t.switchCommitted = true
+		t.mergeEntries(p, all)
+		break
 	}
-	if t.noRegion {
-		t.completed = true
-		t.done.Fire()
-		return
+	if !t.noRegion {
+		p.Sleep(cpumodel.ControlRPCLatency)
+		if err := t.d.ctrl.FreeRegion(t.spec.ID); err != nil && !t.d.failover {
+			// Under failover a reboot may have freed the region already;
+			// otherwise a free failure is a protocol bug.
+			panic(fmt.Sprintf("hostd: freeing region of task %d: %v", t.spec.ID, err))
+		}
 	}
-	copies := 1
-	if t.d.cfg.ShadowCopy {
-		copies = 2
-	}
-	for c := 0; c < copies; c++ {
-		entries := t.d.fetchEntries(p, t.spec.ID, c, false)
-		t.mergeEntries(p, entries)
-	}
-	p.Sleep(cpumodel.ControlRPCLatency)
-	if err := t.d.ctrl.FreeRegion(t.spec.ID); err != nil {
-		panic(fmt.Sprintf("hostd: freeing region of task %d: %v", t.spec.ID, err))
+	if t.revoked {
+		t.stats.Degraded = t.d.sim.Now().Sub(t.revokedAt)
 	}
 	t.completed = true
+	if t.d.failover {
+		// Release the senders' retained replay history: the result is final.
+		released := make(map[core.HostID]bool)
+		for _, s := range t.spec.Senders {
+			if released[s] {
+				continue
+			}
+			released[s] = true
+			if s == t.d.host {
+				t.d.onRelease(t.spec.ID)
+			} else {
+				t.d.ctrlCh.send(p, s, taskRelease{Task: t.spec.ID})
+			}
+		}
+		t.d.bumpActivity(-1)
+	}
 	t.done.Fire()
 }
 
@@ -356,7 +494,11 @@ func (fr *fetchReq) addChunk(pkt *wire.Packet) {
 	fr.progress.Fire()
 }
 
-func (fr *fetchReq) complete() bool { return fr.total >= 0 && len(fr.chunks) == fr.total }
+// complete uses >= because a fetch retried across a switch reboot can see a
+// smaller chunk total than an earlier partial reply delivered (the region no
+// longer exists, so the reply is a single empty chunk); callers discard
+// epoch-crossed snapshots anyway.
+func (fr *fetchReq) complete() bool { return fr.total >= 0 && len(fr.chunks) >= fr.total }
 
 // fetchEntries reliably reads one copy of a task's region (§3.4 Read): an
 // idempotent snapshot fetch retransmitted until all chunks arrive, followed

@@ -15,6 +15,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -107,6 +108,12 @@ type Link struct {
 	// rate is exact despite integer-nanosecond timestamps.
 	fracNs float64
 	stats  LinkStats
+	// override, when non-nil, replaces cfg.Fault at Send time — the chaos
+	// orchestrator's runtime fault injection (internal/chaos).
+	override *Fault
+	// blackhole silently drops every frame after serialization accounting:
+	// a severed cable, as opposed to probabilistic loss.
+	blackhole bool
 }
 
 func newLink(s *sim.Simulation, cfg LinkConfig, deliver func(*Frame)) *Link {
@@ -118,6 +125,25 @@ func newLink(s *sim.Simulation, cfg LinkConfig, deliver func(*Frame)) *Link {
 
 // Stats returns a copy of the link's counters.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetFault replaces the link's fault model at runtime (chaos injection).
+// It overrides the configured Fault until ClearFault.
+func (l *Link) SetFault(f Fault) { fc := f; l.override = &fc }
+
+// ClearFault restores the link's configured fault model.
+func (l *Link) ClearFault() { l.override = nil }
+
+// SetBlackhole turns the link into a black hole (every frame dropped after
+// serialization accounting) or restores delivery.
+func (l *Link) SetBlackhole(on bool) { l.blackhole = on }
+
+// fault returns the effective fault model for the next Send.
+func (l *Link) fault() Fault {
+	if l.override != nil {
+		return *l.override
+	}
+	return l.cfg.Fault
+}
 
 // NextFree returns the virtual time at which the transmitter finishes the
 // currently queued frames; senders can SleepUntil it to model NIC
@@ -156,21 +182,26 @@ func (l *Link) Send(f *Frame) {
 	l.stats.TxWireBytes += int64(f.WireBytes)
 	l.stats.TxGoodBytes += int64(f.GoodBytes)
 
+	if l.blackhole {
+		l.stats.Dropped++
+		return
+	}
+	flt := l.fault()
 	rng := l.sim.Rand()
-	if l.cfg.Fault.LossProb > 0 && rng.Float64() < l.cfg.Fault.LossProb {
+	if flt.LossProb > 0 && rng.Float64() < flt.LossProb {
 		l.stats.Dropped++
 		return
 	}
 	copies := 1
-	if l.cfg.Fault.DupProb > 0 && rng.Float64() < l.cfg.Fault.DupProb {
+	if flt.DupProb > 0 && rng.Float64() < flt.DupProb {
 		l.stats.Duplicated++
 		copies = 2
 	}
 	for i := 0; i < copies; i++ {
 		arrive := done.Add(l.cfg.Propagation)
-		if l.cfg.Fault.ReorderProb > 0 && rng.Float64() < l.cfg.Fault.ReorderProb {
+		if flt.ReorderProb > 0 && rng.Float64() < flt.ReorderProb {
 			l.stats.Reordered++
-			extra := time.Duration(rng.Int63n(int64(l.cfg.Fault.ReorderDelay) + 1))
+			extra := time.Duration(rng.Int63n(int64(flt.ReorderDelay) + 1))
 			arrive = arrive.Add(extra)
 		}
 		g := &Frame{Src: f.Src, Dst: f.Dst, Pkt: f.Pkt.Clone(), WireBytes: f.WireBytes, GoodBytes: f.GoodBytes}
@@ -258,12 +289,14 @@ func (n *Network) Uplink(id core.HostID) *Link { return n.ports[id].up }
 // Downlink returns the switch-to-host link of a host.
 func (n *Network) Downlink(id core.HostID) *Link { return n.ports[id].down }
 
-// Hosts returns the IDs of all attached hosts.
+// Hosts returns the IDs of all attached hosts in ascending order (sorted so
+// callers that iterate hosts stay deterministic across runs).
 func (n *Network) Hosts() []core.HostID {
 	ids := make([]core.HostID, 0, len(n.ports))
 	for id := range n.ports {
 		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

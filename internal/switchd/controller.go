@@ -31,7 +31,15 @@ func (sw *Switch) RegisterFlow(fk core.FlowKey) (int, error) {
 // totalRows == 0 requests the largest free contiguous block. With the
 // shadow-copy mechanism enabled the region is split into two copies.
 func (sw *Switch) AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, totalRows int) (*Region, error) {
-	if _, dup := sw.regions[task]; dup {
+	if r, dup := sw.regions[task]; dup {
+		// Idempotent re-allocation: a receiver recovering from a switch
+		// reboot can race its own pre-reboot RPC (the original allocation
+		// lands on the new incarnation just before the retry). If the live
+		// region already belongs to this task with the same shape, it IS the
+		// requested region — hand it back instead of failing the recovery.
+		if r.Receiver == receiver && r.Op == op && !r.Revoked {
+			return r, nil
+		}
 		return nil, fmt.Errorf("switchd: task %d already has a region", task)
 	}
 	if len(sw.regionFree) == 0 {

@@ -107,6 +107,7 @@ func (sw *Switch) sendFetchReplies(f *netsim.Frame, req *wire.Packet, entries []
 			FetchChunks:  uint16(chunks),
 			FetchEntries: append([]wire.FetchEntry(nil), entries[lo:hi]...),
 		}
+		sw.stamp(reply)
 		sw.net.SwitchSend(&netsim.Frame{
 			Src:       f.Dst,
 			Dst:       f.Src,
@@ -125,6 +126,7 @@ func (sw *Switch) ackFetch(f *netsim.Frame, req *wire.Packet) {
 		Flow:   req.Flow,
 		Seq:    req.Seq,
 	}
+	sw.stamp(ack)
 	sw.net.SwitchSend(&netsim.Frame{
 		Src:       f.Dst,
 		Dst:       f.Src,

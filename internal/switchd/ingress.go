@@ -12,14 +12,22 @@ import (
 // HandleIngress implements netsim.SwitchHandler: the switch's per-packet
 // entry point.
 func (sw *Switch) HandleIngress(f *netsim.Frame) {
+	if sw.down {
+		// A crashed switch is a black hole: nothing is forwarded, nothing is
+		// acknowledged. Hosts detect the silence via probe timeouts.
+		sw.stats.DroppedDown++
+		return
+	}
 	switch f.Pkt.Type {
-	case wire.TypeData, wire.TypeLongKey, wire.TypeFin:
+	case wire.TypeData, wire.TypeLongKey, wire.TypeFin, wire.TypeReplay:
 		sw.processFlowPacket(f)
 	case wire.TypeSwap:
 		sw.processSwap(f)
 	case wire.TypeFetch:
 		sw.processFetch(f)
-	case wire.TypeAck, wire.TypeCtrl, wire.TypeFetchReply:
+	case wire.TypeProbe:
+		sw.processProbe(f)
+	case wire.TypeAck, wire.TypeCtrl, wire.TypeFetchReply, wire.TypeProbeReply:
 		sw.forward(f)
 	default:
 		panic(fmt.Sprintf("switchd: unknown packet type %v", f.Pkt.Type))
@@ -27,8 +35,19 @@ func (sw *Switch) HandleIngress(f *netsim.Frame) {
 }
 
 func (sw *Switch) forward(f *netsim.Frame) {
+	sw.stamp(f.Pkt)
 	sw.stats.Forwarded++
 	sw.net.SwitchSend(f)
+}
+
+// stamp writes the switch's epoch into every non-data packet that leaves
+// the switch (generated or forwarded). Data-bearing packets keep their
+// liveness bitmap in the shared header bytes and carry no epoch.
+func (sw *Switch) stamp(pkt *wire.Packet) {
+	if pkt.Type == wire.TypeData || pkt.Type == wire.TypeReplay {
+		return
+	}
+	pkt.Epoch = sw.epoch
 }
 
 // processFlowPacket runs the ASK pipeline for a sequenced flow packet
@@ -81,8 +100,11 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 		return next, 0
 	}) == 1
 
-	// Stages 2..9: vectorized aggregation for fresh data packets.
-	if pkt.Type == wire.TypeData && !observed && region != nil {
+	// Stages 2..9: vectorized aggregation for fresh data packets. Replay
+	// packets run the reliability stages but are never aggregated — their
+	// tuples belong to the host-only bypass path — and revoked regions no
+	// longer aggregate (the degradation ladder's host-only rung).
+	if pkt.Type == wire.TypeData && !observed && region != nil && !region.Revoked {
 		sw.aggregate(ps, pkt, region, copyIdx)
 	}
 	if pkt.Type == wire.TypeData && !observed {
@@ -221,6 +243,7 @@ func (sw *Switch) sendAck(f *netsim.Frame, pkt *wire.Packet) {
 		Flow:   pkt.Flow,
 		Seq:    pkt.Seq,
 	}
+	sw.stamp(ack)
 	sw.stats.SwitchAcks++
 	sw.net.SwitchSend(&netsim.Frame{
 		Src:       f.Dst, // on behalf of the receiver's address
@@ -259,6 +282,7 @@ func (sw *Switch) processSwap(f *netsim.Frame) {
 		Flow:   pkt.Flow,
 		Seq:    pkt.Seq,
 	}
+	sw.stamp(ack)
 	sw.net.SwitchSend(&netsim.Frame{
 		Src:       f.Dst,
 		Dst:       f.Src,

@@ -203,8 +203,21 @@ func TestRegionAllocation(t *testing.T) {
 	if err := r.sw.FreeRegion(99); err == nil {
 		t.Fatal("freeing unknown task succeeded")
 	}
-	if _, err := r.sw.AllocRegion(2, 2, core.OpSum, 2); err == nil {
-		t.Fatal("duplicate task region accepted")
+	// Re-requesting a live region with the same shape is idempotent (a
+	// receiver recovering from a reboot may retry its own RPC) ...
+	again, err := r.sw.AllocRegion(2, 2, core.OpSum, 2)
+	if err != nil {
+		t.Fatalf("idempotent re-allocation failed: %v", err)
+	}
+	if again != r2 {
+		t.Fatal("idempotent re-allocation returned a different region")
+	}
+	// ... but a conflicting shape for a live task is still rejected.
+	if _, err := r.sw.AllocRegion(2, 3, core.OpSum, 2); err == nil {
+		t.Fatal("conflicting duplicate region accepted")
+	}
+	if _, err := r.sw.AllocRegion(2, 2, core.OpMax, 2); err == nil {
+		t.Fatal("conflicting-op duplicate region accepted")
 	}
 }
 

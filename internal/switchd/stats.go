@@ -12,6 +12,13 @@ type Stats struct {
 	Swaps           int64 // shadow-copy flips applied
 	Fetches         int64 // fetch requests served
 	Clears          int64 // clear requests served
+
+	// Failure-model counters (failover.go).
+	Crashes     int64 // Crash() calls
+	Reboots     int64 // Reboot() calls (epoch advances)
+	DroppedDown int64 // frames black-holed while crashed
+	Probes      int64 // health probes answered
+	Revocations int64 // regions revoked
 }
 
 // TaskStats are per-task aggregation counters, the source of Table 1 and

@@ -80,6 +80,11 @@ type Switch struct {
 	regionFree []int
 	rows       *rowAllocator
 
+	// Failure model (failover.go): incarnation epoch stamped on non-data
+	// egress packets, and the crashed flag that black-holes all traffic.
+	epoch uint32
+	down  bool
+
 	stats Stats
 	tasks map[core.TaskID]*TaskStats
 }
@@ -97,7 +102,11 @@ type Region struct {
 	// copy mechanism enabled, TotalRows without.
 	CopyRows int
 	Copies   int
-	idx      int // index into copy_indicator/swap_seq
+	// Revoked marks a region whose aggregation has been disabled by the
+	// controller (failover.go RevokeRegion); its memory stays readable
+	// until the receiver drains and frees it.
+	Revoked bool
+	idx     int // index into copy_indicator/swap_seq
 }
 
 // New builds the ASK switch program for cfg and attaches it to the network.
@@ -127,6 +136,7 @@ func New(s *sim.Simulation, net netsim.SwitchFabric, cfg core.Config, opts Optio
 		regions: make(map[core.TaskID]*Region),
 		rows:    newRowAllocator(cfg.AARows),
 		tasks:   make(map[core.TaskID]*TaskStats),
+		epoch:   1,
 	}
 	for i := opts.MaxRegions - 1; i >= 0; i-- {
 		sw.regionFree = append(sw.regionFree, i)

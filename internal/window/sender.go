@@ -14,6 +14,8 @@ type SenderStats struct {
 	Retransmits int64
 	Acked       int64
 	DupAcks     int64 // ACKs for packets no longer in flight
+	Aborts      int64 // flights that exhausted MaxRetries
+	Resets      int64 // failover window resets
 }
 
 // Congestion is the optional loss-based congestion control of §7
@@ -74,6 +76,14 @@ type Sender struct {
 	spaceSig *sim.Signal // fired when window space opens
 	idleSig  *sim.Signal // fired when nothing is in flight
 
+	// maxRetries bounds per-packet retransmissions (0 = unlimited, the
+	// paper's behavior). When a flight exhausts it the window fails: all
+	// timers stop and blocked senders observe Err() instead of retrying
+	// into a dead peer forever.
+	maxRetries int
+	backoff    bool // exponential per-flight retransmission backoff
+	err        error
+
 	cc    *congestion // nil unless EnableCongestionControl
 	stats SenderStats
 }
@@ -81,6 +91,7 @@ type Sender struct {
 type flight struct {
 	pkt   *wire.Packet
 	timer sim.Timer
+	tries int // retransmissions so far
 }
 
 // NewSender returns a sender window. transmit is invoked for every
@@ -119,6 +130,57 @@ func (s *Sender) Idle() bool { return len(s.inflight) == 0 }
 // before the first Send.
 func (s *Sender) EnableCongestionControl() { s.cc = newCongestion(int(s.w)) }
 
+// SetMaxRetries bounds per-packet retransmissions; after n unanswered
+// retransmissions of any one packet the window fails (Err() != nil) and all
+// blocked senders are released. n = 0 restores unlimited retries.
+func (s *Sender) SetMaxRetries(n int) { s.maxRetries = n }
+
+// EnableBackoff switches retransmission to exponential backoff: the k-th
+// retransmission of a packet waits timeout·2^min(k,6). Off by default so
+// the paper's fixed fine-grained timeout is preserved.
+func (s *Sender) EnableBackoff() { s.backoff = true }
+
+// Failed reports whether the window has aborted.
+func (s *Sender) Failed() bool { return s.err != nil }
+
+// Err returns the abort error, or nil.
+func (s *Sender) Err() error { return s.err }
+
+// NextSeq returns the sequence number the next Send will use.
+func (s *Sender) NextSeq() uint32 { return s.nextSeq }
+
+// fail aborts the window: all retransmission timers stop and every blocked
+// SendBlocking/WaitIdle caller wakes up observing Err().
+func (s *Sender) fail(err error) {
+	if s.err != nil {
+		return
+	}
+	s.err = err
+	s.stats.Aborts++
+	for _, f := range s.inflight {
+		f.timer.Stop()
+	}
+	s.spaceSig.Fire()
+	s.idleSig.Fire()
+}
+
+// Reset abandons all in-flight packets and clears a previous failure: timers
+// stop, the base jumps to nextSeq, and blocked callers wake. The failover
+// machinery calls it when the switch's receive-window state has been lost
+// anyway (reboot) and the flow is about to be replayed out of band; sequence
+// numbers are NOT reused, so receiver-side dedup state stays valid.
+func (s *Sender) Reset() {
+	for _, f := range s.inflight {
+		f.timer.Stop()
+	}
+	s.inflight = make(map[uint32]*flight)
+	s.base = s.nextSeq
+	s.err = nil
+	s.stats.Resets++
+	s.spaceSig.Fire()
+	s.idleSig.Fire()
+}
+
 // Cwnd returns the current congestion window in packets (W when congestion
 // control is off).
 func (s *Sender) Cwnd() int {
@@ -156,24 +218,51 @@ func (s *Sender) Send(pkt *wire.Packet) {
 }
 
 // SendBlocking is Send for process-style callers: it blocks p until window
-// space is available.
-func (s *Sender) SendBlocking(p *sim.Proc, pkt *wire.Packet) {
+// space is available. It returns the window's abort error if the window
+// fails while blocked (or already has).
+func (s *Sender) SendBlocking(p *sim.Proc, pkt *wire.Packet) error {
 	for !s.CanSend() {
+		if s.err != nil {
+			return s.err
+		}
 		p.Wait(s.spaceSig)
 	}
+	if s.err != nil {
+		return s.err
+	}
 	s.Send(pkt)
+	return nil
 }
 
-// WaitIdle blocks p until all sent packets are acknowledged.
-func (s *Sender) WaitIdle(p *sim.Proc) {
+// WaitIdle blocks p until all sent packets are acknowledged, or returns the
+// abort error if the window fails first.
+func (s *Sender) WaitIdle(p *sim.Proc) error {
 	for !s.Idle() {
+		if s.err != nil {
+			return s.err
+		}
 		p.Wait(s.idleSig)
 	}
+	return s.err
 }
 
 func (s *Sender) arm(f *flight) {
-	f.timer = s.sim.After(s.timeout, func() {
-		// Still unacked: retransmit and re-arm.
+	to := s.timeout
+	if s.backoff && f.tries > 0 {
+		shift := f.tries
+		if shift > 6 {
+			shift = 6
+		}
+		to = s.timeout << uint(shift)
+	}
+	f.timer = s.sim.After(to, func() {
+		// Still unacked: retransmit and re-arm, unless the retry budget is
+		// exhausted — then the peer is presumed dead and the window aborts.
+		if s.maxRetries > 0 && f.tries >= s.maxRetries {
+			s.fail(fmt.Errorf("window: packet seq=%d unacknowledged after %d retransmissions", f.pkt.Seq, f.tries))
+			return
+		}
+		f.tries++
 		s.stats.Retransmits++
 		if s.cc != nil {
 			s.cc.onTimeout()

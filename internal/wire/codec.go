@@ -36,15 +36,30 @@ func (c Codec) Marshal(p *Packet) ([]byte, error) {
 	binary.BigEndian.PutUint32(h[4:], uint32(p.Task))
 	binary.BigEndian.PutUint32(h[8:], p.Seq)
 	binary.BigEndian.PutUint64(h[12:], uint64(p.Bitmap))
-	if p.Type == TypeAck {
-		// ACKs are header-only; the otherwise-unused bitmap field carries
-		// the acknowledged packet type.
-		h[12] = byte(p.AckFor)
+	if p.Type != TypeData && p.Type != TypeReplay {
+		// Only data-bearing packets use the bitmap field; everything else
+		// repurposes it: offset 12 carries the acknowledged packet type
+		// (TypeAck), offsets 13-16 the switch epoch.
+		h[12] = 0
+		if p.Type == TypeAck {
+			h[12] = byte(p.AckFor)
+		}
+		binary.BigEndian.PutUint32(h[13:], p.Epoch)
+		h[17], h[18], h[19] = 0, 0, 0
+		if p.Type == TypeFin {
+			// The FIN generation (the sender's epoch when the FIN was cut)
+			// rides the spare bytes so FIN stays header-only.
+			binary.BigEndian.PutUint16(h[17:], uint16(p.OrigSeq))
+		}
 	}
 	body := buf[HeaderBytes:]
 	switch p.Type {
-	case TypeData:
+	case TypeData, TypeReplay:
 		off := 0
+		if p.Type == TypeReplay {
+			binary.BigEndian.PutUint32(body[0:], p.OrigSeq)
+			off = 4
+		}
 		for _, s := range p.Slots {
 			putUintN(body[off:], s.KPart>>uint(8*(8-c.KPartBytes)), c.KPartBytes)
 			off += c.KPartBytes
@@ -97,20 +112,33 @@ func (c Codec) Unmarshal(buf []byte) (*Packet, error) {
 		Seq:    binary.BigEndian.Uint32(h[8:]),
 		Bitmap: Bitmap(binary.BigEndian.Uint64(h[12:])),
 	}
-	if p.Type == TypeAck {
-		p.AckFor = Type(h[12])
+	if p.Type != TypeData && p.Type != TypeReplay {
+		if p.Type == TypeAck {
+			p.AckFor = Type(h[12])
+		}
+		p.Epoch = binary.BigEndian.Uint32(h[13:])
 		p.Bitmap = 0
+		if p.Type == TypeFin {
+			p.OrigSeq = uint32(binary.BigEndian.Uint16(h[17:]))
+		}
 	}
 	body := buf[HeaderBytes:]
 	switch p.Type {
-	case TypeData:
-		slotBytes := 2 * c.KPartBytes
-		if len(body)%slotBytes != 0 {
-			return nil, fmt.Errorf("wire: data payload of %d bytes not a multiple of slot size %d", len(body), slotBytes)
-		}
-		n := len(body) / slotBytes
-		p.Slots = make([]Slot, n)
+	case TypeData, TypeReplay:
 		off := 0
+		if p.Type == TypeReplay {
+			if len(body) < 4 {
+				return nil, fmt.Errorf("wire: truncated replay payload")
+			}
+			p.OrigSeq = binary.BigEndian.Uint32(body[0:])
+			off = 4
+		}
+		slotBytes := 2 * c.KPartBytes
+		if (len(body)-off)%slotBytes != 0 {
+			return nil, fmt.Errorf("wire: data payload of %d bytes not a multiple of slot size %d", len(body)-off, slotBytes)
+		}
+		n := (len(body) - off) / slotBytes
+		p.Slots = make([]Slot, n)
 		for i := 0; i < n; i++ {
 			p.Slots[i].KPart = getUintN(body[off:], c.KPartBytes) << uint(8*(8-c.KPartBytes))
 			off += c.KPartBytes
@@ -154,7 +182,7 @@ func (c Codec) Unmarshal(buf []byte) (*Packet, error) {
 				Val:   int64(binary.BigEndian.Uint64(body[off+13:])),
 			})
 		}
-	case TypeAck, TypeFin, TypeSwap:
+	case TypeAck, TypeFin, TypeSwap, TypeProbe, TypeProbeReply:
 		// Header-only.
 	default:
 		return nil, fmt.Errorf("wire: unknown packet type %d", h[0])

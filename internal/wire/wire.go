@@ -66,6 +66,17 @@ const (
 	// TypeCtrl is a control-channel message between host daemons (task
 	// notify/ready); the switch forwards it untouched.
 	TypeCtrl
+	// TypeProbe is a host-to-switch health probe; the switch answers with a
+	// TypeProbeReply carrying its current epoch (failover, §failure model).
+	TypeProbe
+	// TypeProbeReply answers a probe; header-only, epoch in the bitmap bytes.
+	TypeProbeReply
+	// TypeReplay is a bypass retransmission of a previously sent data packet
+	// after a switch failure: it carries the original slots and liveness
+	// bitmap plus OrigSeq, the original sequence number, so the receiver can
+	// reconcile against tuples already merged before the failure. The switch
+	// runs its reliability stages on it but never aggregates.
+	TypeReplay
 )
 
 func (t Type) String() string {
@@ -86,6 +97,12 @@ func (t Type) String() string {
 		return "FETCHREPLY"
 	case TypeCtrl:
 		return "CTRL"
+	case TypeProbe:
+		return "PROBE"
+	case TypeProbeReply:
+		return "PROBEREPLY"
+	case TypeReplay:
+		return "REPLAY"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -182,9 +199,23 @@ type Packet struct {
 	// host can route data/FIN ACKs to the sender window and swap ACKs to
 	// the shadow-copy machinery.
 	AckFor Type
-	// Bitmap is meaningful for TypeData: live-tuple bits.
+	// Epoch is the switch incarnation number stamped on every non-data
+	// packet the switch generates or forwards. It rides the otherwise-unused
+	// bitmap bytes (h[13:17] — ACKs use h[12] for AckFor), so the 20-byte
+	// ASK header and the 78-byte per-packet overhead are unchanged. Hosts
+	// detect switch reboots by observing an epoch advance.
+	Epoch uint32
+	// OrigSeq (TypeReplay) is the sequence number the replayed payload was
+	// originally sent under; the receiver uses (Flow, OrigSeq) as the
+	// reconciliation identity so no tuple is double-counted across the
+	// INA → bypass transition. For TypeFin it carries the FIN generation
+	// (the sender's epoch when the FIN was cut, in the spare header bytes
+	// h[17:19]) so a receiver can tell a stale pre-reboot FIN from one sent
+	// after the sender finished replaying.
+	OrigSeq uint32
+	// Bitmap is meaningful for TypeData/TypeReplay: live-tuple bits.
 	Bitmap Bitmap
-	// Slots is the fixed tuple-slot array for TypeData (len = NumAAs).
+	// Slots is the fixed tuple-slot array for TypeData/TypeReplay (len = NumAAs).
 	Slots []Slot
 	// Long carries tuples for TypeLongKey.
 	Long []LongKV
@@ -217,6 +248,9 @@ func (p *Packet) PayloadBytes(kPartBytes int) int {
 	switch p.Type {
 	case TypeData:
 		return len(p.Slots) * 2 * kPartBytes
+	case TypeReplay:
+		// OrigSeq plus the full original slot array.
+		return 4 + len(p.Slots)*2*kPartBytes
 	case TypeLongKey:
 		n := 0
 		for _, kv := range p.Long {
@@ -229,7 +263,7 @@ func (p *Packet) PayloadBytes(kPartBytes int) int {
 		return 12 // copy, clear, row range
 	case TypeCtrl:
 		return CtrlBytes
-	default: // ACK, FIN, SWAP: header-only
+	default: // ACK, FIN, SWAP, PROBE, PROBEREPLY: header-only
 		return 0
 	}
 }
@@ -252,6 +286,8 @@ func (p *Packet) String() string {
 	switch p.Type {
 	case TypeData:
 		return fmt.Sprintf("%s task=%d %s seq=%d live=%d", p.Type, p.Task, p.Flow, p.Seq, p.LiveTuples())
+	case TypeReplay:
+		return fmt.Sprintf("%s task=%d %s seq=%d orig=%d live=%d", p.Type, p.Task, p.Flow, p.Seq, p.OrigSeq, p.LiveTuples())
 	default:
 		return fmt.Sprintf("%s task=%d %s seq=%d", p.Type, p.Task, p.Flow, p.Seq)
 	}
@@ -282,4 +318,9 @@ func (p *Packet) Clone() *Packet {
 //	offset 4-7: Task (4)
 //	offset 8-11: Seq (4)
 //	offset 12-19: Bitmap (8)
+//
+// For non-data types the bitmap field is repurposed: offset 12 carries
+// AckFor (TypeAck), offsets 13-16 carry the switch Epoch, offsets 17-19 are
+// reserved. Data/replay packets carry the liveness bitmap there; replay
+// packets put OrigSeq in the first 4 payload bytes instead.
 var _ = binary.BigEndian
