@@ -2,12 +2,17 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet build test race bench telemetry-lint ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# Asserts every registered metric is component.snake_case and documented
+# in DESIGN.md's Observability section.
+telemetry-lint:
+	$(GO) run ./cmd/telemetrylint .
 
 build:
 	$(GO) build ./...
@@ -21,4 +26,4 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
 
-ci: vet build test race
+ci: vet build telemetry-lint test race

@@ -34,6 +34,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/switchd"
+	"repro/internal/telemetry"
 )
 
 // Options configures a cluster.
@@ -52,16 +53,28 @@ type Options struct {
 	Seed int64
 	// Switch sizes the switch state tables (zero value: defaults).
 	Switch switchd.Options
+	// Telemetry enables the cluster-wide observability stack: a shared
+	// metrics registry across switch, daemons, transport windows and
+	// network, a sim-clock trace ring, and a gauge sampler that runs while
+	// tasks are active. Zero value: disabled (components fall back to
+	// private registries so Stats accessors still work).
+	Telemetry telemetry.Config
 }
 
 // Cluster is a simulated rack running the ASK service.
 type Cluster struct {
-	Sim     *sim.Simulation
-	Net     *netsim.Network
-	Switch  *switchd.Switch
+	Sim    *sim.Simulation
+	Net    *netsim.Network
+	Switch *switchd.Switch
+	// Tel is the cluster observability set (nil unless Options.Telemetry
+	// is enabled): registry, tracer, and sampler.
+	Tel     *telemetry.Set
 	opts    Options
 	daemons map[core.HostID]*hostd.Daemon
 	cpus    map[core.HostID]*cpumodel.Host
+	// activeTasks gates the telemetry sampler: it runs only while tasks
+	// are in flight so Sim.Run(0) still quiesces.
+	activeTasks int
 }
 
 // controllerAdapter narrows switchd.Switch to the hostd.Controller surface.
@@ -103,8 +116,13 @@ func NewCluster(opts Options) (*Cluster, error) {
 		opts.Switch = switchd.DefaultOptions()
 	}
 	s := sim.New(opts.Seed)
+	tel := telemetry.NewSet(s, opts.Telemetry)
+	sink := tel.Sink()
 	n := netsim.New(s, opts.Link)
-	sw, err := switchd.New(s, n, opts.Config, opts.Switch)
+	n.Instrument(sink)
+	swOpts := opts.Switch
+	swOpts.Telemetry = sink
+	sw, err := switchd.New(s, n, opts.Config, swOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +130,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Sim:     s,
 		Net:     n,
 		Switch:  sw,
+		Tel:     tel,
 		opts:    opts,
 		daemons: make(map[core.HostID]*hostd.Daemon),
 		cpus:    make(map[core.HostID]*cpumodel.Host),
@@ -119,7 +138,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	for h := 0; h < opts.Hosts; h++ {
 		id := core.HostID(h)
 		cpu := cpumodel.NewHost(s, opts.Cores)
-		d, err := hostd.New(s, n, cpu, opts.Config, id, controllerAdapter{sw})
+		d, err := hostd.New(s, n, cpu, opts.Config, id, controllerAdapter{sw}, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -127,6 +146,23 @@ func NewCluster(opts Options) (*Cluster, error) {
 		cl.cpus[id] = cpu
 	}
 	return cl, nil
+}
+
+// taskStarted/taskFinished bracket the telemetry sampler around the span of
+// in-flight tasks: the sampler self-reschedules on the sim clock, so leaving
+// it running on an idle cluster would keep Sim.Run(0) from quiescing.
+func (c *Cluster) taskStarted() {
+	c.activeTasks++
+	if c.activeTasks == 1 && c.Tel != nil && c.Tel.Sampler != nil {
+		c.Tel.Sampler.Start()
+	}
+}
+
+func (c *Cluster) taskFinished() {
+	c.activeTasks--
+	if c.activeTasks == 0 && c.Tel != nil && c.Tel.Sampler != nil {
+		c.Tel.Sampler.Stop()
+	}
 }
 
 // Daemon returns the host daemon of a server.
@@ -216,7 +252,9 @@ func (c *Cluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Str
 		return nil, fmt.Errorf("ask: receiver host %d not in cluster", spec.Receiver)
 	}
 	pt := &PendingTask{c: c, spec: spec, start: c.Sim.Now()}
+	c.taskStarted()
 	c.Sim.Spawn(fmt.Sprintf("driver-task%d", spec.ID), func(p *sim.Proc) {
+		defer c.taskFinished()
 		h, err := c.daemons[spec.Receiver].Submit(p, spec)
 		if err != nil {
 			pt.err = err

@@ -10,6 +10,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/switchd"
+	"repro/internal/telemetry"
 )
 
 // MultiRackOptions configures the §7 multi-rack deployment: several racks,
@@ -92,7 +93,10 @@ func NewMultiRackCluster(opts MultiRackOptions) (*MultiRackCluster, error) {
 			// Each daemon's control plane is its own rack's TOR: channels
 			// register there, and a receiver allocates its task region
 			// there — never on a remote TOR.
-			d, err := hostd.New(s, rackFabric{tt, r}, cpu, opts.Config, id, controllerAdapter{mc.TORs[r]})
+			// Zero telemetry sink: multi-rack daemons keep private
+			// registries (per-host/per-task label sets would collide on
+			// a shared registry across TORs).
+			d, err := hostd.New(s, rackFabric{tt, r}, cpu, opts.Config, id, controllerAdapter{mc.TORs[r]}, telemetry.Sink{})
 			if err != nil {
 				return nil, err
 			}

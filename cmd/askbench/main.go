@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,8 +26,12 @@ func main() {
 		run   = flag.String("run", "", "experiment to run (or 'all')")
 		quick = flag.Bool("quick", false, "use test-scale presets")
 		list  = flag.Bool("list", false, "list available experiments")
+		telem = flag.Bool("telemetry", false, "instrument experiment clusters and print a metric report per experiment")
 	)
 	flag.Parse()
+	if *telem {
+		experiments.SetDefaultTelemetry(telemetry.Config{Enabled: true})
+	}
 
 	if *list || *run == "" {
 		fmt.Println("Available experiments:")
@@ -64,6 +69,11 @@ func main() {
 		}
 		for _, t := range tables {
 			fmt.Println(t.String())
+		}
+		if *telem {
+			if set := experiments.LastTelemetry(); set != nil {
+				fmt.Println(telemetry.Report(set.Registry).String())
+			}
 		}
 		fmt.Printf("(%s completed in %v wall time)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
 	}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,8 +19,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// writeSnapshot writes one exporter's output to path ("-" = stdout).
+func writeSnapshot(path string, write func(w io.Writer) error) {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := write(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -37,8 +57,14 @@ func main() {
 		verify   = flag.Bool("verify", true, "check the result against a host-computed reference")
 		trace    = flag.String("trace", "", "replay a TSV trace (from askgen) instead of generating (split round-robin across senders)")
 		layout   = flag.Bool("layout", false, "print the switch pipeline layout and exit")
+		telem    = flag.Bool("telemetry", false, "enable the cluster telemetry stack and print the metric report")
+		promOut  = flag.String("prom", "", "write a Prometheus text snapshot to this file ('-' = stdout; implies -telemetry)")
+		jsonOut  = flag.String("json", "", "write a JSON telemetry snapshot (metrics, series, trace events) to this file ('-' = stdout; implies -telemetry)")
 	)
 	flag.Parse()
+	if *promOut != "" || *jsonOut != "" {
+		*telem = true
+	}
 
 	if *senders >= *hosts {
 		fmt.Fprintln(os.Stderr, "asksim: need senders < hosts (host 0 is the receiver)")
@@ -52,7 +78,10 @@ func main() {
 	link.Fault.LossProb = *loss
 	link.Fault.DupProb = *dup
 
-	cl, err := ask.NewCluster(ask.Options{Hosts: *hosts, Config: cfg, Link: link, Seed: *seed})
+	cl, err := ask.NewCluster(ask.Options{
+		Hosts: *hosts, Config: cfg, Link: link, Seed: *seed,
+		Telemetry: telemetry.Config{Enabled: *telem},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -144,4 +173,22 @@ func main() {
 	}
 	down := cl.Net.Downlink(0).Stats()
 	fmt.Printf("  receiver downlink:    %.2f Gbps wire (%d frames)\n", stats.Gbps(down.TxWireBytes, el), down.TxFrames)
+
+	if *telem {
+		if *promOut != "" {
+			writeSnapshot(*promOut, func(w io.Writer) error {
+				return telemetry.WritePrometheus(w, cl.Tel.Registry)
+			})
+		}
+		if *jsonOut != "" {
+			writeSnapshot(*jsonOut, cl.Tel.WriteJSON)
+		}
+		if *promOut == "" && *jsonOut == "" {
+			fmt.Println()
+			fmt.Println(telemetry.Report(cl.Tel.Registry).String())
+			if tr := cl.Tel.Tracer; tr != nil {
+				fmt.Printf("trace: %d events captured (%d dropped)\n", len(tr.Events()), tr.Dropped())
+			}
+		}
+	}
 }

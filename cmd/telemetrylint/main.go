@@ -1,0 +1,151 @@
+// Command telemetrylint enforces the repo's metric-name hygiene:
+//
+//  1. every metric registered in non-test code matches the canonical
+//     component.snake_case shape (at least two dot-separated lowercase
+//     segments), and
+//  2. every registered metric is documented in DESIGN.md's metric
+//     inventory (a `name` entry inside the Observability section).
+//
+// It extracts names by parsing the source (go/ast), looking for calls to
+// Counter/Gauge/Histogram/GaugeFunc whose first argument is a string
+// literal, so adding an instrument without documenting it fails `make
+// telemetry-lint` (and CI). Dynamically-built names (e.g. hostd.slot_fill's
+// label values) are still covered because the metric *name* stays literal.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRE      = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+	registrars  = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "GaugeFunc": true}
+	docMetricRE = regexp.MustCompile("`([a-z][a-z0-9_]*(?:\\.[a-z][a-z0-9_]*)+)`")
+)
+
+// collect returns metric name -> first "file:line" registering it.
+func collect(root string) (map[string]string, error) {
+	found := make(map[string]string)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || path == filepath.Join(root, "cmd", "telemetrylint") {
+				return filepath.SkipDir
+			}
+			// The telemetry package itself defines the registrar methods;
+			// its own sources register nothing.
+			if path == filepath.Join(root, "internal", "telemetry") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registrars[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.Contains(name, ".") {
+				return true
+			}
+			if _, seen := found[name]; !seen {
+				pos := fset.Position(lit.Pos())
+				rel, _ := filepath.Rel(root, pos.Filename)
+				found[name] = fmt.Sprintf("%s:%d", rel, pos.Line)
+			}
+			return true
+		})
+		return nil
+	})
+	return found, err
+}
+
+// documented returns the set of `metric.name` spans in DESIGN.md's
+// Observability section.
+func documented(root string) (map[string]bool, error) {
+	b, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		return nil, err
+	}
+	text := string(b)
+	if i := strings.Index(text, "## Observability"); i >= 0 {
+		text = text[i:]
+		if j := strings.Index(text[1:], "\n## "); j >= 0 {
+			text = text[:j+1]
+		}
+	} else {
+		return nil, fmt.Errorf("DESIGN.md has no \"## Observability\" section")
+	}
+	docs := make(map[string]bool)
+	for _, m := range docMetricRE.FindAllStringSubmatch(text, -1) {
+		docs[m[1]] = true
+	}
+	return docs, nil
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	metrics, err := collect(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telemetrylint:", err)
+		os.Exit(1)
+	}
+	docs, err := documented(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telemetrylint:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(metrics))
+	for n := range metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bad := 0
+	for _, n := range names {
+		switch {
+		case !nameRE.MatchString(n):
+			fmt.Printf("%s: metric %q is not component.snake_case\n", metrics[n], n)
+			bad++
+		case !docs[n]:
+			fmt.Printf("%s: metric %q is not documented in DESIGN.md's Observability section\n", metrics[n], n)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("telemetrylint: %d problem(s) across %d registered metric(s)\n", bad, len(names))
+		os.Exit(1)
+	}
+	fmt.Printf("telemetrylint: %d metric(s) registered, all well-formed and documented\n", len(names))
+}

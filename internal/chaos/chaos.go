@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Record is one fired injection.
@@ -32,12 +33,24 @@ type Record struct {
 type Orchestrator struct {
 	cl  *ask.Cluster
 	log []Record
+	// injections counts fired events (chaos.injections on the cluster
+	// registry); tr mirrors every firing into the trace ring. Both are
+	// nil-safe no-ops on an uninstrumented cluster.
+	injections *telemetry.Counter
+	tr         *telemetry.Tracer
 }
 
 // New wraps a cluster in an orchestrator. The cluster should run with
 // Config.Failover on; injecting switch faults into a non-failover cluster
 // deadlocks tasks whose state died with the switch.
-func New(cl *ask.Cluster) *Orchestrator { return &Orchestrator{cl: cl} }
+func New(cl *ask.Cluster) *Orchestrator {
+	o := &Orchestrator{cl: cl}
+	if cl.Tel != nil && cl.Tel.Registry != nil {
+		o.injections = cl.Tel.Registry.Counter("chaos.injections")
+		o.tr = cl.Tel.Tracer
+	}
+	return o
+}
 
 // Cluster returns the rack under test.
 func (o *Orchestrator) Cluster() *ask.Cluster { return o.cl }
@@ -52,6 +65,8 @@ func (o *Orchestrator) At(d time.Duration, desc string, fn func()) {
 	t := sim.Time(0).Add(d)
 	o.cl.Sim.At(t, func() {
 		o.log = append(o.log, Record{At: o.cl.Sim.Now(), Desc: desc})
+		o.injections.Inc()
+		o.tr.EmitNote(telemetry.CompChaos, "inject", 0, desc)
 		fn()
 	})
 }

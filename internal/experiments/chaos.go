@@ -8,6 +8,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -45,7 +46,12 @@ func chaosOptions(cfg ChaosConfig) ask.Options {
 	c := core.DefaultConfig()
 	c.ShadowCopy = false
 	c.Failover = true
-	return ask.Options{Hosts: cfg.Senders + 1, Config: c, Seed: cfg.Seed}
+	// The chaos table reads its fault-cost columns (degraded time, replay
+	// traffic) from the cluster telemetry registry, so every run carries one.
+	return ask.Options{
+		Hosts: cfg.Senders + 1, Config: c, Seed: cfg.Seed,
+		Telemetry: telemetry.Config{Enabled: true},
+	}
 }
 
 // chaosTask builds the task spec and per-sender streams (plus the reference
@@ -109,17 +115,24 @@ func Chaos(cfg ChaosConfig) (*stats.Table, error) {
 			return nil, fmt.Errorf("chaos: scenario %s diverged from golden: %s",
 				sc.Name, res.Result.Diff(want, 5))
 		}
-		var replays, replayMerged int64
-		for h := 0; h < cfg.Senders+1; h++ {
-			fs := cl.Daemon(core.HostID(h)).FailoverStats()
-			replays += fs.ReplaysSent
-			replayMerged += fs.ReplayTuplesMerged
+		// Fault-cost columns come straight off the cluster registry: the
+		// per-host hostd.* counters are summed across the label dimension
+		// rather than hand-carried through the daemons' Stats accessors.
+		reg := cl.Tel.Registry
+		replays := reg.Total("hostd.replays_sent")
+		replayMerged := reg.Total("hostd.replay_tuples_merged")
+		// Degraded-time: the longest closed per-daemon interval on the
+		// registry; a task-only (revocation) degradation is tracked by the
+		// receiver task itself, so take whichever is larger.
+		degraded := time.Duration(reg.Max("hostd.degraded_time_ns"))
+		if res.Degraded > degraded {
+			degraded = res.Degraded
 		}
 		t.AddRow(sc.Name,
 			time.Duration(res.Elapsed),
 			float64(res.Elapsed)/float64(golden.Elapsed),
 			exact,
-			res.Degraded,
+			degraded,
 			replays,
 			replayMerged,
 			res.Switch.TuplesAggregated,

@@ -16,13 +16,45 @@ import (
 	"repro/internal/core"
 	"repro/internal/keyspace"
 	"repro/internal/switchd"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// defaultTelemetry, when enabled, is applied to every cluster the shared
+// helpers build for experiments that did not configure their own telemetry;
+// cmd/askbench's -telemetry flag sets it. lastTelemetry retains the most
+// recently built instrumented cluster's observability set so the CLI can
+// report it after an experiment finishes.
+var (
+	defaultTelemetry telemetry.Config
+	lastTelemetry    *telemetry.Set
+)
+
+// SetDefaultTelemetry configures the telemetry applied to experiment
+// clusters built through the shared helpers.
+func SetDefaultTelemetry(cfg telemetry.Config) { defaultTelemetry = cfg }
+
+// LastTelemetry returns the observability set of the most recent
+// instrumented experiment cluster (nil if telemetry was never enabled).
+func LastTelemetry() *telemetry.Set { return lastTelemetry }
+
+// newCluster is the shared-helper cluster constructor: it folds in the
+// CLI-level default telemetry and records the instrumented set.
+func newCluster(opts ask.Options) (*ask.Cluster, error) {
+	if !opts.Telemetry.Enabled {
+		opts.Telemetry = defaultTelemetry
+	}
+	cl, err := ask.NewCluster(opts)
+	if err == nil && cl.Tel != nil {
+		lastTelemetry = cl.Tel
+	}
+	return cl, err
+}
 
 // runAggregation spins up a fresh cluster and runs one task to completion,
 // returning the outcome plus the cluster (for link/daemon statistics).
 func runAggregation(opts ask.Options, spec core.TaskSpec, streams map[core.HostID]core.Stream) (*ask.TaskResult, *ask.Cluster, error) {
-	cl, err := ask.NewCluster(opts)
+	cl, err := newCluster(opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -86,7 +118,7 @@ type parallelRun struct {
 // task i's per-sender workload; every task runs senders → receiver.
 func runParallelTasks(opts ask.Options, k, rowsPerTask int, senders []core.HostID,
 	receiver core.HostID, makeSpec func(task int, sender core.HostID) workload.Spec) (*parallelRun, error) {
-	cl, err := ask.NewCluster(opts)
+	cl, err := newCluster(opts)
 	if err != nil {
 		return nil, err
 	}

@@ -84,6 +84,7 @@ func newDataChannel(d *Daemon, flow core.FlowKey) *dataChannel {
 		rxThread: d.cpu.NewThread(),
 	}
 	ch.win = window.NewSender(d.sim, d.cfg.Window, d.cfg.RetransmitTimeout, ch.transmit)
+	ch.win.Instrument(d.tel, flow.String())
 	if d.cfg.CongestionControl {
 		ch.win.EnableCongestionControl()
 	}
@@ -178,12 +179,13 @@ func (ch *dataChannel) txLoop(p *sim.Proc) {
 			}
 			pkt.Task = task.id
 			pkt.Flow = ch.flow
-			ch.d.stats.PacketsSent++
-			ch.d.stats.TuplesSent += int64(tuples)
+			ch.d.met.packetsSent.Inc()
+			ch.d.met.tuplesSent.Add(int64(tuples))
+			ch.d.met.batchTuples.Record(int64(tuples))
 			if pkt.Type == wire.TypeLongKey {
-				ch.d.stats.LongTuplesSent += int64(tuples)
+				ch.d.met.longTuplesSent.Add(int64(tuples))
 			} else {
-				ch.d.stats.SlotFill[pkt.Bitmap.Count()]++
+				ch.d.slotFillCounter(pkt.Bitmap.Count()).Inc()
 			}
 			if err := ch.win.SendBlocking(p, pkt); err != nil {
 				task.err = err
@@ -283,7 +285,7 @@ func (ch *dataChannel) doRecover(p *sim.Proc) {
 				if err := ch.win.SendBlocking(p, rp); err != nil {
 					break
 				}
-				ch.d.fstats.ReplaysSent++
+				ch.d.met.replaysSent.Inc()
 			}
 			if t.finished && t.err == nil {
 				// Re-FIN after the replays are acknowledged so the receiver

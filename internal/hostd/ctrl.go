@@ -57,6 +57,7 @@ func newCtrlChannel(d *Daemon) *ctrlChannel {
 	// Control messages are far larger-timeout than data: they cross the
 	// switch twice and are not latency critical.
 	ch.win = window.NewSender(d.sim, ctrlWindow, 10*d.cfg.RetransmitTimeout, ch.transmit)
+	ch.win.Instrument(d.tel, ch.flow.String())
 	d.sim.Spawn("ctrl-"+ch.flow.String(), ch.rxLoop)
 	return ch
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 	"repro/internal/wire"
 )
@@ -49,7 +50,8 @@ import (
 // fetched after all senders re-FINed (switchCommitted); the FIN-generation
 // check guarantees the fetch happens only after every replay is merged.
 
-// FailoverStats counts failover activity at one daemon.
+// FailoverStats counts failover activity at one daemon. It is a
+// point-in-time view over the daemon's telemetry counters (metrics.go).
 type FailoverStats struct {
 	ProbesSent         int64
 	ProbeTimeouts      int64
@@ -61,10 +63,20 @@ type FailoverStats struct {
 	DegradedTime       time.Duration
 }
 
-// FailoverStats returns a copy of the failover counters; if the daemon is
+// FailoverStats returns a snapshot of the failover counters; if the daemon is
 // currently degraded the open interval is included in DegradedTime.
 func (d *Daemon) FailoverStats() FailoverStats {
-	fs := d.fstats
+	m := &d.met
+	fs := FailoverStats{
+		ProbesSent:         m.probesSent.Value(),
+		ProbeTimeouts:      m.probeTimeouts.Value(),
+		EpochChanges:       m.epochChanges.Value(),
+		Failovers:          m.failovers.Value(),
+		Reattaches:         m.reattaches.Value(),
+		ReplaysSent:        m.replaysSent.Value(),
+		ReplayTuplesMerged: m.replayTuplesMerged.Value(),
+		DegradedTime:       time.Duration(m.degradedTimeNs.Value()),
+	}
 	if d.degraded {
 		fs.DegradedTime += d.sim.Now().Sub(d.degradedAt)
 	}
@@ -115,7 +127,8 @@ func (d *Daemon) observeEpoch(e uint32) {
 		return
 	}
 	d.epoch = e
-	d.fstats.EpochChanges++
+	d.met.epochChanges.Inc()
+	d.tr.Emit(telemetry.CompHostd, "epoch_change", int64(d.host), int64(e), 0)
 	d.enterDegraded()
 	d.recovering = true
 	d.recoveryGen++
@@ -138,15 +151,20 @@ func (d *Daemon) enterDegraded() {
 	}
 	d.degraded = true
 	d.degradedAt = d.sim.Now()
-	d.fstats.Failovers++
+	d.met.failovers.Inc()
+	d.met.degraded.Set(1)
+	d.tr.Emit(telemetry.CompHostd, "failover_enter", int64(d.host), int64(d.epoch), 0)
 }
 
 func (d *Daemon) exitDegraded() {
 	if !d.degraded {
 		return
 	}
-	d.fstats.DegradedTime += d.sim.Now().Sub(d.degradedAt)
+	interval := d.sim.Now().Sub(d.degradedAt)
+	d.met.degradedTimeNs.Add(int64(interval))
 	d.degraded = false
+	d.met.degraded.Set(0)
+	d.tr.Emit(telemetry.CompHostd, "failover_exit", int64(d.host), int64(d.epoch), int64(interval))
 }
 
 // probeInterval returns the configured (or default) idle probe spacing.
@@ -196,7 +214,7 @@ func (d *Daemon) probeLoop(p *sim.Proc) {
 			Seq:  seq,
 		}
 		d.sendFrame(d.host, probe, 0)
-		d.fstats.ProbesSent++
+		d.met.probesSent.Inc()
 		timeout := d.cfg.RetransmitTimeout
 		deadline := d.sim.Now().Add(timeout)
 		for window.SeqLess(d.probeReplySeq, seq) && d.sim.Now() < deadline {
@@ -209,7 +227,7 @@ func (d *Daemon) probeLoop(p *sim.Proc) {
 			continue
 		}
 		misses++
-		d.fstats.ProbeTimeouts++
+		d.met.probeTimeouts.Inc()
 		if misses >= d.probeMisses() {
 			d.enterDegraded()
 		}
@@ -263,7 +281,8 @@ func (d *Daemon) recoverProc(p *sim.Proc, gen uint32) {
 		p.Wait(d.chRecoverSig)
 	}
 	d.recovering = false
-	d.fstats.Reattaches++
+	d.met.reattaches.Inc()
+	d.tr.Emit(telemetry.CompHostd, "reattach", int64(d.host), int64(d.epoch), int64(gen))
 	d.exitDegraded()
 }
 

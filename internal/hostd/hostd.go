@@ -20,6 +20,7 @@ import (
 	"repro/internal/keyspace"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 	"repro/internal/wire"
 )
@@ -36,7 +37,8 @@ type Controller interface {
 	FreeRegion(task core.TaskID) error
 }
 
-// Stats counts daemon-level activity.
+// Stats counts daemon-level activity. It is a point-in-time view over
+// the daemon's telemetry instruments (metrics.go).
 type Stats struct {
 	TuplesSent      int64 // tuples handed to the network (short+medium+long)
 	LongTuplesSent  int64 // subset bypassing the switch
@@ -73,8 +75,15 @@ type Daemon struct {
 
 	fetchReqs  map[uint32]*fetchReq
 	nextFetch  uint32
-	stats      Stats
 	taskSerial uint32
+
+	// Telemetry (metrics.go): instruments live on reg; met caches the
+	// hot-path pointers; tel is the sink handed to per-channel windows.
+	reg     *telemetry.Registry
+	tr      *telemetry.Tracer
+	tel     telemetry.Sink
+	hostLbl telemetry.Label
+	met     hostMetrics
 
 	// Failover state (failover.go). epoch starts at 1 and tracks the switch
 	// incarnation; all other fields are idle unless cfg.Failover is set.
@@ -92,12 +101,13 @@ type Daemon struct {
 	activitySig   *sim.Signal
 	chRecoverSig  *sim.Signal
 	activeSends   map[core.TaskID]*sendTask
-	fstats        FailoverStats
 }
 
 // New boots a daemon on host, attaches it to the network, and registers its
-// persistent data channels with the switch controller.
-func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.Config, host core.HostID, ctrl Controller) (*Daemon, error) {
+// persistent data channels with the switch controller. tel is the cluster
+// observability sink; the zero value gives the daemon a private registry
+// so the Stats views still work, with tracing disabled.
+func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.Config, host core.HostID, ctrl Controller, tel telemetry.Sink) (*Daemon, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -125,6 +135,8 @@ func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.
 		chRecoverSig: sim.NewSignal(s),
 		activeSends: make(map[core.TaskID]*sendTask),
 	}
+	d.tel = tel
+	d.initMetrics(tel)
 	net.AttachHost(host, d)
 	for i := 0; i < cfg.DataChannels; i++ {
 		fk := core.FlowKey{Host: host, Channel: core.ChannelID(i)}
@@ -143,8 +155,24 @@ func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.
 // Host returns the daemon's host ID.
 func (d *Daemon) Host() core.HostID { return d.host }
 
-// Stats returns a copy of the daemon counters.
-func (d *Daemon) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the daemon counters (atomic reads of the
+// registry instruments).
+func (d *Daemon) Stats() Stats {
+	m := &d.met
+	s := Stats{
+		TuplesSent:      m.tuplesSent.Value(),
+		LongTuplesSent:  m.longTuplesSent.Value(),
+		PacketsSent:     m.packetsSent.Value(),
+		ResidueTuples:   m.residueTuples.Value(),
+		SwitchTuples:    m.switchTuples.Value(),
+		SwapsTriggered:  m.swapsTriggered.Value(),
+		PacketsReceived: m.packetsReceived.Value(),
+	}
+	for i, c := range m.slotFill {
+		s.SlotFill[i] = c.Value() // nil counters read 0
+	}
+	return s
+}
 
 // Config returns the deployment configuration.
 func (d *Daemon) Config() core.Config { return d.cfg }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/switchd"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -49,7 +50,7 @@ func newRig(t *testing.T, hosts int, link netsim.LinkConfig) *rig {
 	r := &rig{s: s, sw: sw, daemons: make(map[core.HostID]*hostd.Daemon)}
 	for h := 0; h < hosts; h++ {
 		id := core.HostID(h)
-		d, err := hostd.New(s, n, cpumodel.NewHost(s, 8), core.DefaultConfig(), id, ctrlAdapter{sw})
+		d, err := hostd.New(s, n, cpumodel.NewHost(s, 8), core.DefaultConfig(), id, ctrlAdapter{sw}, telemetry.Sink{})
 		if err != nil {
 			t.Fatal(err)
 		}

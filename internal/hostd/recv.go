@@ -8,11 +8,13 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 	"repro/internal/wire"
 )
 
-// RecvTaskStats counts receiver-side activity for one task.
+// RecvTaskStats counts receiver-side activity for one task. It is a
+// point-in-time view over the task's telemetry counters (metrics.go).
 type RecvTaskStats struct {
 	DataPackets   int64 // data packets processed (fresh)
 	ResidueTuples int64 // tuples aggregated at the host
@@ -77,7 +79,10 @@ type recvTask struct {
 	completed   bool
 	done        *sim.Signal
 
-	stats RecvTaskStats
+	met recvMetrics
+	// degraded is how long the task ran host-only after a region
+	// revocation; set once at teardown.
+	degraded time.Duration
 }
 
 // claimBits returns the not-yet-counted subset of b for packet (fk, seq) and
@@ -116,8 +121,19 @@ func (h *RecvHandle) Wait(p *sim.Proc) core.Result {
 // Done reports whether the task completed.
 func (h *RecvHandle) Done() bool { return h.t.completed }
 
-// Stats returns the receiver-side counters.
-func (h *RecvHandle) Stats() RecvTaskStats { return h.t.stats }
+// Stats returns a snapshot of the receiver-side counters.
+func (h *RecvHandle) Stats() RecvTaskStats {
+	t := h.t
+	return RecvTaskStats{
+		DataPackets:   t.met.dataPackets.Value(),
+		ResidueTuples: t.met.residueTuples.Value(),
+		LongTuples:    t.met.longTuples.Value(),
+		ReplayTuples:  t.met.replayTuples.Value(),
+		SwitchEntries: t.met.switchEntries.Value(),
+		Swaps:         t.met.swaps.Value(),
+		Degraded:      t.degraded,
+	}
+}
 
 // Submit starts an aggregation task with this daemon's host as the receiver
 // (§3.1 steps ①–⑤): it allocates the shared-memory segment, requests a
@@ -141,6 +157,7 @@ func (d *Daemon) Submit(p *sim.Proc, spec core.TaskSpec) (*RecvHandle, error) {
 		swapAckSig: sim.NewSignal(d.sim),
 		finSig:     sim.NewSignal(d.sim),
 		done:       sim.NewSignal(d.sim),
+		met:        d.newRecvMetrics(spec.ID),
 	}
 	if d.failover {
 		t.merged = make(map[pktID]wire.Bitmap)
@@ -247,23 +264,24 @@ func (d *Daemon) processInbound(p *sim.Proc, ch *dataChannel, f *netsim.Frame) {
 	}
 	cost := cpumodel.PacketIOCost + time.Duration(len(kvs))*cpumodel.HostAggregateCost
 	ch.rxThread.Run(p, cost)
-	d.stats.PacketsReceived++
+	d.met.packetsReceived.Inc()
 
 	if t != nil && !t.completed {
 		for _, kv := range kvs {
 			t.result.MergeKV(kv, t.spec.Op)
 		}
-		t.stats.ResidueTuples += int64(len(kvs))
-		t.stats.LongTuples += int64(longTuples)
-		d.stats.ResidueTuples += int64(len(kvs))
+		t.met.residueTuples.Add(int64(len(kvs)))
+		t.met.longTuples.Add(int64(longTuples))
+		d.met.residueTuples.Add(int64(len(kvs)))
 		switch pkt.Type {
 		case wire.TypeData:
-			t.stats.DataPackets++
+			t.met.dataPackets.Inc()
 			t.pktsSinceSwap++
 			t.maybeSwap()
 		case wire.TypeReplay:
-			t.stats.ReplayTuples += int64(len(kvs))
-			d.fstats.ReplayTuplesMerged += int64(len(kvs))
+			t.met.replayTuples.Add(int64(len(kvs)))
+			d.met.replayTuplesMerged.Add(int64(len(kvs)))
+			d.tr.Emit(telemetry.CompHostd, "replay_merged", int64(pkt.Task), int64(pkt.OrigSeq), int64(len(kvs)))
 		case wire.TypeFin:
 			t.onFin(pkt.Flow.Host, pkt.OrigSeq)
 		}
@@ -344,7 +362,7 @@ func (t *recvTask) teardown(p *sim.Proc) {
 		}
 	}
 	if t.revoked {
-		t.stats.Degraded = t.d.sim.Now().Sub(t.revokedAt)
+		t.degraded = t.d.sim.Now().Sub(t.revokedAt)
 	}
 	t.completed = true
 	if t.d.failover {
@@ -376,7 +394,7 @@ func (t *recvTask) maybeSwap() {
 	}
 	t.swapping = true
 	t.pktsSinceSwap = 0
-	t.d.stats.SwapsTriggered++
+	t.d.met.swapsTriggered.Inc()
 	t.d.sim.Spawn(fmt.Sprintf("swap-task%d", t.spec.ID), t.runSwap)
 }
 
@@ -400,7 +418,8 @@ func (t *recvTask) runSwap(p *sim.Proc) {
 	t.activeCopy ^= 1
 	entries := t.d.fetchEntries(p, t.spec.ID, old, true)
 	t.mergeEntries(p, entries)
-	t.stats.Swaps++
+	t.met.swaps.Inc()
+	t.d.tr.Emit(telemetry.CompHostd, "swap_complete", int64(t.spec.ID), int64(seq), int64(len(entries)))
 	t.swapping = false
 	t.swapDone.Fire()
 }
@@ -461,8 +480,8 @@ func (t *recvTask) mergeEntries(p *sim.Proc, entries []wire.FetchEntry) {
 		}
 	}
 	t.result.Merge(partial, t.spec.Op)
-	t.stats.SwitchEntries += int64(len(entries))
-	t.d.stats.SwitchTuples += int64(len(entries))
+	t.met.switchEntries.Add(int64(len(entries)))
+	t.d.met.switchTuples.Add(int64(len(entries)))
 }
 
 // combine merges two partial aggregates of the same key (counts add).

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -114,6 +115,11 @@ type Link struct {
 	// blackhole silently drops every frame after serialization accounting:
 	// a severed cable, as opposed to probabilistic loss.
 	blackhole bool
+	// Telemetry (telemetry.go): fault-outcome trace events. host/dir label
+	// the link in traces; tr is nil unless the network is instrumented.
+	tr   *telemetry.Tracer
+	host string
+	dir  string
 }
 
 func newLink(s *sim.Simulation, cfg LinkConfig, deliver func(*Frame)) *Link {
@@ -184,23 +190,27 @@ func (l *Link) Send(f *Frame) {
 
 	if l.blackhole {
 		l.stats.Dropped++
+		l.traceFault("frame_blackholed", f)
 		return
 	}
 	flt := l.fault()
 	rng := l.sim.Rand()
 	if flt.LossProb > 0 && rng.Float64() < flt.LossProb {
 		l.stats.Dropped++
+		l.traceFault("frame_dropped", f)
 		return
 	}
 	copies := 1
 	if flt.DupProb > 0 && rng.Float64() < flt.DupProb {
 		l.stats.Duplicated++
+		l.traceFault("frame_duplicated", f)
 		copies = 2
 	}
 	for i := 0; i < copies; i++ {
 		arrive := done.Add(l.cfg.Propagation)
 		if flt.ReorderProb > 0 && rng.Float64() < flt.ReorderProb {
 			l.stats.Reordered++
+			l.traceFault("frame_reordered", f)
 			extra := time.Duration(rng.Int63n(int64(flt.ReorderDelay) + 1))
 			arrive = arrive.Add(extra)
 		}
@@ -225,6 +235,9 @@ type Network struct {
 	handler       SwitchHandler
 	ports         map[core.HostID]*port
 	defaultLink   LinkConfig
+	// tel is the observability sink (telemetry.go); zero unless Instrument
+	// was called.
+	tel telemetry.Sink
 }
 
 // New creates a network on s where every subsequently attached host gets a
@@ -263,6 +276,7 @@ func (n *Network) AttachHostLink(id core.HostID, h HostHandler, cfg LinkConfig) 
 	})
 	p.down = newLink(n.sim, cfg, func(f *Frame) { p.host.HandleFrame(f) })
 	n.ports[id] = p
+	n.instrumentPort(id, p)
 }
 
 // HostSend transmits a frame from its Src host toward the switch.

@@ -1,0 +1,25 @@
+package pisa
+
+import "repro/internal/telemetry"
+
+// AttachTelemetry exposes the pipeline's resource counters as callback
+// gauges on reg: pisa.passes (packet passes begun), pisa.sram_bytes
+// (SRAM claimed by register arrays), and one pisa.array_accesses{array=…}
+// per register array (data-plane RMWs — together with the per-task
+// conflict counters in switchd this attributes where aggregation work
+// lands). Callbacks are polled only at sample/export time, so the
+// per-packet RMW path is untouched. A nil registry is a no-op.
+func (p *Pipeline) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("pisa.passes", func() int64 { return int64(p.passes) })
+	reg.GaugeFunc("pisa.sram_bytes", func() int64 { return int64(p.SRAMBytes()) })
+	for _, st := range p.stages {
+		for _, ra := range st.arrays {
+			ra := ra
+			reg.GaugeFunc("pisa.array_accesses", func() int64 { return int64(ra.accesses) },
+				telemetry.L("array", ra.name))
+		}
+	}
+}

@@ -88,11 +88,11 @@ func (sw *Switch) AllocRegion(task core.TaskID, receiver core.HostID, op core.Op
 	sw.raSwapSeq.ControlWrite(idx, 0)
 	sw.raClearSeq.ControlWrite(idx, 0)
 	sw.raCopyInd.ControlWrite(idx, 0)
-	for _, aa := range sw.raAAs {
-		aa.ControlFill(lo, lo+totalRows, 0)
-	}
+	sw.clearAARange(lo, lo+totalRows)
 	sw.regions[task] = r
-	sw.tasks[task] = &TaskStats{}
+	// A fresh allocation restarts the task's stats view; the underlying
+	// registry counters stay monotonic (metrics.go).
+	sw.resetTaskStats(task)
 	return r, nil
 }
 
@@ -103,9 +103,7 @@ func (sw *Switch) FreeRegion(task core.TaskID) error {
 	if !ok {
 		return fmt.Errorf("switchd: task %d has no region", task)
 	}
-	for _, aa := range sw.raAAs {
-		aa.ControlFill(r.Lo, r.Lo+r.TotalRows, 0)
-	}
+	sw.clearAARange(r.Lo, r.Lo+r.TotalRows)
 	sw.rows.release(r.Lo, r.TotalRows)
 	sw.regionFree = append(sw.regionFree, r.idx)
 	delete(sw.regions, task)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -36,7 +37,8 @@ func (sw *Switch) Down() bool { return sw.down }
 // pre-crash state.
 func (sw *Switch) Crash() {
 	sw.down = true
-	sw.stats.Crashes++
+	sw.met.crashes.Inc()
+	sw.tr.Emit(telemetry.CompSwitchd, "crash", 0, int64(sw.epoch), 0)
 }
 
 // Reboot brings a crashed (or live) switch back up as a fresh incarnation:
@@ -47,7 +49,8 @@ func (sw *Switch) Crash() {
 func (sw *Switch) Reboot() {
 	sw.down = false
 	sw.epoch++
-	sw.stats.Reboots++
+	sw.met.reboots.Inc()
+	sw.tr.Emit(telemetry.CompSwitchd, "epoch_change", 0, int64(sw.epoch), 0)
 
 	w := sw.cfg.Window
 	sw.raMaxSeq.ControlFill(0, sw.opts.MaxFlows, 0)
@@ -59,6 +62,7 @@ func (sw *Switch) Reboot() {
 	for _, aa := range sw.raAAs {
 		aa.ControlFill(0, sw.cfg.AARows, 0)
 	}
+	sw.met.aaOccupancy.Set(0)
 
 	sw.flows = make(map[core.FlowKey]int)
 	sw.nextFlow = 0
@@ -119,7 +123,8 @@ func (sw *Switch) RevokeRegion(task core.TaskID) error {
 	}
 	if !r.Revoked {
 		r.Revoked = true
-		sw.stats.Revocations++
+		sw.met.revocations.Inc()
+		sw.tr.Emit(telemetry.CompSwitchd, "region_revoked", int64(task), 0, 0)
 	}
 	return nil
 }
@@ -136,7 +141,7 @@ func (sw *Switch) processProbe(f *netsim.Frame) {
 		Seq:  pkt.Seq, // echo so the prober can match request/reply
 	}
 	sw.stamp(reply)
-	sw.stats.Probes++
+	sw.met.probes.Inc()
 	sw.net.SwitchSend(&netsim.Frame{
 		Src:       f.Dst,
 		Dst:       f.Src,

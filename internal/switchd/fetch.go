@@ -54,16 +54,14 @@ func (sw *Switch) processFetch(f *netsim.Frame) {
 			return cur, 0
 		}) == 1
 		if fresh {
-			sw.stats.Clears++
-			for _, aa := range sw.raAAs {
-				aa.ControlFill(lo, hi, 0)
-			}
+			sw.met.clears.Inc()
+			sw.clearAARange(lo, hi)
 		}
 		sw.ackFetch(f, pkt)
 		return
 	}
 
-	sw.stats.Fetches++
+	sw.met.fetches.Inc()
 	n := uint(8 * sw.cfg.KPartBytes)
 	var entries []wire.FetchEntry
 	for ai, aa := range sw.raAAs {

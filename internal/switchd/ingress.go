@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 	"repro/internal/wire"
 )
@@ -15,7 +16,8 @@ func (sw *Switch) HandleIngress(f *netsim.Frame) {
 	if sw.down {
 		// A crashed switch is a black hole: nothing is forwarded, nothing is
 		// acknowledged. Hosts detect the silence via probe timeouts.
-		sw.stats.DroppedDown++
+		sw.met.droppedDown.Inc()
+		sw.tr.Emit(telemetry.CompSwitchd, "drop_down", int64(f.Pkt.Task), int64(f.Pkt.Seq), 0)
 		return
 	}
 	switch f.Pkt.Type {
@@ -36,7 +38,7 @@ func (sw *Switch) HandleIngress(f *netsim.Frame) {
 
 func (sw *Switch) forward(f *netsim.Frame) {
 	sw.stamp(f.Pkt)
-	sw.stats.Forwarded++
+	sw.met.forwarded.Inc()
 	sw.net.SwitchSend(f)
 }
 
@@ -59,7 +61,7 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 	if !registered {
 		// Unregistered flows get best-effort forwarding with no switch
 		// reliability state; the host receiver still deduplicates.
-		sw.stats.UnregisteredFwd++
+		sw.met.unregisteredFwd.Inc()
 		sw.forward(f)
 		return
 	}
@@ -80,7 +82,8 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 		return cur, 0
 	}) == 1
 	if stale {
-		sw.stats.StaleDropped++
+		sw.met.staleDropped.Inc()
+		sw.tr.Emit(telemetry.CompSwitchd, "stale_drop", int64(pkt.Task), int64(pkt.Seq), 0)
 		return
 	}
 
@@ -108,8 +111,7 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 		sw.aggregate(ps, pkt, region, copyIdx)
 	}
 	if pkt.Type == wire.TypeData && !observed {
-		ts := sw.taskStats(pkt.Task)
-		ts.DataPackets++
+		sw.taskEntryOf(pkt.Task).dataPackets.Inc()
 	}
 
 	// Stage 10: PktState — record on first appearance, restore on
@@ -120,23 +122,26 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 			return uint64(pkt.Bitmap), 0
 		})
 	} else {
-		sw.stats.DupPackets++
+		sw.met.dupPackets.Inc()
 		restored := sw.raPktState.RMW(ps, psIdx, func(cur uint64) (uint64, uint64) {
 			return cur, cur
 		})
 		if pkt.Type == wire.TypeData {
 			pkt.Bitmap = wire.Bitmap(restored)
 		}
+		// The compact-seen replay decision (§3.3): the restored PktState
+		// bitmap decides which tuples the retransmission still carries.
+		sw.tr.Emit(telemetry.CompSwitchd, "seen_replay", int64(pkt.Task), int64(pkt.Seq), int64(restored))
 	}
 
 	// Egress: a data packet whose tuples were all consumed is dropped and
 	// acknowledged to the sender; anything else continues to the receiver.
 	if pkt.Type == wire.TypeData && pkt.Bitmap.Empty() {
-		sw.taskStats(pkt.Task).AckedPackets++
+		sw.taskEntryOf(pkt.Task).ackedPackets.Inc()
 		sw.sendAck(f, pkt)
 		return
 	}
-	sw.taskStats(pkt.Task).ForwardedPackets++
+	sw.taskEntryOf(pkt.Task).forwardedPackets.Inc()
 	sw.forward(f)
 }
 
@@ -144,7 +149,7 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 // (short slot or medium group) is matched against its AA(s); consumed
 // tuples have their bitmap bits cleared (§3.2.1).
 func (sw *Switch) aggregate(ps *pisaPass, pkt *wire.Packet, region *Region, copyIdx int) {
-	ts := sw.taskStats(pkt.Task)
+	ts := sw.taskEntryOf(pkt.Task)
 	rowBase := region.Lo + copyIdx*region.CopyRows
 	if region.Copies == 1 {
 		rowBase = region.Lo
@@ -156,13 +161,13 @@ func (sw *Switch) aggregate(ps *pisaPass, pkt *wire.Packet, region *Region, copy
 		if !pkt.Bitmap.Test(i) {
 			continue
 		}
-		ts.TuplesIn++
+		ts.tuplesIn.Inc()
 		row := rowBase + int(rowHash(pkt.Slots[i].KPart)%uint64(region.CopyRows))
 		if sw.slotRMW(ps, sw.raAAs[i], row, pkt.Slots[i], region.Op, true) {
 			pkt.Bitmap = pkt.Bitmap.Clear(i)
-			ts.TuplesAggregated++
+			ts.tuplesAggregated.Inc()
 		} else {
-			ts.TuplesConflicted++
+			ts.tuplesConflicted.Inc()
 		}
 	}
 
@@ -177,7 +182,7 @@ func (sw *Switch) aggregate(ps *pisaPass, pkt *wire.Packet, region *Region, copy
 		if !pkt.Bitmap.Test(first) {
 			continue
 		}
-		ts.TuplesIn++
+		ts.tuplesIn.Inc()
 		kparts := make([]uint64, m)
 		for j := 0; j < m; j++ {
 			kparts[j] = pkt.Slots[first+j].KPart
@@ -198,9 +203,9 @@ func (sw *Switch) aggregate(ps *pisaPass, pkt *wire.Packet, region *Region, copy
 			for j := 0; j < m; j++ {
 				pkt.Bitmap = pkt.Bitmap.Clear(first + j)
 			}
-			ts.TuplesAggregated++
+			ts.tuplesAggregated.Inc()
 		} else {
-			ts.TuplesConflicted++
+			ts.tuplesConflicted.Inc()
 		}
 	}
 }
@@ -210,11 +215,13 @@ func (sw *Switch) aggregate(ps *pisaPass, pkt *wire.Packet, region *Region, copy
 func (sw *Switch) slotRMW(ps *pisaPass, aa *pisaArray, row int, slot wire.Slot, op core.Op, applyVal bool) bool {
 	kp := sw.kPartN(slot.KPart)
 	n := uint(8 * sw.cfg.KPartBytes)
+	reserved := false
 	ok := aa.RMW(ps, row, func(cur uint64) (uint64, uint64) {
 		curKP := cur >> n
 		curV := cur & sw.nMask()
 		switch {
 		case curKP == 0: // blank: reserve
+			reserved = true
 			v := uint64(0)
 			if applyVal {
 				v = sw.encodeVal(op.Apply(op.Identity(), slot.Val))
@@ -230,6 +237,9 @@ func (sw *Switch) slotRMW(ps *pisaPass, aa *pisaArray, row int, slot wire.Slot, 
 			return cur, 0
 		}
 	})
+	if reserved {
+		sw.met.aaOccupancy.Add(1)
+	}
 	return ok == 1
 }
 
@@ -244,7 +254,7 @@ func (sw *Switch) sendAck(f *netsim.Frame, pkt *wire.Packet) {
 		Seq:    pkt.Seq,
 	}
 	sw.stamp(ack)
-	sw.stats.SwitchAcks++
+	sw.met.switchAcks.Inc()
 	sw.net.SwitchSend(&netsim.Frame{
 		Src:       f.Dst, // on behalf of the receiver's address
 		Dst:       pkt.Flow.Host,
@@ -272,7 +282,8 @@ func (sw *Switch) processSwap(f *netsim.Frame) {
 			sw.raCopyInd.RMW(ps, region.idx, func(cur uint64) (uint64, uint64) {
 				return cur ^ 1, 0
 			})
-			sw.stats.Swaps++
+			sw.met.swaps.Inc()
+			sw.tr.Emit(telemetry.CompSwitchd, "shadow_swap", int64(pkt.Task), int64(pkt.Seq), 0)
 		}
 	}
 	ack := &wire.Packet{

@@ -1,0 +1,170 @@
+package switchd
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// The switch's counters live on a telemetry.Registry (the cluster-wide one
+// when telemetry is enabled, a private one otherwise), so the Stats/
+// TaskStats accessors are views over the same numbers the exporters see —
+// no call site can silently diverge from the monitoring plane.
+
+// switchMetrics caches the switch-global instrument pointers so the
+// per-packet path pays one atomic add per event, never a registry lookup.
+type switchMetrics struct {
+	forwarded       *telemetry.Counter
+	unregisteredFwd *telemetry.Counter
+	staleDropped    *telemetry.Counter
+	dupPackets      *telemetry.Counter
+	switchAcks      *telemetry.Counter
+	swaps           *telemetry.Counter
+	fetches         *telemetry.Counter
+	clears          *telemetry.Counter
+	crashes         *telemetry.Counter
+	reboots         *telemetry.Counter
+	droppedDown     *telemetry.Counter
+	probes          *telemetry.Counter
+	revocations     *telemetry.Counter
+
+	// aaOccupancy tracks non-blank aggregator entries across all AAs:
+	// +1 per reserved slot, decremented when a range is wiped.
+	aaOccupancy *telemetry.Gauge
+}
+
+// taskEntry is one task's cumulative registry counters plus the base
+// snapshot taken at the last region (re-)allocation. TaskStatsOf reports
+// cumulative−base, preserving the historical "stats reset on AllocRegion"
+// semantics while the registry export stays monotonic (the monitoring
+// plane survives reboots; see Reboot).
+type taskEntry struct {
+	tuplesIn         *telemetry.Counter
+	tuplesAggregated *telemetry.Counter
+	tuplesConflicted *telemetry.Counter
+	dataPackets      *telemetry.Counter
+	ackedPackets     *telemetry.Counter
+	forwardedPackets *telemetry.Counter
+
+	base TaskStats // guarded by Switch.tasksMu
+}
+
+func (sw *Switch) initMetrics(sink telemetry.Sink) {
+	reg := sink.Reg
+	if reg == nil {
+		// Private registry: Stats views keep working without cluster-wide
+		// telemetry (unit tests, multirack per-TOR switches).
+		reg = telemetry.NewRegistry()
+	}
+	sw.reg = reg
+	sw.tr = sink.Tr
+	sw.met = switchMetrics{
+		forwarded:       reg.Counter("switchd.forwarded_pkts"),
+		unregisteredFwd: reg.Counter("switchd.unregistered_fwd_pkts"),
+		staleDropped:    reg.Counter("switchd.stale_dropped_pkts"),
+		dupPackets:      reg.Counter("switchd.dup_pkts"),
+		switchAcks:      reg.Counter("switchd.switch_acks"),
+		swaps:           reg.Counter("switchd.swaps"),
+		fetches:         reg.Counter("switchd.fetches"),
+		clears:          reg.Counter("switchd.clears"),
+		crashes:         reg.Counter("switchd.crashes"),
+		reboots:         reg.Counter("switchd.reboots"),
+		droppedDown:     reg.Counter("switchd.dropped_down_pkts"),
+		probes:          reg.Counter("switchd.probes_answered"),
+		revocations:     reg.Counter("switchd.revocations"),
+		aaOccupancy:     reg.Gauge("switchd.aa_occupancy"),
+	}
+	reg.GaugeFunc("switchd.free_rows", func() int64 { return int64(sw.rows.totalFree()) })
+	reg.GaugeFunc("switchd.regions_active", func() int64 { return int64(len(sw.regions)) })
+	reg.GaugeFunc("switchd.flows_registered", func() int64 { return int64(len(sw.flows)) })
+	reg.GaugeFunc("switchd.epoch", func() int64 { return int64(sw.epoch) })
+	reg.GaugeFunc("switchd.down", func() int64 {
+		if sw.down {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Registry exposes the switch's metric registry (the cluster registry when
+// telemetry is enabled).
+func (sw *Switch) Registry() *telemetry.Registry { return sw.reg }
+
+// taskEntryOf returns the task's instrument bundle, creating it on first
+// use. The read path is an RLock so ingress and concurrent TaskStatsOf
+// readers do not serialize.
+func (sw *Switch) taskEntryOf(task core.TaskID) *taskEntry {
+	sw.tasksMu.RLock()
+	te := sw.tasks[task]
+	sw.tasksMu.RUnlock()
+	if te != nil {
+		return te
+	}
+	sw.tasksMu.Lock()
+	defer sw.tasksMu.Unlock()
+	if te = sw.tasks[task]; te != nil {
+		return te
+	}
+	l := telemetry.L("task", strconv.FormatUint(uint64(task), 10))
+	te = &taskEntry{
+		tuplesIn:         sw.reg.Counter("switchd.tuples_in", l),
+		tuplesAggregated: sw.reg.Counter("switchd.tuples_aggregated", l),
+		tuplesConflicted: sw.reg.Counter("switchd.tuples_conflicted", l),
+		dataPackets:      sw.reg.Counter("switchd.data_pkts", l),
+		ackedPackets:     sw.reg.Counter("switchd.acked_pkts", l),
+		forwardedPackets: sw.reg.Counter("switchd.forwarded_data_pkts", l),
+	}
+	sw.tasks[task] = te
+	return te
+}
+
+// cumulative reads the entry's monotonic counters.
+func (te *taskEntry) cumulative() TaskStats {
+	return TaskStats{
+		TuplesIn:         te.tuplesIn.Value(),
+		TuplesAggregated: te.tuplesAggregated.Value(),
+		TuplesConflicted: te.tuplesConflicted.Value(),
+		DataPackets:      te.dataPackets.Value(),
+		AckedPackets:     te.ackedPackets.Value(),
+		ForwardedPackets: te.forwardedPackets.Value(),
+	}
+}
+
+func sub(a, b TaskStats) TaskStats {
+	return TaskStats{
+		TuplesIn:         a.TuplesIn - b.TuplesIn,
+		TuplesAggregated: a.TuplesAggregated - b.TuplesAggregated,
+		TuplesConflicted: a.TuplesConflicted - b.TuplesConflicted,
+		DataPackets:      a.DataPackets - b.DataPackets,
+		AckedPackets:     a.AckedPackets - b.AckedPackets,
+		ForwardedPackets: a.ForwardedPackets - b.ForwardedPackets,
+	}
+}
+
+// resetTaskStats rebases the task's view counters at the current
+// cumulative values: TaskStatsOf starts over at zero while the registry
+// export stays monotonic.
+func (sw *Switch) resetTaskStats(task core.TaskID) {
+	te := sw.taskEntryOf(task)
+	sw.tasksMu.Lock()
+	te.base = te.cumulative()
+	sw.tasksMu.Unlock()
+}
+
+// clearAARange zeroes rows [lo,hi) of every AA, keeping the occupancy
+// gauge consistent by counting the non-blank entries wiped. Control-plane
+// only — never on the per-packet path.
+func (sw *Switch) clearAARange(lo, hi int) {
+	n := uint(8 * sw.cfg.KPartBytes)
+	var wiped int64
+	for _, aa := range sw.raAAs {
+		for row := lo; row < hi; row++ {
+			if aa.ControlRead(row)>>n != 0 {
+				wiped++
+			}
+		}
+		aa.ControlFill(lo, hi, 0)
+	}
+	sw.met.aaOccupancy.Add(-wiped)
+}

@@ -2,7 +2,9 @@ package switchd
 
 import "repro/internal/core"
 
-// Stats are switch-global counters.
+// Stats are switch-global counters, a point-in-time view over the
+// telemetry registry (metrics.go) so the accessor and the exporters can
+// never diverge.
 type Stats struct {
 	Forwarded       int64 // frames forwarded toward a host
 	UnregisteredFwd int64 // flow packets forwarded without reliability state
@@ -54,18 +56,37 @@ func (t *TaskStats) AckedPacketRatio() float64 {
 	return float64(t.AckedPackets) / float64(t.DataPackets)
 }
 
-// Stats returns a copy of the switch-global counters.
-func (sw *Switch) Stats() Stats { return sw.stats }
-
-// TaskStatsOf returns the live per-task counters (shared pointer; callers
-// read after the task quiesces). Unknown tasks return an empty stats object.
-func (sw *Switch) TaskStatsOf(task core.TaskID) *TaskStats { return sw.taskStats(task) }
-
-func (sw *Switch) taskStats(task core.TaskID) *TaskStats {
-	ts, ok := sw.tasks[task]
-	if !ok {
-		ts = &TaskStats{}
-		sw.tasks[task] = ts
+// Stats returns a snapshot of the switch-global counters (atomic reads of
+// the registry instruments; safe to call from any goroutine).
+func (sw *Switch) Stats() Stats {
+	m := &sw.met
+	return Stats{
+		Forwarded:       m.forwarded.Value(),
+		UnregisteredFwd: m.unregisteredFwd.Value(),
+		StaleDropped:    m.staleDropped.Value(),
+		DupPackets:      m.dupPackets.Value(),
+		SwitchAcks:      m.switchAcks.Value(),
+		Swaps:           m.swaps.Value(),
+		Fetches:         m.fetches.Value(),
+		Clears:          m.clears.Value(),
+		Crashes:         m.crashes.Value(),
+		Reboots:         m.reboots.Value(),
+		DroppedDown:     m.droppedDown.Value(),
+		Probes:          m.probes.Value(),
+		Revocations:     m.revocations.Value(),
 	}
-	return ts
+}
+
+// TaskStatsOf returns a snapshot of the per-task counters since the
+// task's last region allocation. The snapshot is freshly allocated from
+// atomic reads, so — unlike the historical live-pointer accessor — it is
+// safe to call concurrently with ingress traffic. Unknown tasks return an
+// empty stats object.
+func (sw *Switch) TaskStatsOf(task core.TaskID) *TaskStats {
+	te := sw.taskEntryOf(task)
+	sw.tasksMu.RLock()
+	base := te.base
+	sw.tasksMu.RUnlock()
+	s := sub(te.cumulative(), base)
+	return &s
 }

@@ -24,12 +24,14 @@ package switchd
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/keyspace"
 	"repro/internal/netsim"
 	"repro/internal/pisa"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Aliases to keep pipeline-program signatures compact.
@@ -46,6 +48,10 @@ type Options struct {
 	MaxRegions int
 	// Pipeline overrides the PISA resource model (zero value = default).
 	Pipeline pisa.Config
+	// Telemetry is the cluster observability sink. The zero value gives
+	// the switch a private registry so Stats views still work, with
+	// tracing disabled.
+	Telemetry telemetry.Sink
 }
 
 // DefaultOptions supports the paper's deployment scale: a 64-server rack
@@ -85,8 +91,14 @@ type Switch struct {
 	epoch uint32
 	down  bool
 
-	stats Stats
-	tasks map[core.TaskID]*TaskStats
+	// Telemetry (metrics.go): instruments live on reg; met caches the
+	// hot-path pointers; tasks maps task → per-task counters. tasksMu also
+	// guards each entry's base snapshot.
+	reg     *telemetry.Registry
+	tr      *telemetry.Tracer
+	met     switchMetrics
+	tasksMu sync.RWMutex
+	tasks   map[core.TaskID]*taskEntry
 }
 
 // Region is a task's allocation of switch memory: the same row range on
@@ -135,15 +147,17 @@ func New(s *sim.Simulation, net netsim.SwitchFabric, cfg core.Config, opts Optio
 		flows:   make(map[core.FlowKey]int),
 		regions: make(map[core.TaskID]*Region),
 		rows:    newRowAllocator(cfg.AARows),
-		tasks:   make(map[core.TaskID]*TaskStats),
+		tasks:   make(map[core.TaskID]*taskEntry),
 		epoch:   1,
 	}
+	sw.initMetrics(opts.Telemetry)
 	for i := opts.MaxRegions - 1; i >= 0; i-- {
 		sw.regionFree = append(sw.regionFree, i)
 	}
 	if err := sw.layoutPipeline(pc); err != nil {
 		return nil, err
 	}
+	sw.pipe.AttachTelemetry(sw.reg)
 	net.AttachSwitch(sw)
 	return sw, nil
 }

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("switchd.tuples_in", L("task", "1"))
+	b := r.Counter("switchd.tuples_in", L("task", "1"))
+	if a != b {
+		t.Fatal("same name+labels returned different counters")
+	}
+	// Label order must not matter for instrument identity.
+	c := r.Gauge("hostd.queue_depth", L("host", "0"), L("chan", "1"))
+	d := r.Gauge("hostd.queue_depth", L("chan", "1"), L("host", "0"))
+	if c != d {
+		t.Fatal("label order changed gauge identity")
+	}
+	if got := fullName("hostd.queue_depth", []Label{L("host", "0"), L("chan", "1")}); got != `hostd.queue_depth{chan="1",host="0"}` {
+		t.Fatalf("fullName = %q", got)
+	}
+}
+
+func TestRegistryNilNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x.y")
+	g := r.Gauge("x.y")
+	h := r.Histogram("x.y")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Record(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	r.GaugeFunc("x.y", func() int64 { return 1 })
+	if r.Names() != nil || r.Total("x.y") != 0 || r.Max("x.y") != 0 {
+		t.Fatal("nil registry accessors must be empty")
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"nosegment", "Upper.case", "switchd.", "a.b-c", ".leading", "a..b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad label key: expected panic")
+			}
+		}()
+		r.Counter("a.b", L("Bad-Key", "v"))
+	}()
+	if !ValidName("switchd.tuples_in") || ValidName("tuples") {
+		t.Fatal("ValidName convention check wrong")
+	}
+}
+
+func TestRegistryKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter must panic")
+		}
+	}()
+	r.Gauge("a.b")
+}
+
+func TestRegistryTotalAndMax(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hostd.replays_sent", L("host", "0")).Add(3)
+	r.Counter("hostd.replays_sent", L("host", "1")).Add(7)
+	r.Counter("hostd.replays_sent_total_other").Add(100) // different base name
+	if got := r.Total("hostd.replays_sent"); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	if got := r.Max("hostd.replays_sent"); got != 7 {
+		t.Fatalf("Max = %d, want 7", got)
+	}
+	r.Gauge("hostd.degraded_ns", L("host", "2")).Set(50)
+	if got := r.Max("hostd.degraded_ns"); got != 50 {
+		t.Fatalf("gauge Max = %d, want 50", got)
+	}
+}
+
+// TestRegistryConcurrent hammers instrument creation and updates from many
+// goroutines; run under -race to verify the lock discipline.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("stress.hits").Inc()
+				r.Gauge("stress.level").Set(int64(i))
+				r.Histogram("stress.lat_ns").Record(int64(i))
+				_ = r.Total("stress.hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("stress.hits").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("stress.lat_ns").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.hits")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncDisabled measures the telemetry-off hot path: nil
+// instruments from a nil registry.
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("bench.hits")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench.lat_ns")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkTracerEmitMaskedOff(b *testing.B) {
+	tr := NewTracer(func() sim.Time { return 0 }, 16, CompSwitchd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(CompHostd, "masked", 1, 2, 3)
+	}
+}

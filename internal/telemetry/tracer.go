@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Component identifies the layer emitting a trace event; components are
+// bits so a Tracer mask can enable any subset.
+type Component uint8
+
+const (
+	CompSim Component = 1 << iota
+	CompPisa
+	CompSwitchd
+	CompHostd
+	CompWindow
+	CompNetsim
+	CompChaos
+
+	// CompAll enables every component.
+	CompAll Component = 0xff
+)
+
+var compNames = []struct {
+	c Component
+	s string
+}{
+	{CompSim, "sim"},
+	{CompPisa, "pisa"},
+	{CompSwitchd, "switchd"},
+	{CompHostd, "hostd"},
+	{CompWindow, "window"},
+	{CompNetsim, "netsim"},
+	{CompChaos, "chaos"},
+}
+
+// String renders a component set as "switchd" or "hostd|window".
+func (c Component) String() string {
+	var parts []string
+	for _, cn := range compNames {
+		if c&cn.c != 0 {
+			parts = append(parts, cn.s)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// MarshalText lets events JSON-encode with readable component names.
+func (c Component) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// Event is one structured trace record. A and B are event-specific
+// numeric arguments (documented per Kind in DESIGN.md); Note is optional
+// free text for events that need it (e.g. chaos injection descriptions).
+type Event struct {
+	At   sim.Time  `json:"at_ns"`
+	Comp Component `json:"comp"`
+	Kind string    `json:"kind"`
+	Task int64     `json:"task,omitempty"`
+	A    int64     `json:"a,omitempty"`
+	B    int64     `json:"b,omitempty"`
+	Note string    `json:"note,omitempty"`
+}
+
+// Tracer keeps the most recent events in a fixed ring. Emitting an event
+// whose component is masked off is a two-instruction no-op; a nil Tracer
+// ignores everything. Emit is safe for concurrent use so -race tests can
+// hammer components from multiple goroutines.
+type Tracer struct {
+	clock func() sim.Time
+	mask  Component
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int   // next write position
+	wrapped bool  // ring has been overwritten at least once
+	dropped int64 // events overwritten
+}
+
+// NewTracer builds a tracer holding the last capacity events from the
+// components in mask, timestamped via clock (usually Simulation.Now).
+func NewTracer(clock func() sim.Time, capacity int, mask Component) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{clock: clock, mask: mask, ring: make([]Event, capacity)}
+}
+
+// Enabled reports whether events from comp are recorded.
+func (t *Tracer) Enabled(comp Component) bool { return t != nil && t.mask&comp != 0 }
+
+// Emit records an event with numeric arguments.
+func (t *Tracer) Emit(comp Component, kind string, task, a, b int64) {
+	t.emit(Event{Comp: comp, Kind: kind, Task: task, A: a, B: b})
+}
+
+// EmitNote records an event carrying free text.
+func (t *Tracer) EmitNote(comp Component, kind string, task int64, note string) {
+	t.emit(Event{Comp: comp, Kind: kind, Task: task, Note: note})
+}
+
+func (t *Tracer) emit(e Event) {
+	if t == nil || t.mask&e.Comp == 0 {
+		return
+	}
+	e.At = t.clock()
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func fixedClock() sim.Time { return 42 }
+
+// TestTracerWraparound fills the ring past capacity and checks the retained
+// window is the most recent events in oldest-first order.
+func TestTracerWraparound(t *testing.T) {
+	const cap = 8
+	tr := NewTracer(fixedClock, cap, CompAll)
+	for i := 0; i < 2*cap+3; i++ {
+		tr.Emit(CompSwitchd, "e", int64(i), 0, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != cap {
+		t.Fatalf("retained %d events, want %d", len(evs), cap)
+	}
+	// The last 2*cap+3 emits kept events (cap+3)..(2*cap+2).
+	for i, e := range evs {
+		want := int64(cap + 3 + i)
+		if e.Task != want {
+			t.Fatalf("event %d: task %d, want %d (not oldest-first after wrap)", i, e.Task, want)
+		}
+	}
+	if got := tr.Dropped(); got != cap+3 {
+		t.Fatalf("dropped = %d, want %d", got, cap+3)
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(fixedClock, 16, CompAll)
+	tr.Emit(CompHostd, "a", 1, 2, 3)
+	tr.EmitNote(CompChaos, "inject", 0, "link down")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != "a" || evs[0].A != 2 || evs[0].B != 3 || evs[0].At != 42 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Note != "link down" || evs[1].Comp != CompChaos {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("no drops expected before wrap")
+	}
+}
+
+func TestTracerMask(t *testing.T) {
+	tr := NewTracer(fixedClock, 8, CompSwitchd|CompWindow)
+	tr.Emit(CompHostd, "masked", 0, 0, 0)
+	tr.Emit(CompSwitchd, "kept", 0, 0, 0)
+	tr.Emit(CompNetsim, "masked", 0, 0, 0)
+	tr.Emit(CompWindow, "kept", 0, 0, 0)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2 (mask filters)", len(evs))
+	}
+	for _, e := range evs {
+		if e.Kind != "kept" {
+			t.Fatalf("masked event leaked: %+v", e)
+		}
+	}
+	if !tr.Enabled(CompSwitchd) || tr.Enabled(CompHostd) {
+		t.Fatal("Enabled mask check wrong")
+	}
+}
+
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(CompAll, "x", 0, 0, 0)
+	tr.EmitNote(CompAll, "x", 0, "n")
+	if tr.Events() != nil || tr.Dropped() != 0 || tr.Enabled(CompAll) {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	if got := (CompHostd | CompWindow).String(); got != "hostd|window" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Component(0).String(); got != "none" {
+		t.Fatalf("zero String = %q", got)
+	}
+	b, err := CompChaos.MarshalText()
+	if err != nil || string(b) != "chaos" {
+		t.Fatalf("MarshalText = %q, %v", b, err)
+	}
+}

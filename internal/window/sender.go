@@ -5,10 +5,12 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
-// SenderStats counts sender-window activity.
+// SenderStats counts sender-window activity. It is a point-in-time view
+// over the sender's telemetry counters (see Instrument).
 type SenderStats struct {
 	Sent        int64 // first transmissions
 	Retransmits int64
@@ -16,6 +18,20 @@ type SenderStats struct {
 	DupAcks     int64 // ACKs for packets no longer in flight
 	Aborts      int64 // flights that exhausted MaxRetries
 	Resets      int64 // failover window resets
+}
+
+// senderMetrics are the sender's instruments. A bare NewSender gets
+// standalone counters (so Stats always works) and nil histograms;
+// Instrument re-points everything at a shared registry.
+type senderMetrics struct {
+	sent        *telemetry.Counter
+	retransmits *telemetry.Counter
+	acked       *telemetry.Counter
+	dupAcks     *telemetry.Counter
+	aborts      *telemetry.Counter
+	resets      *telemetry.Counter
+	rtt         *telemetry.Histogram // first-transmission RTT, ns (Karn's rule)
+	tries       *telemetry.Histogram // retransmissions per acked flight
 }
 
 // Congestion is the optional loss-based congestion control of §7
@@ -84,14 +100,17 @@ type Sender struct {
 	backoff    bool // exponential per-flight retransmission backoff
 	err        error
 
-	cc    *congestion // nil unless EnableCongestionControl
-	stats SenderStats
+	cc   *congestion // nil unless EnableCongestionControl
+	met  senderMetrics
+	tr   *telemetry.Tracer
+	flow string // label for trace events; set by Instrument
 }
 
 type flight struct {
-	pkt   *wire.Packet
-	timer sim.Timer
-	tries int // retransmissions so far
+	pkt    *wire.Packet
+	timer  sim.Timer
+	tries  int      // retransmissions so far
+	sentAt sim.Time // first transmission time (RTT sampling)
 }
 
 // NewSender returns a sender window. transmit is invoked for every
@@ -114,11 +133,53 @@ func NewSender(s *sim.Simulation, w int, timeout time.Duration, transmit func(*w
 		inflight: make(map[uint32]*flight),
 		spaceSig: sim.NewSignal(s),
 		idleSig:  sim.NewSignal(s),
+		met: senderMetrics{
+			sent:        &telemetry.Counter{},
+			retransmits: &telemetry.Counter{},
+			acked:       &telemetry.Counter{},
+			dupAcks:     &telemetry.Counter{},
+			aborts:      &telemetry.Counter{},
+			resets:      &telemetry.Counter{},
+		},
 	}
 }
 
-// Stats returns a copy of the counters.
-func (s *Sender) Stats() SenderStats { return s.stats }
+// Instrument moves the window's counters onto a shared registry under
+// window.*{flow=...} names, adds RTT and flight-retry histograms plus an
+// in-flight occupancy gauge, and enables stall/resume trace events. Call
+// right after NewSender, before any traffic (counts recorded before the
+// call stay on the private instruments). A zero sink is a no-op.
+func (s *Sender) Instrument(sink telemetry.Sink, flow string) {
+	if sink.Reg == nil {
+		return
+	}
+	l := telemetry.L("flow", flow)
+	s.met = senderMetrics{
+		sent:        sink.Reg.Counter("window.sent_pkts", l),
+		retransmits: sink.Reg.Counter("window.retransmits", l),
+		acked:       sink.Reg.Counter("window.acked_pkts", l),
+		dupAcks:     sink.Reg.Counter("window.dup_acks", l),
+		aborts:      sink.Reg.Counter("window.aborts", l),
+		resets:      sink.Reg.Counter("window.resets", l),
+		rtt:         sink.Reg.Histogram("window.rtt_ns", l),
+		tries:       sink.Reg.Histogram("window.flight_tries", l),
+	}
+	sink.Reg.GaugeFunc("window.in_flight", func() int64 { return int64(len(s.inflight)) }, l)
+	s.tr = sink.Tr
+	s.flow = flow
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Sender) Stats() SenderStats {
+	return SenderStats{
+		Sent:        s.met.sent.Value(),
+		Retransmits: s.met.retransmits.Value(),
+		Acked:       s.met.acked.Value(),
+		DupAcks:     s.met.dupAcks.Value(),
+		Aborts:      s.met.aborts.Value(),
+		Resets:      s.met.resets.Value(),
+	}
+}
 
 // InFlight returns the number of unacknowledged packets.
 func (s *Sender) InFlight() int { return len(s.inflight) }
@@ -156,7 +217,8 @@ func (s *Sender) fail(err error) {
 		return
 	}
 	s.err = err
-	s.stats.Aborts++
+	s.met.aborts.Inc()
+	s.tr.EmitNote(telemetry.CompWindow, "window_abort", 0, s.flow)
 	for _, f := range s.inflight {
 		f.timer.Stop()
 	}
@@ -176,7 +238,8 @@ func (s *Sender) Reset() {
 	s.inflight = make(map[uint32]*flight)
 	s.base = s.nextSeq
 	s.err = nil
-	s.stats.Resets++
+	s.met.resets.Inc()
+	s.tr.EmitNote(telemetry.CompWindow, "window_reset", 0, s.flow)
 	s.spaceSig.Fire()
 	s.idleSig.Fire()
 }
@@ -210,9 +273,9 @@ func (s *Sender) Send(pkt *wire.Packet) {
 	}
 	pkt.Seq = s.nextSeq
 	s.nextSeq++
-	f := &flight{pkt: pkt}
+	f := &flight{pkt: pkt, sentAt: s.sim.Now()}
 	s.inflight[pkt.Seq] = f
-	s.stats.Sent++
+	s.met.sent.Inc()
 	s.transmit(pkt)
 	s.arm(f)
 }
@@ -221,11 +284,19 @@ func (s *Sender) Send(pkt *wire.Packet) {
 // space is available. It returns the window's abort error if the window
 // fails while blocked (or already has).
 func (s *Sender) SendBlocking(p *sim.Proc, pkt *wire.Packet) error {
+	stalled := false
 	for !s.CanSend() {
 		if s.err != nil {
 			return s.err
 		}
+		if !stalled {
+			stalled = true
+			s.tr.Emit(telemetry.CompWindow, "window_stall", int64(pkt.Task), int64(s.nextSeq-s.base), 0)
+		}
 		p.Wait(s.spaceSig)
+	}
+	if stalled {
+		s.tr.Emit(telemetry.CompWindow, "window_resume", int64(pkt.Task), int64(s.nextSeq-s.base), 0)
 	}
 	if s.err != nil {
 		return s.err
@@ -263,7 +334,7 @@ func (s *Sender) arm(f *flight) {
 			return
 		}
 		f.tries++
-		s.stats.Retransmits++
+		s.met.retransmits.Inc()
 		if s.cc != nil {
 			s.cc.onTimeout()
 		}
@@ -277,12 +348,18 @@ func (s *Sender) arm(f *flight) {
 func (s *Sender) Ack(seq uint32) {
 	f, ok := s.inflight[seq]
 	if !ok {
-		s.stats.DupAcks++
+		s.met.dupAcks.Inc()
 		return
 	}
 	f.timer.Stop()
 	delete(s.inflight, seq)
-	s.stats.Acked++
+	s.met.acked.Inc()
+	// RTT histogram under Karn's rule: retransmitted flights are ambiguous
+	// (the ACK may answer any copy), so only clean flights are sampled.
+	if f.tries == 0 {
+		s.met.rtt.Record(int64(s.sim.Now() - f.sentAt))
+	}
+	s.met.tries.Record(int64(f.tries))
 	ccGrew := false
 	if s.cc != nil {
 		before := s.cc.allow()
