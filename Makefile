@@ -2,17 +2,24 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench telemetry-lint ci
+.PHONY: all vet build test test-shuffle race bench lint telemetry-lint ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
 
-# Asserts every registered metric is component.snake_case and documented
-# in DESIGN.md's Observability section.
+# Static-analysis suite (cmd/askcheck): PISA access legality, sim-clock
+# determinism, lock-across-wait, and metric-name hygiene. See DESIGN.md's
+# "Static verification" section.
+lint:
+	$(GO) run ./cmd/askcheck ./...
+
+# Historical alias: the metric-name checks formerly lived in the standalone
+# cmd/telemetrylint binary, now folded into askcheck's telemetrynames
+# analyzer.
 telemetry-lint:
-	$(GO) run ./cmd/telemetrylint .
+	$(GO) run ./cmd/askcheck -run telemetrynames ./...
 
 build:
 	$(GO) build ./...
@@ -20,10 +27,14 @@ build:
 test:
 	$(GO) test ./...
 
+# Shuffled test order catches inter-test state dependencies.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
 
-ci: vet build telemetry-lint test race
+ci: vet build lint test test-shuffle race

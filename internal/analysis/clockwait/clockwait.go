@@ -1,0 +1,340 @@
+// Package clockwait defines an analyzer that flags holding a sync.Mutex or
+// sync.RWMutex across a sim-clock wait or a channel operation.
+//
+// The simulation kernel (repro/internal/sim) interleaves exactly one
+// goroutine of model code at a time, but telemetry accessors run on real
+// OS threads and take real locks (e.g. switchd.tasksMu). A model goroutine
+// that parks on the virtual clock — Proc.Sleep, Signal waits, Resource
+// acquisition — while holding such a lock wedges every concurrent reader
+// until the process is re-dispatched, and in the worst case deadlocks the
+// run: the exact shape PR 1's failover work had to debug in switchd/hostd.
+//
+// The analyzer walks each function linearly, tracking the set of mutexes
+// locked via x.Lock()/x.RLock() and released via x.Unlock()/x.RUnlock()
+// (a deferred unlock keeps the lock held for the rest of the function).
+// While at least one lock is held it reports:
+//
+//   - calls to parking methods of repro/internal/sim types — Proc.Sleep,
+//     Proc.SleepUntil, Proc.Wait, Proc.WaitTimeout, Resource.Acquire,
+//     Resource.Use, WaitGroup.Wait, Simulation.Run, Simulation.RunFor;
+//   - calls passing a *sim.Proc argument to any function — handing the
+//     process to a callee means the callee may park it (cpumodel.Exec,
+//     window.SendBlocking, ... all follow this convention);
+//   - channel sends and receives, which can block the scheduler thread.
+//
+// The walk is intra-procedural and branch-local: locks taken or released
+// inside an if/for branch are tracked within that branch only. Use
+// //askcheck:allow(clockwait) for the rare site that is provably safe.
+package clockwait
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the clockwait analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "clockwait",
+	Doc:  "flag sync.Mutex/RWMutex held across sim-clock waits or channel operations",
+	Run:  run,
+}
+
+var parkingMethods = map[string]bool{
+	"Sleep": true, "SleepUntil": true, "Wait": true, "WaitTimeout": true,
+	"Acquire": true, "Use": true, "Run": true, "RunFor": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, held: map[string]bool{}}
+			w.stmts(fd.Body.List)
+		}
+	}
+	return nil, nil
+}
+
+type walker struct {
+	pass *framework.Pass
+	held map[string]bool // mutex expr string -> held
+}
+
+func (w *walker) clone() *walker {
+	c := &walker{pass: w.pass, held: make(map[string]bool, len(w.held))}
+	for k, v := range w.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func (w *walker) anyHeld() (string, bool) {
+	for k, v := range w.held {
+		if v {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if w.lockTransition(s.X) {
+			return
+		}
+		w.checkExpr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held until the function returns;
+		// the deferred call itself runs after the body, so it is neither a
+		// release nor a wait at this point in the walk.
+		if w.mutexCall(s.Call) == "" {
+			w.checkExpr(s.Call)
+		}
+	case *ast.SendStmt:
+		w.report(s.Pos(), "channel send")
+		w.checkExpr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.checkExpr(s.Cond)
+		w.clone().stmts(s.Body.List)
+		if s.Else != nil {
+			w.clone().stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		c := w.clone()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond)
+		}
+		c.stmts(s.Body.List)
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		c := w.clone()
+		c.checkExpr(s.X)
+		c.stmts(s.Body.List)
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				w.clone().stmts(c.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				w.clone().stmts(c.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		if _, held := w.anyHeld(); held {
+			w.report(s.Pos(), "select over channels")
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs with its own (empty) lock context.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			sub := &walker{pass: w.pass, held: map[string]bool{}}
+			sub.stmts(fl.Body.List)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			w.stmt(ls.Stmt)
+		}
+	}
+}
+
+// lockTransition handles mu.Lock/Unlock statements; reports true when the
+// expression was one.
+func (w *walker) lockTransition(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch w.mutexCall(call) {
+	case "lock":
+		w.held[recvString(call)] = true
+		return true
+	case "unlock":
+		w.held[recvString(call)] = false
+		return true
+	}
+	return false
+}
+
+// mutexCall classifies a call as a mutex "lock", "unlock", or "".
+func (w *walker) mutexCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	var kind string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return ""
+	}
+	tv, ok := w.pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	if isSyncMutex(tv.Type) {
+		return kind
+	}
+	return ""
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkExpr scans an expression tree for waits performed while locked.
+func (w *walker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				w.report(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			w.checkCall(n)
+		case *ast.FuncLit:
+			// A function literal's body executes later (or in another
+			// context); analyze it with an empty lock set.
+			sub := &walker{pass: w.pass, held: map[string]bool{}}
+			sub.stmts(n.Body.List)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr) {
+	if _, held := w.anyHeld(); !held {
+		return
+	}
+	// Parking method on a sim type?
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && parkingMethods[sel.Sel.Name] {
+		if tv, ok := w.pass.TypesInfo.Types[sel.X]; ok && isSimType(tv.Type) {
+			w.report(call.Pos(), "sim-clock wait "+exprName(sel))
+			return
+		}
+	}
+	// Passing a *sim.Proc hands the process to a callee that may park it.
+	for _, arg := range call.Args {
+		if tv, ok := w.pass.TypesInfo.Types[arg]; ok && isSimProc(tv.Type) {
+			w.report(call.Pos(), "call that may park the sim process")
+			return
+		}
+	}
+}
+
+func isSimType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "repro/internal/sim"
+}
+
+func isSimProc(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "repro/internal/sim" && n.Obj().Name() == "Proc"
+}
+
+func (w *walker) report(pos token.Pos, what string) {
+	mu, held := w.anyHeld()
+	if !held {
+		return
+	}
+	w.pass.Reportf(pos, "%s while holding mutex %s can wedge concurrent readers or deadlock the sim; release the lock first", what, mu)
+}
+
+func exprName(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	if s, ok := sel.X.(*ast.SelectorExpr); ok {
+		return exprName(s) + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}
+
+func recvString(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "?"
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprName(x)
+	default:
+		return "?"
+	}
+}

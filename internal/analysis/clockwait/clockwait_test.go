@@ -1,0 +1,12 @@
+package clockwait_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/clockwait"
+)
+
+func TestClockWait(t *testing.T) {
+	analysistest.Run(t, "testdata", []string{"waits"}, clockwait.Analyzer)
+}

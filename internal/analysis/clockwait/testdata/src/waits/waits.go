@@ -1,0 +1,94 @@
+// Package waits exercises the clockwait analyzer: sim-clock waits and
+// channel operations performed while holding a sync lock.
+package waits
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+type daemon struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	res *sim.Resource
+	sig *sim.Signal
+	ch  chan int
+}
+
+func (d *daemon) sleepUnderLock(p *sim.Proc) {
+	d.mu.Lock()
+	p.Sleep(time.Millisecond) // want `clockwait: sim-clock wait p\.Sleep while holding mutex d\.mu`
+	d.mu.Unlock()
+}
+
+func (d *daemon) waitUnderDeferredUnlock(p *sim.Proc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p.Wait(d.sig) // want `clockwait: sim-clock wait p\.Wait while holding mutex d\.mu`
+}
+
+func (d *daemon) acquireUnderRLock(p *sim.Proc) {
+	d.rw.RLock()
+	d.res.Acquire(p) // want `clockwait: sim-clock wait d\.res\.Acquire while holding mutex d\.rw`
+	d.rw.RUnlock()
+}
+
+func (d *daemon) sendUnderLock() {
+	d.mu.Lock()
+	d.ch <- 1 // want `clockwait: channel send while holding mutex d\.mu`
+	d.mu.Unlock()
+}
+
+func (d *daemon) recvUnderLock() int {
+	d.mu.Lock()
+	v := <-d.ch // want `clockwait: channel receive while holding mutex d\.mu`
+	d.mu.Unlock()
+	return v
+}
+
+func runOnCPU(p *sim.Proc, d time.Duration) { p.Sleep(d) }
+
+func (d *daemon) handoffUnderLock(p *sim.Proc) {
+	d.mu.Lock()
+	runOnCPU(p, time.Millisecond) // want `clockwait: call that may park the sim process while holding mutex d\.mu`
+	d.mu.Unlock()
+}
+
+func (d *daemon) unlockBeforeWait(p *sim.Proc) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	p.Sleep(time.Millisecond) // legal: lock released first
+}
+
+func (d *daemon) unlockInBranch(p *sim.Proc, cond bool) {
+	d.mu.Lock()
+	if cond {
+		d.mu.Unlock()
+		p.Sleep(time.Millisecond) // legal: this branch released the lock
+		return
+	}
+	d.mu.Unlock()
+}
+
+func (d *daemon) shortCriticalSection() {
+	d.mu.Lock()
+	d.ch = make(chan int) // no wait: fine
+	d.mu.Unlock()
+}
+
+func (d *daemon) suppressed(p *sim.Proc) {
+	d.mu.Lock()
+	//askcheck:allow(clockwait)
+	p.Sleep(time.Millisecond)
+	d.mu.Unlock()
+}
+
+func (d *daemon) goroutineHasOwnContext() {
+	d.mu.Lock()
+	go func() {
+		<-d.ch // runs on another goroutine; not under this lock
+	}()
+	d.mu.Unlock()
+}

@@ -1,0 +1,160 @@
+// Package framework is a self-contained, stdlib-only re-implementation of
+// the golang.org/x/tools/go/analysis surface this repository needs.
+//
+// The real go/analysis package is the obvious foundation for a checker
+// suite, but this repository builds in a hermetic container with no module
+// proxy, so x/tools cannot be pinned. The subset we need — an Analyzer
+// value with a Run function over a type-checked package, a Pass carrying
+// *types.Info, positional Diagnostics, and an analysistest-style harness
+// driven by `// want` comments — is small and stable, so it is
+// reimplemented here on top of go/ast, go/parser, go/types and
+// go/importer alone. The API shapes mirror go/analysis deliberately: if
+// x/tools ever becomes available, the analyzers port by changing imports.
+//
+// Suppression: a diagnostic is suppressed when the line it is reported on,
+// or the line immediately above it, carries a comment of the form
+//
+//	//askcheck:allow(<analyzer-name>)
+//
+// The escape hatch is deliberately narrow (one analyzer per annotation,
+// adjacent lines only) so that a suppression is visible right next to the
+// code it excuses.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //askcheck:allow(name) suppressions. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation (first sentence is the summary).
+	Doc string
+	// Run applies the analyzer to one package and reports diagnostics via
+	// pass.Report. The return value is reserved for inter-analyzer facts
+	// and is currently unused.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one type-checked package through an Analyzer's Run,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dir is the directory the package was loaded from (used by analyzers
+	// that consult repository-level context such as DESIGN.md).
+	Dir string
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records one diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+var allowRE = regexp.MustCompile(`//askcheck:allow\(([a-zA-Z0-9_,\s]+)\)`)
+
+// allowLines returns, per filename, the set of lines whose diagnostics a
+// given analyzer suppresses: the annotation's own line and the line below.
+func allowLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if !allowNames(m[1])[analyzer] {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]bool)
+				}
+				out[pos.Filename][pos.Line] = true
+				out[pos.Filename][pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+var splitRE = regexp.MustCompile(`[,\s]+`)
+
+func allowNames(list string) map[string]bool {
+	names := make(map[string]bool)
+	for _, n := range splitRE.Split(list, -1) {
+		if n != "" {
+			names[n] = true
+		}
+	}
+	return names
+}
+
+// RunAnalyzers applies each analyzer to the loaded package and returns the
+// surviving (non-suppressed) diagnostics in positional order.
+func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		var raw []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Dir:       pkg.Dir,
+			diags:     &raw,
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		allowed := allowLines(pkg.Fset, pkg.Files, a.Name)
+		for _, d := range raw {
+			pos := pkg.Fset.Position(d.Pos)
+			if allowed[pos.Filename][pos.Line] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,55 @@
+package pisaaccess_test
+
+// The agreement test (ISSUE 3 satellite): the pisaaccess analyzer and the
+// internal/pisa runtime must reject the *same construct* — one statically,
+// one with a panic. The construct lives in testdata/src/agreement; this
+// file imports it and executes it (the go tool skips testdata directories
+// only during pattern expansion, explicit imports resolve normally), while
+// TestAgreementAnalyzer runs the analyzer over the very same source.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pisaaccess"
+	agreement "repro/internal/analysis/pisaaccess/testdata/src/agreement"
+)
+
+// TestAgreementRuntimePanic: executing the construct trips pisa's
+// single-access panic.
+func TestAgreementRuntimePanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("DoubleAccess did not panic; the pisa runtime no longer enforces single access per pass")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "accessed twice in one pass") {
+			t.Fatalf("unexpected panic %v; want the pisa double-access panic", r)
+		}
+	}()
+	agreement.DoubleAccess()
+}
+
+// TestAgreementStageRuntimePanic: the out-of-order construct trips pisa's
+// stage-order panic.
+func TestAgreementStageRuntimePanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("StageBackwards did not panic; the pisa runtime no longer enforces stage ordering")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "moved backwards") {
+			t.Fatalf("unexpected panic %v; want the pisa stage-order panic", r)
+		}
+	}()
+	agreement.StageBackwards()
+}
+
+// TestAgreementAnalyzer: the analyzer flags the same source file at the
+// same constructs (the `// want` comments sit on the offending lines).
+func TestAgreementAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", []string{"agreement"}, pisaaccess.Analyzer)
+}

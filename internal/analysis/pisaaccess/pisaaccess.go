@@ -1,0 +1,581 @@
+// Package pisaaccess defines an analyzer that turns internal/pisa's
+// runtime panics into compile-time diagnostics.
+//
+// The PISA model (§2.2.1, §3.2 of the paper) restricts a packet pass to
+// one atomic read-modify-write per register array and to visiting pipeline
+// stages in non-decreasing order. internal/pisa enforces both with panics
+// in RegisterArray.RMW — the wall a P4 programmer hits at compile time —
+// but a vectorization bug in the switch program only trips that panic when
+// a packet trace happens to exercise the offending path. This analyzer
+// finds the same violations statically.
+//
+// For every function in a package that uses pisa, the analyzer tracks each
+// *pisa.Pass value (function parameters and `ps := pipe.Begin()` results)
+// through a branch-merging linear walk of the body and reports:
+//
+//   - a second RMW of the same register array expression in the same pass
+//     (if/else branches are unioned, so an access on one branch followed
+//     by an unconditional access is reported as "may be accessed twice";
+//     branches that return or panic are excluded from the merge);
+//   - an RMW inside a loop on a loop-invariant array expression when the
+//     pass was begun outside the loop — the second iteration is a second
+//     access;
+//   - an RMW that visits an earlier stage than a previous access in the
+//     same pass. Stages are declared by annotating register-array struct
+//     fields with a comment containing `askcheck:stage=N` (exact stage)
+//     or `askcheck:stage=N+` (a slice of arrays laid out from stage N
+//     upward, e.g. the vectorized aggregator arrays).
+//
+// The walk is intra-procedural: a helper that receives a *pisa.Pass is
+// analyzed on its own with an unconstrained pass. Array identity is
+// syntactic (the receiver expression's text), which is exact for the
+// field-per-array style used by internal/switchd. Escape hatch:
+// //askcheck:allow(pisaaccess).
+package pisaaccess
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the pisaaccess analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "pisaaccess",
+	Doc:  "flag PISA register-array accesses that would panic at runtime: double RMW in one pass or out-of-order stages",
+	Run:  run,
+}
+
+const pisaPath = "repro/internal/pisa"
+
+var stageRE = regexp.MustCompile(`askcheck:stage=(\d+)(\+?)`)
+
+type stageInfo struct {
+	n    int
+	open bool // stage >= n (array slice laid out from n upward)
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Path() == pisaPath {
+		return nil, nil
+	}
+	stages := collectStageAnnotations(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &analysis{pass: pass, stages: stages}
+			st := newFnState()
+			a.seedParams(fd, st)
+			a.walk(fd.Body.List, st)
+		}
+	}
+	return nil, nil
+}
+
+// collectStageAnnotations maps register-array struct fields to the stage
+// declared in their `askcheck:stage=` comment.
+func collectStageAnnotations(pass *framework.Pass) map[types.Object]stageInfo {
+	out := make(map[types.Object]stageInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stct, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range stct.Fields.List {
+				info, ok := fieldStage(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = info
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func fieldStage(field *ast.Field) (stageInfo, bool) {
+	var text string
+	if field.Doc != nil {
+		text += field.Doc.Text()
+	}
+	if field.Comment != nil {
+		text += field.Comment.Text()
+	}
+	m := stageRE.FindStringSubmatch(text)
+	if m == nil {
+		return stageInfo{}, false
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return stageInfo{}, false
+	}
+	return stageInfo{n: n, open: m[2] == "+"}, true
+}
+
+// passState tracks one *pisa.Pass value along the current path.
+type passState struct {
+	accessed  map[string]token.Pos // array expr -> first RMW position
+	cur       int                  // highest exact stage visited (-1: none)
+	loopDepth int                  // loop nesting where the pass began
+}
+
+func newPassState(loopDepth int) *passState {
+	return &passState{accessed: make(map[string]token.Pos), cur: -1, loopDepth: loopDepth}
+}
+
+func (p *passState) clone() *passState {
+	c := &passState{accessed: make(map[string]token.Pos, len(p.accessed)), cur: p.cur, loopDepth: p.loopDepth}
+	for k, v := range p.accessed {
+		c.accessed[k] = v
+	}
+	return c
+}
+
+type fnState struct {
+	passes map[types.Object]*passState
+}
+
+func newFnState() *fnState { return &fnState{passes: make(map[types.Object]*passState)} }
+
+func (s *fnState) clone() *fnState {
+	c := newFnState()
+	for k, v := range s.passes {
+		c.passes[k] = v.clone()
+	}
+	return c
+}
+
+// merge unions the branch states back into s (branch may have created
+// passes or recorded accesses).
+func (s *fnState) merge(branches ...*fnState) {
+	for _, b := range branches {
+		for obj, bp := range b.passes {
+			sp, ok := s.passes[obj]
+			if !ok {
+				s.passes[obj] = bp
+				continue
+			}
+			for k, pos := range bp.accessed {
+				if _, dup := sp.accessed[k]; !dup {
+					sp.accessed[k] = pos
+				}
+			}
+			if bp.cur > sp.cur {
+				sp.cur = bp.cur
+			}
+		}
+	}
+}
+
+type analysis struct {
+	pass      *framework.Pass
+	stages    map[types.Object]stageInfo
+	loopVars  []map[types.Object]bool
+	loopDepth int
+}
+
+// seedParams registers parameters of type *pisa.Pass.
+func (a *analysis) seedParams(fd *ast.FuncDecl, st *fnState) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := a.pass.TypesInfo.Defs[name]
+			if obj != nil && isPisaPass(obj.Type()) {
+				st.passes[obj] = newPassState(0)
+			}
+		}
+	}
+}
+
+func isPisaPass(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == pisaPath && n.Obj().Name() == "Pass"
+}
+
+// walk processes statements in order, reporting violations; it returns
+// true when the statement list definitely terminates (return/panic).
+func (a *analysis) walk(stmts []ast.Stmt, st *fnState) bool {
+	for _, s := range stmts {
+		if a.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analysis) stmt(s ast.Stmt, st *fnState) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// ps := pipe.Begin() starts a fresh pass for the assigned variable.
+		for i, rhs := range s.Rhs {
+			a.scanExpr(rhs, st)
+			if isBeginCall(a.pass, rhs) && i < len(s.Lhs) {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					obj := a.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = a.pass.TypesInfo.Uses[id]
+					}
+					if obj != nil {
+						st.passes[obj] = newPassState(a.loopDepth)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		a.scanExpr(s.X, st)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, b := a.pass.TypesInfo.Uses[id].(*types.Builtin); b {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			a.scanExpr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto end this path locally
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		a.scanExpr(s.Cond, st)
+		thenSt := st.clone()
+		tTerm := a.walk(s.Body.List, thenSt)
+		var branches []*fnState
+		if !tTerm {
+			branches = append(branches, thenSt)
+		}
+		eTerm := false
+		if s.Else != nil {
+			elseSt := st.clone()
+			eTerm = a.stmt(s.Else, elseSt)
+			if !eTerm {
+				branches = append(branches, elseSt)
+			}
+		}
+		st.merge(branches...)
+		return s.Else != nil && tTerm && eTerm
+	case *ast.BlockStmt:
+		return a.walk(s.List, st)
+	case *ast.ForStmt:
+		a.pushLoop(loopVarsOf(a.pass, s.Init))
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			a.scanExpr(s.Cond, st)
+		}
+		body := st.clone()
+		a.walk(s.Body.List, body)
+		if s.Post != nil {
+			a.stmt(s.Post, body)
+		}
+		a.popLoop()
+		st.merge(body)
+		return false
+	case *ast.RangeStmt:
+		vars := make(map[types.Object]bool)
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := a.pass.TypesInfo.Defs[id]; obj != nil {
+					vars[obj] = true
+				} else if obj := a.pass.TypesInfo.Uses[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+		a.scanExpr(s.X, st)
+		a.pushLoop(vars)
+		body := st.clone()
+		a.walk(s.Body.List, body)
+		a.popLoop()
+		st.merge(body)
+		return false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			a.scanExpr(s.Tag, st)
+		}
+		var branches []*fnState
+		for _, cc := range s.Body.List {
+			c, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.clone()
+			if !a.walk(c.Body, caseSt) {
+				branches = append(branches, caseSt)
+			}
+		}
+		st.merge(branches...)
+		return false
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				caseSt := st.clone()
+				a.walk(c.Body, caseSt)
+				st.merge(caseSt)
+			}
+		}
+		return false
+	case *ast.DeferStmt:
+		a.scanExpr(s.Call, st)
+		return false
+	case *ast.GoStmt:
+		a.scanExpr(s.Call, st)
+		return false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		if inc, ok := s.(*ast.IncDecStmt); ok {
+			a.scanExpr(inc.X, st)
+		}
+		return false
+	case *ast.LabeledStmt:
+		return a.stmt(s.Stmt, st)
+	case *ast.SendStmt:
+		a.scanExpr(s.Chan, st)
+		a.scanExpr(s.Value, st)
+		return false
+	default:
+		return false
+	}
+}
+
+func (a *analysis) pushLoop(vars map[types.Object]bool) {
+	a.loopVars = append(a.loopVars, vars)
+	a.loopDepth++
+}
+
+func (a *analysis) popLoop() {
+	a.loopVars = a.loopVars[:len(a.loopVars)-1]
+	a.loopDepth--
+}
+
+func loopVarsOf(pass *framework.Pass, init ast.Stmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	as, ok := init.(*ast.AssignStmt)
+	if !ok {
+		return vars
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// scanExpr finds RMW calls inside an expression tree (conditions, RHS
+// values, nested calls) and applies the PISA checks.
+func (a *analysis) scanExpr(e ast.Expr, st *fnState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		a.checkRMW(call, st)
+		return true
+	})
+}
+
+// checkRMW applies the single-access and stage-order rules to one
+// ra.RMW(ps, ...) call.
+func (a *analysis) checkRMW(call *ast.CallExpr, st *fnState) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "RMW" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := a.pass.TypesInfo.Types[sel.X]
+	if !ok || !isPisaArray(tv.Type) {
+		return
+	}
+	// Resolve the pass argument.
+	var ps *passState
+	if id, ok := call.Args[0].(*ast.Ident); ok {
+		if obj := a.pass.TypesInfo.Uses[id]; obj != nil {
+			ps = st.passes[obj]
+			if ps == nil {
+				ps = newPassState(a.loopDepth)
+				st.passes[obj] = ps
+			}
+		}
+	}
+	if ps == nil {
+		return // pass expression too dynamic to track
+	}
+	key := exprString(sel.X)
+	varies := a.referencesLoopVar(sel.X)
+
+	// Single access per pass.
+	if !varies {
+		if first, dup := ps.accessed[key]; dup {
+			fp := a.pass.Fset.Position(first)
+			a.pass.Reportf(call.Pos(),
+				"register array %s may be RMW'd twice in one pass (first access at %s:%d); pisa.RegisterArray.RMW panics on the second access",
+				key, shortName(fp.Filename), fp.Line)
+		} else if ps.loopDepth < a.loopDepth {
+			a.pass.Reportf(call.Pos(),
+				"register array %s is RMW'd inside a loop but its pass began outside the loop; the second iteration is a second access in the same pass",
+				key)
+			ps.accessed[key] = call.Pos()
+		} else {
+			ps.accessed[key] = call.Pos()
+		}
+	}
+
+	// Stage ordering.
+	if info, ok := a.stageOf(sel.X); ok {
+		if !info.open {
+			if ps.cur >= 0 && info.n < ps.cur {
+				a.pass.Reportf(call.Pos(),
+					"RMW on %s visits stage %d after an access in stage %d; a PISA pass must traverse stages in non-decreasing order",
+					key, info.n, ps.cur)
+			}
+			if info.n > ps.cur {
+				ps.cur = info.n
+			}
+		} else if info.n > ps.cur {
+			// Open layout: the array lives at stage >= n; only the lower
+			// bound is known statically.
+			ps.cur = info.n
+		}
+	}
+}
+
+// stageOf resolves the receiver expression to an annotated struct field.
+func (a *analysis) stageOf(recv ast.Expr) (stageInfo, bool) {
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := a.pass.TypesInfo.Selections[r]; ok {
+			if info, ok := a.stages[s.Obj()]; ok {
+				return info, true
+			}
+		}
+		if obj := a.pass.TypesInfo.Uses[r.Sel]; obj != nil {
+			if info, ok := a.stages[obj]; ok {
+				return info, true
+			}
+		}
+	case *ast.IndexExpr:
+		return a.stageOf(r.X)
+	case *ast.ParenExpr:
+		return a.stageOf(r.X)
+	}
+	return stageInfo{}, false
+}
+
+func isPisaArray(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == pisaPath && n.Obj().Name() == "RegisterArray"
+}
+
+func isBeginCall(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Begin" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	return ok && isPisaPass(tv.Type)
+}
+
+// referencesLoopVar reports whether the expression mentions any variable
+// bound by an enclosing loop (so its identity varies per iteration).
+func (a *analysis) referencesLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := a.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, vars := range a.loopVars {
+			if vars[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	default:
+		return "expr"
+	}
+}
+
+func shortName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

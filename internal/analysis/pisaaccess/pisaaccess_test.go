@@ -1,0 +1,12 @@
+package pisaaccess_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pisaaccess"
+)
+
+func TestPisaAccess(t *testing.T) {
+	analysistest.Run(t, "testdata", []string{"pisaprog"}, pisaaccess.Analyzer)
+}

@@ -1,0 +1,43 @@
+// Package agreement holds deliberately-violating PISA programs used by
+// the agreement test: the same construct must be rejected statically by
+// the pisaaccess analyzer (the `// want` comments below) and dynamically
+// by internal/pisa's runtime panics (agreement_test.go executes these
+// functions and expects them to panic).
+package agreement
+
+import "repro/internal/pisa"
+
+type program struct {
+	pipe *pisa.Pipeline
+	low  *pisa.RegisterArray // early-stage state (askcheck:stage=0)
+	high *pisa.RegisterArray // later-stage state (askcheck:stage=1)
+}
+
+func build() *program {
+	pipe := pisa.NewPipeline(pisa.Config{Stages: 2, MaxArraysPerStage: 4, SRAMPerStageBytes: 1 << 20})
+	return &program{
+		pipe: pipe,
+		low:  pipe.MustAddArray(0, "low", 8, 32),
+		high: pipe.MustAddArray(1, "high", 8, 32),
+	}
+}
+
+func keep(cur uint64) (uint64, uint64) { return cur, cur }
+
+// DoubleAccess reads-modifies-writes the same register array twice in one
+// packet pass: the canonical §2.2.1/§3.2 single-access violation.
+func DoubleAccess() {
+	p := build()
+	ps := p.pipe.Begin()
+	p.low.RMW(ps, 0, keep)
+	p.low.RMW(ps, 1, keep) // want `pisaaccess: register array p\.low may be RMW'd twice in one pass`
+}
+
+// StageBackwards visits stage 0 after stage 1 in the same pass: the
+// stage-ordering violation.
+func StageBackwards() {
+	p := build()
+	ps := p.pipe.Begin()
+	p.high.RMW(ps, 0, keep)
+	p.low.RMW(ps, 0, keep) // want `pisaaccess: RMW on p\.low visits stage 0 after an access in stage 1`
+}

@@ -1,0 +1,127 @@
+// Package pisaprog exercises the pisaaccess analyzer: PISA single-access
+// and stage-order violations plus the patterns the analyzer must accept.
+package pisaprog
+
+import "repro/internal/pisa"
+
+type prog struct {
+	pipe *pisa.Pipeline
+	a    *pisa.RegisterArray // stage-0 state (askcheck:stage=0)
+	b    *pisa.RegisterArray // stage-1 state (askcheck:stage=1)
+	c    *pisa.RegisterArray // stage-1 sibling (askcheck:stage=1)
+	aas  []*pisa.RegisterArray // vectorized arrays from stage 2 (askcheck:stage=2+)
+	free *pisa.RegisterArray   // no stage annotation
+}
+
+func keep(cur uint64) (uint64, uint64) { return cur, cur }
+
+// doubleStraightLine: second RMW of the same array in one pass.
+func (p *prog) doubleStraightLine() {
+	ps := p.pipe.Begin()
+	p.a.RMW(ps, 0, keep)
+	p.a.RMW(ps, 1, keep) // want `pisaaccess: register array p\.a may be RMW'd twice in one pass`
+}
+
+// doubleAcrossBranch: an access under a condition followed by an
+// unconditional access may double-access at runtime.
+func (p *prog) doubleAcrossBranch(cond bool) {
+	ps := p.pipe.Begin()
+	if cond {
+		p.b.RMW(ps, 0, keep)
+	}
+	p.b.RMW(ps, 0, keep) // want `pisaaccess: register array p\.b may be RMW'd twice in one pass`
+}
+
+// branchThenReturn: the conditional access returns, so the later access is
+// on a disjoint path — legal.
+func (p *prog) branchThenReturn(cond bool) {
+	ps := p.pipe.Begin()
+	if cond {
+		p.b.RMW(ps, 0, keep)
+		return
+	}
+	p.b.RMW(ps, 0, keep)
+}
+
+// eitherBranch: if/else both access the array once — legal (one per path).
+func (p *prog) eitherBranch(cond bool) {
+	ps := p.pipe.Begin()
+	if cond {
+		p.b.RMW(ps, 0, keep)
+	} else {
+		p.b.RMW(ps, 1, keep)
+	}
+}
+
+// loopInvariant: the pass begins outside the loop, so the second iteration
+// re-accesses the same array in the same pass.
+func (p *prog) loopInvariant() {
+	ps := p.pipe.Begin()
+	for i := 0; i < 4; i++ {
+		p.a.RMW(ps, i, keep) // want `pisaaccess: register array p\.a is RMW'd inside a loop but its pass began outside`
+	}
+}
+
+// loopFreshPass: a new pass per iteration is the legal way to loop.
+func (p *prog) loopFreshPass() {
+	for i := 0; i < 4; i++ {
+		ps := p.pipe.Begin()
+		p.a.RMW(ps, i, keep)
+	}
+}
+
+// loopVariedArray: the array expression varies with the loop variable
+// (vectorized access), so each iteration touches a different array.
+func (p *prog) loopVariedArray() {
+	ps := p.pipe.Begin()
+	for i := 0; i < len(p.aas); i++ {
+		p.aas[i].RMW(ps, 0, keep)
+	}
+}
+
+// stageBackwards: visiting stage 0 after stage 1 reverses the pipeline.
+func (p *prog) stageBackwards() {
+	ps := p.pipe.Begin()
+	p.b.RMW(ps, 0, keep)
+	p.a.RMW(ps, 0, keep) // want `pisaaccess: RMW on p\.a visits stage 0 after an access in stage 1`
+}
+
+// stageForward: non-decreasing stages, including two arrays sharing stage
+// 1 and an open-layout array afterwards — all legal.
+func (p *prog) stageForward(i int) {
+	ps := p.pipe.Begin()
+	p.a.RMW(ps, 0, keep)
+	p.b.RMW(ps, 0, keep)
+	p.c.RMW(ps, 0, keep)
+	p.aas[i].RMW(ps, 0, keep)
+}
+
+// stageAfterOpen: an exact-stage access below an open layout's lower bound
+// is flagged.
+func (p *prog) stageAfterOpen(i int) {
+	ps := p.pipe.Begin()
+	p.aas[i].RMW(ps, 0, keep)
+	p.b.RMW(ps, 0, keep) // want `pisaaccess: RMW on p\.b visits stage 1 after an access in stage 2`
+}
+
+// helperPass: a helper receiving the pass is analyzed with an
+// unconstrained pass; its single access is legal.
+func (p *prog) helperPass(ps *pisa.Pass, ra *pisa.RegisterArray) uint64 {
+	return ra.RMW(ps, 0, keep)
+}
+
+// suppressed: the escape hatch silences a diagnostic on the next line.
+func (p *prog) suppressed() {
+	ps := p.pipe.Begin()
+	p.a.RMW(ps, 0, keep)
+	//askcheck:allow(pisaaccess)
+	p.a.RMW(ps, 1, keep)
+}
+
+// twoPasses: distinct passes may access the same array.
+func (p *prog) twoPasses() {
+	ps := p.pipe.Begin()
+	p.a.RMW(ps, 0, keep)
+	ps2 := p.pipe.Begin()
+	p.a.RMW(ps2, 0, keep)
+}

@@ -1,0 +1,15 @@
+// Package other is outside the deterministic package set; the analyzer
+// must stay silent here even for wall-clock reads and map iteration.
+package other
+
+import "time"
+
+func wallClockAllowed() int64 {
+	return time.Now().UnixNano()
+}
+
+func mapOrderAllowed(m map[int]int, emit func(int)) {
+	for k := range m {
+		emit(k)
+	}
+}

@@ -1,0 +1,12 @@
+package telemetrynames_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/telemetrynames"
+)
+
+func TestTelemetryNames(t *testing.T) {
+	analysistest.Run(t, "testdata", []string{"metrics"}, telemetrynames.Analyzer)
+}

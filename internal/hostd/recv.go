@@ -2,6 +2,7 @@ package hostd
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -459,7 +460,21 @@ func (t *recvTask) mergeEntries(p *sim.Proc, entries []wire.FetchEntry) {
 		g := (e.AA - shortSlots) / m
 		groups[groupRow{g, e.Row}] = append(groups[groupRow{g, e.Row}], e)
 	}
-	for gr, es := range groups {
+	// Merge groups in a deterministic (group, row) order: for a
+	// non-commutative Op the order in which rows fold into the partial
+	// result is observable, and map iteration order would leak into it.
+	rows := make([]groupRow, 0, len(groups))
+	for gr := range groups {
+		rows = append(rows, gr)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].group != rows[j].group {
+			return rows[i].group < rows[j].group
+		}
+		return rows[i].row < rows[j].row
+	})
+	for _, gr := range rows {
+		es := groups[gr]
 		if len(es) != m {
 			panic(fmt.Sprintf("hostd: medium group %d row %d has %d of %d members", gr.group, gr.row, len(es), m))
 		}

@@ -71,13 +71,15 @@ type Switch struct {
 	pipe   *pisa.Pipeline
 
 	// Register arrays (data-plane state).
-	raMaxSeq   *pisa.RegisterArray // per flow: 32-bit max_seq
-	raSwapSeq  *pisa.RegisterArray // per region: 32-bit swap sequence
-	raClearSeq *pisa.RegisterArray // per region: 32-bit clear sequence
-	raCopyInd  *pisa.RegisterArray // per region: 1-bit copy indicator
-	raSeen     *pisa.RegisterArray // per flow × W: 1-bit compact seen
-	raPktState *pisa.RegisterArray // per flow × W: NumAAs-bit bitmap
-	raAAs      []*pisa.RegisterArray
+	// The askcheck:stage annotations mirror layoutPipeline and feed the
+	// pisaaccess analyzer's static stage-order check; keep both in sync.
+	raMaxSeq   *pisa.RegisterArray   // per flow: 32-bit max_seq (askcheck:stage=0)
+	raSwapSeq  *pisa.RegisterArray   // per region: 32-bit swap sequence (askcheck:stage=0)
+	raClearSeq *pisa.RegisterArray   // per region: 32-bit clear sequence (askcheck:stage=0)
+	raCopyInd  *pisa.RegisterArray   // per region: 1-bit copy indicator (askcheck:stage=1)
+	raSeen     *pisa.RegisterArray   // per flow × W: 1-bit compact seen (askcheck:stage=1)
+	raPktState *pisa.RegisterArray   // per flow × W: NumAAs-bit bitmap (askcheck:stage=2+)
+	raAAs      []*pisa.RegisterArray // four per stage from stage 2 (askcheck:stage=2+)
 
 	// Control-plane state (match-action table contents, not SRAM registers).
 	flows      map[core.FlowKey]int

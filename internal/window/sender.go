@@ -219,6 +219,9 @@ func (s *Sender) fail(err error) {
 	s.err = err
 	s.met.aborts.Inc()
 	s.tr.EmitNote(telemetry.CompWindow, "window_abort", 0, s.flow)
+	// Timer.Stop only marks the event dead; stops of distinct timers
+	// commute, so this iteration's order cannot escape.
+	//askcheck:allow(simdeterminism)
 	for _, f := range s.inflight {
 		f.timer.Stop()
 	}
@@ -232,6 +235,8 @@ func (s *Sender) fail(err error) {
 // anyway (reboot) and the flow is about to be replayed out of band; sequence
 // numbers are NOT reused, so receiver-side dedup state stays valid.
 func (s *Sender) Reset() {
+	// Timer stops commute (see fail); iteration order cannot escape.
+	//askcheck:allow(simdeterminism)
 	for _, f := range s.inflight {
 		f.timer.Stop()
 	}
