@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test test-shuffle race bench lint telemetry-lint ci
+.PHONY: all vet build test test-shuffle race bench lint telemetry-lint soak ci
 
 all: ci
 
@@ -37,4 +37,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
 
-ci: vet build lint test test-shuffle race
+# Bounded chaos soak (README "Failure model"): 12 fixed seeds of randomized
+# fault schedules — switch outages, black-holes, loss/corruption bursts,
+# host stalls — each run end-to-end against the analytic ground truth with
+# a continuous per-link corruption baseline. Deterministic and fast (a few
+# seconds); a failure prints a shrunken schedule and a reproducer seed.
+soak:
+	$(GO) run ./cmd/asksim -soak -soak.seed=1 -soak.runs=12 -soak.corrupt=1e-3
+
+ci: vet build lint test test-shuffle race soak

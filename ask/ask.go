@@ -35,6 +35,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/switchd"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Options configures a cluster.
@@ -80,14 +81,20 @@ type Cluster struct {
 // controllerAdapter narrows switchd.Switch to the hostd.Controller surface.
 type controllerAdapter struct{ sw *switchd.Switch }
 
-func (c controllerAdapter) RegisterFlow(fk core.FlowKey) error {
-	_, err := c.sw.RegisterFlow(fk)
-	return err
+func (c controllerAdapter) RegisterFlow(fk core.FlowKey) (uint32, error) {
+	if _, err := c.sw.RegisterFlow(fk); err != nil {
+		return 0, err
+	}
+	// The control plane is synchronous in the simulation, so the epoch read
+	// here is exactly the incarnation the registration landed on.
+	return c.sw.Epoch(), nil
 }
 
-func (c controllerAdapter) RegisterFlowAt(fk core.FlowKey, start uint32) error {
-	_, err := c.sw.RegisterFlowAt(fk, start)
-	return err
+func (c controllerAdapter) RegisterFlowAt(fk core.FlowKey, start uint32) (uint32, error) {
+	if _, err := c.sw.RegisterFlowAt(fk, start); err != nil {
+		return 0, err
+	}
+	return c.sw.Epoch(), nil
 }
 
 func (c controllerAdapter) AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, rows int) error {
@@ -120,6 +127,10 @@ func NewCluster(opts Options) (*Cluster, error) {
 	sink := tel.Sink()
 	n := netsim.New(s, opts.Link)
 	n.Instrument(sink)
+	// Hand links the byte codec so the corruption fault path can deliver
+	// real damaged bytes (never SkipVerify here — the on-wire encoding is
+	// always checksummed; verification policy lives at the receivers).
+	n.SetCodec(wire.Codec{KPartBytes: opts.Config.KPartBytes})
 	swOpts := opts.Switch
 	swOpts.Telemetry = sink
 	sw, err := switchd.New(s, n, opts.Config, swOpts)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/switchd"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // MultiRackOptions configures the §7 multi-rack deployment: several racks,
@@ -72,6 +73,7 @@ func NewMultiRackCluster(opts MultiRackOptions) (*MultiRackCluster, error) {
 	}
 	s := sim.New(opts.Seed)
 	tt := netsim.NewTwoTier(s, opts.Racks, opts.HostLink, opts.CoreLink)
+	tt.SetCodec(wire.Codec{KPartBytes: opts.Config.KPartBytes})
 	mc := &MultiRackCluster{
 		Sim:     s,
 		Net:     tt,

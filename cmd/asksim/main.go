@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/ask"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/stats"
@@ -60,10 +61,42 @@ func main() {
 		telem    = flag.Bool("telemetry", false, "enable the cluster telemetry stack and print the metric report")
 		promOut  = flag.String("prom", "", "write a Prometheus text snapshot to this file ('-' = stdout; implies -telemetry)")
 		jsonOut  = flag.String("json", "", "write a JSON telemetry snapshot (metrics, series, trace events) to this file ('-' = stdout; implies -telemetry)")
+
+		soak        = flag.Bool("soak", false, "run the chaos soak harness instead of a single task")
+		soakRuns    = flag.Int("soak.runs", 1, "consecutive soak seeds to run (soak.seed, soak.seed+1, ...)")
+		soakSeed    = flag.Int64("soak.seed", 1, "soak seed (drives workload, schedule, and fault RNG)")
+		soakEvents  = flag.Int("soak.events", 6, "fault events per soak schedule")
+		soakSenders = flag.Int("soak.senders", 2, "sending hosts in the soak cluster")
+		soakTuples  = flag.Int64("soak.tuples", 30_000, "tuples per sender in the soak workload")
+		soakCorrupt = flag.Float64("soak.corrupt", 1e-3, "baseline per-link corruption probability during the soak")
+		soakBreak   = flag.Bool("soak.break-checksums", false, "disable checksum verification (fault hook) to demo harness detection")
 	)
 	flag.Parse()
 	if *promOut != "" || *jsonOut != "" {
 		*telem = true
+	}
+	if *soak {
+		ok := true
+		for i := 0; i < *soakRuns; i++ {
+			rep, err := chaos.Soak(chaos.SoakConfig{
+				Seed:                  *soakSeed + int64(i),
+				Events:                *soakEvents,
+				Senders:               *soakSenders,
+				Tuples:                *soakTuples,
+				Base:                  netsim.Fault{CorruptProb: *soakCorrupt},
+				DisableChecksumVerify: *soakBreak,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asksim:", err)
+				os.Exit(1)
+			}
+			fmt.Print(rep)
+			ok = ok && rep.Passed()
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *senders >= *hosts {

@@ -238,3 +238,96 @@ func TestBoundedRetriesAbortSenderStream(t *testing.T) {
 		t.Fatal("no channel recorded a transport abort")
 	}
 }
+
+func TestBackToBackOutagesDoNotDoubleCount(t *testing.T) {
+	// Regression: the soak harness (seed 9, shrunk to exactly these two
+	// outages) caught a replay double-count. The second reboot lands before
+	// the senders notice the first, so the first recovery generation's
+	// RegisterFlowAt RPC lands on the NEWER incarnation (detection lag).
+	// Data transmitted after that registration is absorbed into the live
+	// region — which teardown will fetch — yet a naive replay of the full
+	// retained history resends those packets as TypeReplay, and the receiver
+	// (which never claimed them: the switch absorbed them) merges them a
+	// second time. The fix tags every history record with the registration
+	// epoch at first transmission and skips records whose incarnation is
+	// still alive at replay time.
+	scale := 778044 * time.Nanosecond
+	frac := func(m int64) time.Duration { return scale * time.Duration(m) / 1000 }
+	c := core.DefaultConfig()
+	c.ShadowCopy = false
+	c.Failover = true
+	cl, err := ask.NewCluster(ask.Options{Hosts: 3, Config: c, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch := chaos.New(cl)
+	orch.SwitchOutage(frac(94), frac(153-94))
+	orch.SwitchOutage(frac(342), frac(466-342))
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum, Senders: []core.HostID{1, 2}}
+	streams := make(map[core.HostID]core.Stream)
+	want := make(core.Result)
+	for i := 1; i <= 2; i++ {
+		w := workload.Uniform(512, 30_000, 9+int64(i))
+		streams[core.HostID(i)] = w.Stream()
+		want.Merge(w.Reference(core.OpSum), core.OpSum)
+	}
+	res, err := cl.Aggregate(spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Equal(want) {
+		t.Fatalf("back-to-back outages diverged (replay double-count?): %s", res.Result.Diff(want, 5))
+	}
+	if got := cl.Switch.Stats().Reboots; got != 2 {
+		t.Fatalf("expected 2 reboots, got %d", got)
+	}
+	for h := core.HostID(0); h <= 2; h++ {
+		if fs := cl.Daemon(h).FailoverStats(); fs.Reattaches == 0 {
+			t.Fatalf("host %d never completed recovery", h)
+		}
+	}
+}
+
+func TestBoundedRetriesAbortUnderTotalCorruption(t *testing.T) {
+	// The corruption twin of the blackhole abort test: the sender's link
+	// stays UP but damages every byte it carries (CorruptProb=1), so frames
+	// keep arriving and keep being quarantined by the end-to-end checksum —
+	// including the ACKs flowing back. At the transport layer sustained
+	// corruption must be indistinguishable from loss: the bounded retry
+	// budget exhausts and the stream aborts instead of spinning forever on
+	// an undetectably-poisoned link.
+	c := core.DefaultConfig()
+	c.MaxRetries = 3
+	cl, err := ask.NewCluster(ask.Options{Hosts: 2, Config: c, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch := chaos.New(cl)
+	orch.LinkDegrade(300*time.Microsecond, 20*time.Millisecond, 1, netsim.Fault{CorruptProb: 1})
+	w := workload.Uniform(256, 30_000, 3)
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1}, Op: core.OpSum}
+	pt, err := cl.StartTask(spec, map[core.HostID]core.Stream{1: w.Stream()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Sim.Run(0)
+	if _, err := pt.Get(); err == nil {
+		t.Fatal("task completed despite a fully-corrupted sender link")
+	}
+	var aborts int64
+	for _, cs := range cl.Daemon(1).ChannelStats() {
+		aborts += cs.Aborts
+	}
+	if aborts == 0 {
+		t.Fatal("no channel recorded a transport abort")
+	}
+	// The quarantine — not silent loss — must be what starved the window:
+	// the switch saw and dropped the damaged uplink frames, and the sender
+	// saw and dropped damaged frames (corrupted ACKs) coming back.
+	if got := cl.Switch.Stats().CorruptDropped; got == 0 {
+		t.Fatal("switch quarantined nothing; corruption path not exercised")
+	}
+	if got := cl.Daemon(1).Stats().CorruptDropped; got == 0 {
+		t.Fatal("sender host quarantined nothing; return-path corruption not exercised")
+	}
+}

@@ -1,0 +1,502 @@
+package chaos
+
+// Chaos soak: seeded random-walk fault schedules over full end-to-end
+// aggregation runs, with an invariant harness and a shrinker.
+//
+// A soak run is three deterministic steps:
+//
+//  1. GenerateSchedule draws a fault script — switch outages, link
+//     black-holes, loss/duplication degradation, corruption bursts, host
+//     stalls — from a seeded PRNG, with event times expressed in
+//     thousandths of the fault-free task duration so the same schedule
+//     lands mid-task at any workload size.
+//  2. RunSchedule replays the script against a fresh cluster and checks
+//     the conservation invariant (the aggregated result equals the
+//     analytic per-key ground truth) plus a set of consistency
+//     invariants (no host stuck degraded, epochs coherent, no transport
+//     aborts under an unbounded retry budget).
+//  3. On violation, Shrink re-runs prefixes and single-event elisions of
+//     the schedule until no event can be removed without the failure
+//     disappearing, and the Report prints the minimal schedule plus a
+//     one-line reproducer (`asksim -soak -soak.seed=N ...`).
+//
+// Everything is derived from SoakConfig.Seed — the workload, the
+// schedule, the link-fault RNG — so a reproducer seed replays the exact
+// failure. The harness itself is deterministic: no wall clock, no global
+// randomness (simdeterminism-checked).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SoakConfig parameterizes one soak run. The zero value of every field
+// except Seed is replaced by a default; two runs with equal configs are
+// identical.
+type SoakConfig struct {
+	// Seed drives everything: workload contents, schedule generation, and
+	// the cluster's fault RNG.
+	Seed int64
+	// Events is the number of fault events to draw (default 6).
+	Events int
+	// Senders is the number of sending hosts (default 2; the receiver is
+	// host 0, so the cluster has Senders+1 hosts).
+	Senders int
+	// Tuples per sender (default 30 000) over Keys distinct keys
+	// (default 512).
+	Tuples int64
+	Keys   int
+	// Base is a fault model applied to every link for the whole run, on
+	// top of the scheduled events — e.g. Fault{CorruptProb: 1e-3} soaks
+	// the checksum path continuously.
+	Base netsim.Fault
+	// DisableChecksumVerify mirrors core.Config.DisableChecksumVerify
+	// into the cluster under test: the deliberately-broken build the
+	// harness must catch. Never set outside tests of the harness itself.
+	DisableChecksumVerify bool
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Events == 0 {
+		c.Events = 6
+	}
+	if c.Senders == 0 {
+		c.Senders = 2
+	}
+	if c.Tuples == 0 {
+		c.Tuples = 30_000
+	}
+	if c.Keys == 0 {
+		c.Keys = 512
+	}
+	return c
+}
+
+// EventKind enumerates the fault types a schedule can contain.
+type EventKind int
+
+const (
+	EvSwitchOutage EventKind = iota
+	EvLinkBlackhole
+	EvLinkDegrade
+	EvCorruptBurst
+	EvHostStall
+	numEventKinds
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSwitchOutage:
+		return "switch-outage"
+	case EvLinkBlackhole:
+		return "link-blackhole"
+	case EvLinkDegrade:
+		return "link-degrade"
+	case EvCorruptBurst:
+		return "corrupt-burst"
+	case EvHostStall:
+		return "host-stall"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one scheduled fault. Times are in thousandths of the timing
+// scale (the fault-free task duration), so schedules are workload-size
+// independent.
+type Event struct {
+	Kind     EventKind
+	StartMil int64 // start, in 1/1000 of scale
+	DurMil   int64 // duration, in 1/1000 of scale
+	// Host is the target of link and stall faults (unused for switch
+	// outages).
+	Host core.HostID
+	// Fault is the override model for EvLinkDegrade / EvCorruptBurst.
+	Fault netsim.Fault
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%-14s t=[%4d,%4d)millis-of-scale", e.Kind, e.StartMil, e.StartMil+e.DurMil)
+	switch e.Kind {
+	case EvSwitchOutage:
+		return s
+	case EvLinkDegrade:
+		return fmt.Sprintf("%s host=%d loss=%.3f dup=%.3f", s, e.Host, e.Fault.LossProb, e.Fault.DupProb)
+	case EvCorruptBurst:
+		return fmt.Sprintf("%s host=%d corrupt=%.4f truncate=%.4f", s, e.Host, e.Fault.CorruptProb, e.Fault.TruncateProb)
+	default:
+		return fmt.Sprintf("%s host=%d", s, e.Host)
+	}
+}
+
+// Schedule is an ordered fault script.
+type Schedule []Event
+
+// Apply installs every event on the orchestrator, mapping the millis-of-
+// scale timeline onto virtual time.
+func (s Schedule) Apply(o *Orchestrator, scale time.Duration) {
+	at := func(mil int64) time.Duration { return scale * time.Duration(mil) / 1000 }
+	for _, ev := range s {
+		start, dur := at(ev.StartMil), at(ev.DurMil)
+		switch ev.Kind {
+		case EvSwitchOutage:
+			o.SwitchOutage(start, dur)
+		case EvLinkBlackhole:
+			o.LinkBlackhole(start, dur, ev.Host)
+		case EvLinkDegrade, EvCorruptBurst:
+			o.LinkDegrade(start, dur, ev.Host, ev.Fault)
+		case EvHostStall:
+			o.HostStall(start, dur, ev.Host)
+		}
+	}
+}
+
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "  (empty schedule — base config alone fails)"
+	}
+	var b strings.Builder
+	for i, ev := range s {
+		fmt.Fprintf(&b, "  [%d] %s\n", i, ev)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// overlapsAny reports whether [start, end) intersects any interval in
+// ivs, with a separation gap so healing completes before the next fault.
+func overlapsAny(ivs [][2]int64, start, end int64) bool {
+	const gap = 50
+	for _, iv := range ivs {
+		if start < iv[1]+gap && iv[0] < end+gap {
+			return true
+		}
+	}
+	return false
+}
+
+// GenerateSchedule draws a fault script from cfg.Seed. Constraints keep
+// every draw runnable: switch outages never overlap each other, per-host
+// faults never overlap on the same host, and only sender hosts are
+// targeted (the receiver's link must stay up for the task to finish).
+// Events land in [50, 900)millis of scale with durations in [50, 250), so
+// every fault heals within the script.
+func GenerateSchedule(cfg SoakConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sched Schedule
+	var outages [][2]int64
+	busy := make(map[core.HostID][][2]int64)
+	for attempts := 0; len(sched) < cfg.Events && attempts < cfg.Events*64; attempts++ {
+		kind := EventKind(rng.Intn(int(numEventKinds)))
+		start := 50 + rng.Int63n(850)
+		dur := 50 + rng.Int63n(200)
+		ev := Event{Kind: kind, StartMil: start, DurMil: dur}
+		if kind == EvSwitchOutage {
+			if overlapsAny(outages, start, start+dur) {
+				continue
+			}
+			outages = append(outages, [2]int64{start, start + dur})
+		} else {
+			host := core.HostID(1 + rng.Intn(cfg.Senders))
+			if overlapsAny(busy[host], start, start+dur) {
+				continue
+			}
+			busy[host] = append(busy[host], [2]int64{start, start + dur})
+			ev.Host = host
+			switch kind {
+			case EvLinkDegrade:
+				ev.Fault = netsim.Fault{
+					LossProb: 0.05 + rng.Float64()*0.20,
+					DupProb:  rng.Float64() * 0.05,
+				}
+			case EvCorruptBurst:
+				ev.Fault = netsim.Fault{
+					CorruptProb:  0.002 + rng.Float64()*0.02,
+					TruncateProb: rng.Float64() * 0.004,
+				}
+			}
+		}
+		sched = append(sched, ev)
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].StartMil < sched[j].StartMil })
+	return sched
+}
+
+// soakOptions is the cluster configuration a soak runs under: failover on
+// (switch outages must not deadlock), shadow copies off (failover replay
+// cannot attribute swap fetches), retries unbounded (black-holes must not
+// abort streams — an abort is an invariant violation, not a scripted
+// outcome), and the checksum-verification fault hook mirrored in.
+func soakOptions(cfg SoakConfig) ask.Options {
+	c := core.DefaultConfig()
+	c.ShadowCopy = false
+	c.Failover = true
+	c.MaxRetries = 0
+	c.DisableChecksumVerify = cfg.DisableChecksumVerify
+	link := netsim.DefaultLinkConfig()
+	link.Fault = cfg.Base
+	return ask.Options{Hosts: cfg.Senders + 1, Config: c, Link: link, Seed: cfg.Seed}
+}
+
+// soakWorkload builds the task, per-sender streams, and the analytic
+// ground truth the conservation invariant checks against. The ground
+// truth is computed host-side from the workload spec, never from a
+// cluster run — a broken datapath cannot contaminate it.
+func soakWorkload(cfg SoakConfig) (core.TaskSpec, map[core.HostID]core.Stream, core.Result) {
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum}
+	streams := make(map[core.HostID]core.Stream)
+	want := make(core.Result)
+	for i := 0; i < cfg.Senders; i++ {
+		h := core.HostID(i + 1)
+		spec.Senders = append(spec.Senders, h)
+		w := workload.Uniform(cfg.Keys, cfg.Tuples, cfg.Seed+int64(h))
+		streams[h] = w.Stream()
+		want.Merge(w.Reference(core.OpSum), core.OpSum)
+	}
+	return spec, streams, want
+}
+
+// goldenScale runs the task once on a fault-free, verification-enabled
+// cluster and returns its duration — the timing scale schedules are
+// expressed in. It errors if even the clean run violates conservation
+// (the build is broken beyond what fault injection can reveal).
+func goldenScale(cfg SoakConfig) (time.Duration, error) {
+	opts := soakOptions(cfg)
+	opts.Link.Fault = netsim.Fault{}
+	opts.Config.DisableChecksumVerify = false
+	spec, streams, want := soakWorkload(cfg)
+	cl, err := ask.NewCluster(opts)
+	if err != nil {
+		return 0, err
+	}
+	res, err := cl.Aggregate(spec, streams)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: golden run failed: %w", err)
+	}
+	if !res.Result.Equal(want) {
+		return 0, fmt.Errorf("chaos: golden run violates conservation: %s", res.Result.Diff(want, 5))
+	}
+	return time.Duration(res.Elapsed), nil
+}
+
+// Outcome is the verdict of one schedule replay.
+type Outcome struct {
+	// Violation is empty on a clean run, else a one-line description of
+	// the first invariant that failed.
+	Violation string
+	// Elapsed is the task's virtual duration (zero if it never finished).
+	Elapsed time.Duration
+	// Evidence counters: quarantined frames prove the integrity path was
+	// exercised; retransmits and replays prove the reliability path was.
+	SwitchCorruptDropped int64
+	HostCorruptDropped   int64
+	Retransmits          int64
+	Replays              int64
+}
+
+// OK reports whether every invariant held.
+func (o Outcome) OK() bool { return o.Violation == "" }
+
+func violationf(format string, args ...any) Outcome {
+	return Outcome{Violation: fmt.Sprintf(format, args...)}
+}
+
+// RunSchedule replays one schedule on a fresh cluster and checks the
+// invariants. It is deterministic: equal (cfg, sched, scale) triples
+// produce equal Outcomes.
+func RunSchedule(cfg SoakConfig, sched Schedule, scale time.Duration) Outcome {
+	cfg = cfg.withDefaults()
+	spec, streams, want := soakWorkload(cfg)
+	cl, err := ask.NewCluster(soakOptions(cfg))
+	if err != nil {
+		return violationf("cluster build failed: %v", err)
+	}
+	orch := New(cl)
+	sched.Apply(orch, scale)
+	pt, err := cl.StartTask(spec, streams)
+	if err != nil {
+		return violationf("task submission failed: %v", err)
+	}
+	// Run under a virtual-time cap: a broken datapath can livelock (e.g.
+	// forged sequence state retransmitting forever), and an uncapped run
+	// would never return. Every fault heals by 1.15x scale, so 25x is far
+	// beyond any legitimate recovery tail.
+	deadline := sim.Time(0).Add(25 * scale)
+	end := cl.Sim.Run(deadline)
+	res, err := pt.Get()
+	if err != nil {
+		if end >= deadline {
+			return violationf("task still running at virtual-time cap %v (livelock)", 25*scale)
+		}
+		// The cluster quiesced with the receiver still waiting.
+		return violationf("task did not complete: %v", err)
+	}
+	out := Outcome{
+		Elapsed:              time.Duration(res.Elapsed),
+		SwitchCorruptDropped: cl.Switch.Stats().CorruptDropped,
+	}
+	for h := core.HostID(0); h < core.HostID(cfg.Senders+1); h++ {
+		d := cl.Daemon(h)
+		out.HostCorruptDropped += d.Stats().CorruptDropped
+		out.Replays += d.FailoverStats().ReplaysSent
+		for _, cs := range d.ChannelStats() {
+			out.Retransmits += cs.Retransmits
+		}
+	}
+	// Invariant 1 — conservation: the aggregated result is exactly the
+	// analytic per-key ground truth. Every tuple counted once, none lost
+	// to faults, none double-counted by retransmission or replay, none
+	// fabricated from corrupted bytes.
+	if !res.Result.Equal(want) {
+		out.Violation = "conservation violated: " + res.Result.Diff(want, 5)
+		return out
+	}
+	// Invariant 2 — recovery: every fault healed, so no host may still be
+	// degraded once the cluster quiesces.
+	for h := core.HostID(0); h < core.HostID(cfg.Senders+1); h++ {
+		if cl.Daemon(h).Degraded() {
+			out.Violation = fmt.Sprintf("host %d still degraded at quiescence", h)
+			return out
+		}
+	}
+	// Invariant 3 — epoch coherence: the switch epoch advances once per
+	// reboot, and no host believes in a future incarnation.
+	if got, want := int64(cl.Switch.Epoch()), 1+cl.Switch.Stats().Reboots; got != want {
+		out.Violation = fmt.Sprintf("switch epoch %d != 1+reboots %d", got, want)
+		return out
+	}
+	for h := core.HostID(0); h < core.HostID(cfg.Senders+1); h++ {
+		if he := cl.Daemon(h).Epoch(); he > cl.Switch.Epoch() {
+			out.Violation = fmt.Sprintf("host %d epoch %d ahead of switch epoch %d", h, he, cl.Switch.Epoch())
+			return out
+		}
+	}
+	// Invariant 4 — transport sanity: with an unbounded retry budget no
+	// flight may abort, and no channel may ACK more than it sent.
+	for h := core.HostID(0); h < core.HostID(cfg.Senders+1); h++ {
+		for ch, cs := range cl.Daemon(h).ChannelStats() {
+			if cs.Aborts != 0 {
+				out.Violation = fmt.Sprintf("host %d channel %d aborted %d flights under unbounded retries", h, ch, cs.Aborts)
+				return out
+			}
+			if cs.Acked > cs.Sent {
+				out.Violation = fmt.Sprintf("host %d channel %d acked %d > sent %d", h, ch, cs.Acked, cs.Sent)
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Shrink minimizes a failing schedule: first the empty schedule (the base
+// config alone may fail), then the shortest failing prefix, then repeated
+// single-event elision until every remaining event is load-bearing. It
+// returns the minimal schedule and the number of replays spent.
+func Shrink(cfg SoakConfig, sched Schedule, scale time.Duration) (Schedule, int) {
+	runs := 0
+	fails := func(s Schedule) bool {
+		runs++
+		return !RunSchedule(cfg, s, scale).OK()
+	}
+	if fails(nil) {
+		return Schedule{}, runs
+	}
+	cur := sched
+	for k := 1; k < len(sched); k++ {
+		if fails(sched[:k]) {
+			cur = sched[:k]
+			break
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append(Schedule{}, cur[:i]...), cur[i+1:]...)
+			if fails(cand) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return cur, runs
+}
+
+// Report is the full record of one soak: config, scale, the drawn
+// schedule, its outcome, and — on failure — the shrunken schedule and a
+// reproducer line.
+type Report struct {
+	Cfg      SoakConfig
+	Scale    time.Duration
+	Schedule Schedule
+	Outcome  Outcome
+	// Shrunk is the minimal failing schedule (nil when the soak passed;
+	// possibly empty when the base config alone fails).
+	Shrunk Schedule
+	// Runs is the total number of schedule replays, shrinking included.
+	Runs int
+}
+
+// Passed reports whether every invariant held on the full schedule.
+func (r Report) Passed() bool { return r.Outcome.OK() }
+
+// Reproducer is the one-line command that replays this exact soak.
+func (r Report) Reproducer() string {
+	s := fmt.Sprintf("asksim -soak -soak.seed=%d -soak.events=%d -soak.senders=%d -soak.tuples=%d",
+		r.Cfg.Seed, r.Cfg.Events, r.Cfg.Senders, r.Cfg.Tuples)
+	if r.Cfg.Base.CorruptProb != 0 {
+		s += fmt.Sprintf(" -soak.corrupt=%g", r.Cfg.Base.CorruptProb)
+	}
+	if r.Cfg.DisableChecksumVerify {
+		s += " -soak.break-checksums"
+	}
+	return s
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	if r.Passed() {
+		fmt.Fprintf(&b, "soak seed=%d PASS: %d events over %v, elapsed %v\n",
+			r.Cfg.Seed, len(r.Schedule), r.Scale, r.Outcome.Elapsed)
+		fmt.Fprintf(&b, "  evidence: corrupt_dropped switch=%d host=%d, retransmits=%d, replays=%d\n",
+			r.Outcome.SwitchCorruptDropped, r.Outcome.HostCorruptDropped,
+			r.Outcome.Retransmits, r.Outcome.Replays)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "soak seed=%d FAIL: %s\n", r.Cfg.Seed, r.Outcome.Violation)
+	fmt.Fprintf(&b, "minimal failing schedule (%d of %d events, %d replays):\n",
+		len(r.Shrunk), len(r.Schedule), r.Runs)
+	fmt.Fprintf(&b, "%s\n", r.Shrunk)
+	fmt.Fprintf(&b, "reproduce with: %s\n", r.Reproducer())
+	return b.String()
+}
+
+// Soak runs one full soak for cfg: golden timing run, schedule
+// generation, replay, and — on violation — shrinking. The only error
+// return is a golden-run failure; fault-induced violations are reported
+// in the Report, reproducer included.
+func Soak(cfg SoakConfig) (Report, error) {
+	cfg = cfg.withDefaults()
+	scale, err := goldenScale(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	sched := GenerateSchedule(cfg)
+	rep := Report{Cfg: cfg, Scale: scale, Schedule: sched}
+	rep.Outcome = RunSchedule(cfg, sched, scale)
+	rep.Runs = 1
+	if !rep.Outcome.OK() {
+		shrunk, runs := Shrink(cfg, sched, scale)
+		rep.Shrunk = shrunk
+		rep.Runs += runs
+	}
+	return rep, nil
+}

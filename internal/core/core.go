@@ -307,6 +307,12 @@ type Config struct {
 	// rung). Zero means retry forever — the right setting under Failover,
 	// where recovery is handled by the replay protocol instead.
 	MaxRetries int
+	// DisableChecksumVerify turns off end-to-end CRC32C verification on
+	// switch and host ingress (wire.Codec.SkipVerify). It exists solely as a
+	// fault-injection hook: the chaos soak harness flips it to prove it
+	// detects a deployment whose integrity checking is broken. Never set it
+	// in production configurations.
+	DisableChecksumVerify bool
 }
 
 // DefaultConfig returns the paper's prototype configuration.

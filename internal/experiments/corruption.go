@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// CorruptionConfig parameterizes the link-corruption sweep: the same
+// aggregation task runs at increasing per-link corruption probabilities, and
+// the table reports what the end-to-end integrity machinery costs — every
+// damaged frame is quarantined by the CRC32C check at its receiver and looks
+// like a loss to the sliding window, so corruption shows up as retransmission
+// traffic and elapsed-time inflation, never as a wrong result.
+type CorruptionConfig struct {
+	// Senders is the number of sending hosts (receiver is host 0).
+	Senders int
+	// Distinct is the per-sender distinct-key count.
+	Distinct int
+	// Tuples is the per-sender stream length.
+	Tuples int64
+	Seed   int64
+	// Probs is the per-link corruption-probability sweep; the first entry
+	// should be 0 (the clean baseline every other row is normalized to).
+	Probs []float64
+}
+
+// DefaultCorruption is the benchmark-scale preset.
+func DefaultCorruption() CorruptionConfig {
+	return CorruptionConfig{
+		Senders: 3, Distinct: 2048, Tuples: 300_000, Seed: 1,
+		Probs: []float64{0, 1e-5, 1e-3},
+	}
+}
+
+// QuickCorruption is the test-scale preset.
+func QuickCorruption() CorruptionConfig {
+	return CorruptionConfig{
+		Senders: 2, Distinct: 512, Tuples: 40_000, Seed: 1,
+		Probs: []float64{0, 1e-5, 1e-3},
+	}
+}
+
+// Corruption runs the sweep. Every row must reproduce the clean row's result
+// exactly: the integrity path converts byte damage into retransmissions, so
+// correctness is flat while goodput and latency degrade.
+func Corruption(cfg CorruptionConfig) (*stats.Table, error) {
+	if len(cfg.Probs) == 0 || cfg.Probs[0] != 0 {
+		return nil, fmt.Errorf("corruption: Probs must start with the clean baseline 0")
+	}
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum}
+	want := make(core.Result)
+	for i := 0; i < cfg.Senders; i++ {
+		h := core.HostID(i + 1)
+		spec.Senders = append(spec.Senders, h)
+		w := workload.Uniform(cfg.Distinct, cfg.Tuples, cfg.Seed+int64(h))
+		want.Merge(w.Reference(core.OpSum), core.OpSum)
+	}
+	total := int64(cfg.Senders) * cfg.Tuples
+
+	t := &stats.Table{
+		Title: "Corruption: per-link byte damage vs goodput and retransmissions",
+		Note: fmt.Sprintf("%d senders x %d tuples; CRC32C quarantines every damaged frame, so results stay exact while retransmissions absorb the damage",
+			cfg.Senders, cfg.Tuples),
+		Header: []string{"corrupt-prob", "elapsed", "x clean", "Mtuple/s", "goodput-Gbps", "corrupted", "sw-drop", "host-drop", "retransmits", "exact"},
+	}
+
+	var cleanElapsed time.Duration
+	for _, prob := range cfg.Probs {
+		link := netsim.DefaultLinkConfig()
+		link.Fault.CorruptProb = prob
+		cl, err := ask.NewCluster(ask.Options{
+			Hosts: cfg.Senders + 1, Link: link, Seed: cfg.Seed,
+			Telemetry: telemetry.Config{Enabled: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		streams := make(map[core.HostID]core.Stream, cfg.Senders)
+		for i := 0; i < cfg.Senders; i++ {
+			h := core.HostID(i + 1)
+			streams[h] = workload.Uniform(cfg.Distinct, cfg.Tuples, cfg.Seed+int64(h)).Stream()
+		}
+		res, err := cl.Aggregate(spec, streams)
+		if err != nil {
+			return nil, fmt.Errorf("corruption: prob %g: %w", prob, err)
+		}
+		exact := res.Result.Equal(want)
+		if !exact {
+			return nil, fmt.Errorf("corruption: prob %g diverged: %s", prob, res.Result.Diff(want, 5))
+		}
+		elapsed := time.Duration(res.Elapsed)
+		if prob == 0 {
+			cleanElapsed = elapsed
+		}
+		var goodBytes, corrupted int64
+		for i := 0; i < cfg.Senders; i++ {
+			goodBytes += cl.Net.Uplink(core.HostID(i + 1)).Stats().TxGoodBytes
+		}
+		// Frame damage is counted at the links (uplinks and downlinks both
+		// carry checksummed traffic; returning ACKs get damaged too).
+		for h := 0; h <= cfg.Senders; h++ {
+			corrupted += cl.Net.Uplink(core.HostID(h)).Stats().Corrupted
+			corrupted += cl.Net.Downlink(core.HostID(h)).Stats().Corrupted
+		}
+		reg := cl.Tel.Registry
+		t.AddRow(fmt.Sprintf("%g", prob),
+			elapsed,
+			float64(elapsed)/float64(cleanElapsed),
+			float64(total)/elapsed.Seconds()/1e6,
+			stats.Gbps(goodBytes, elapsed),
+			corrupted,
+			reg.Total("switchd.corrupt_dropped"),
+			reg.Total("hostd.corrupt_dropped"),
+			reg.Total("window.retransmits"),
+			exact)
+	}
+	return t, nil
+}

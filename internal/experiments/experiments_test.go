@@ -307,13 +307,16 @@ func TestAblations(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 17 {
+	if len(All()) != 18 {
 		t.Fatalf("registry has %d experiments", len(All()))
 	}
 	if _, err := ByName("fig9"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ByName("chaos"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("corruption"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ByName("nope"); err == nil {
@@ -347,5 +350,44 @@ func TestMultiRackShape(t *testing.T) {
 		if agg+res < 95 || agg+res > 105 {
 			t.Fatalf("row %d: absorption %.1f + residue %.1f ≉ 100:\n%s", r, agg, res, tb.String())
 		}
+	}
+}
+
+func TestCorruptionShape(t *testing.T) {
+	tb, err := Corruption(QuickCorruption())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: corrupt-prob, elapsed, x clean, Mtuple/s, goodput-Gbps,
+	// corrupted, sw-drop, host-drop, retransmits, exact.
+	if len(tb.Rows) != 3 {
+		t.Fatalf("expected 3 sweep rows:\n%s", tb.String())
+	}
+	if c := cell(t, tb, tb.Rows, 0, 5); c != 0 {
+		t.Fatalf("clean run corrupted %v frames:\n%s", c, tb.String())
+	}
+	// Damage must grow with the probability, and the heaviest row must show
+	// the whole pipeline: corrupted frames, quarantine drops at switch or
+	// host, and the retransmissions that repaired them.
+	prev := -1.0
+	for r := range tb.Rows {
+		c := cell(t, tb, tb.Rows, r, 5)
+		if c < prev {
+			t.Fatalf("corrupted frames not monotone in probability:\n%s", tb.String())
+		}
+		prev = c
+	}
+	last := len(tb.Rows) - 1
+	if cell(t, tb, tb.Rows, last, 5) == 0 {
+		t.Fatalf("1e-3 sweep corrupted nothing:\n%s", tb.String())
+	}
+	if cell(t, tb, tb.Rows, last, 6)+cell(t, tb, tb.Rows, last, 7) == 0 {
+		t.Fatalf("1e-3 sweep quarantined nothing:\n%s", tb.String())
+	}
+	if cell(t, tb, tb.Rows, last, 8) == 0 {
+		t.Fatalf("1e-3 sweep retransmitted nothing:\n%s", tb.String())
+	}
+	if slow := cell(t, tb, tb.Rows, last, 2); slow < 1.0 {
+		t.Fatalf("heavy corruption ran faster than clean (%v):\n%s", slow, tb.String())
 	}
 }

@@ -131,6 +131,12 @@ func All() []Runner {
 			Quick: one(func() (*stats.Table, error) { return Chaos(QuickChaos()) }),
 			Full:  one(func() (*stats.Table, error) { return Chaos(DefaultChaos()) }),
 		},
+		{
+			Name:  "corruption",
+			Desc:  "link corruption sweep: CRC32C quarantine cost vs goodput",
+			Quick: one(func() (*stats.Table, error) { return Corruption(QuickCorruption()) }),
+			Full:  one(func() (*stats.Table, error) { return Corruption(DefaultCorruption()) }),
+		},
 	}
 }
 

@@ -23,7 +23,22 @@ type sendTask struct {
 	err error
 	// history retains every sent data packet for failover replay (failover
 	// mode only); released when the receiver confirms the task result.
-	history []*wire.Packet
+	history []historyRec
+}
+
+// historyRec is one retained data packet plus the switch incarnation whose
+// reliability state covered its first transmission. absorbEpoch is the
+// channel's registration epoch at send time: the only incarnation that can
+// have absorbed the packet's tuples into SRAM (a rebooted switch classifies
+// old sequence numbers as observed and forwards them whole; an unregistered
+// flow — absorbEpoch 0 — is forwarded whole unconditionally). Replay after a
+// reboot must skip records whose absorbEpoch is the incarnation the flow just
+// re-registered on: that state did not die, so the absorbed tuples are still
+// in the live region the receiver will fetch at teardown, and replaying them
+// would double-count.
+type historyRec struct {
+	pkt         *wire.Packet
+	absorbEpoch uint32
 }
 
 // SendHandle lets the sending application wait for its stream to be fully
@@ -65,6 +80,11 @@ type dataChannel struct {
 	// observeEpoch; recovery runs inline so no concurrent send can race it).
 	recoverReq   uint32
 	recoveredGen uint32
+	// regEpoch is the epoch of the switch incarnation this channel's flow is
+	// currently registered on (0 = unregistered, e.g. flow table full after a
+	// reboot). Maintained by the registration RPCs, which return the live
+	// incarnation's epoch; recorded per packet in sendTask.history.
+	regEpoch uint32
 
 	rxQ   []*netsim.Frame
 	rxSig *sim.Signal
@@ -194,8 +214,10 @@ func (ch *dataChannel) txLoop(p *sim.Proc) {
 			if ch.d.failover && pkt.Type == wire.TypeData {
 				// The sender-side packet struct is never mutated by the
 				// network (frames clone at delivery), so the original slots
-				// and liveness bitmap are intact for replay.
-				task.history = append(task.history, pkt)
+				// and liveness bitmap are intact for replay. regEpoch tags
+				// the incarnation whose reliability state covered the first
+				// transmission (see historyRec).
+				task.history = append(task.history, historyRec{pkt, ch.regEpoch})
 			}
 			ch.maybeRecover(p)
 			// Recovery may have changed curDst while replaying other
@@ -258,10 +280,18 @@ func (ch *dataChannel) doRecover(p *sim.Proc) {
 			continue
 		}
 		p.Sleep(cpumodel.ControlRPCLatency)
-		if err := ch.d.ctrl.RegisterFlowAt(ch.flow, ch.win.NextSeq()); err != nil {
+		if ep, err := ch.d.ctrl.RegisterFlowAt(ch.flow, ch.win.NextSeq()); err != nil {
 			// Flow table full on the rebooted switch: stay unregistered.
 			// Packets forward host-only; correctness is unaffected.
-			_ = err
+			ch.regEpoch = 0
+		} else {
+			ch.regEpoch = ep
+			// The RPC may have landed on an incarnation NEWER than the one
+			// this recovery generation was triggered by (the switch rebooted
+			// again before the daemon noticed). Feed the epoch back so the
+			// daemon schedules the follow-up recovery now instead of waiting
+			// for a stamped packet.
+			ch.d.observeEpoch(ep)
 		}
 		saved := ch.curDst
 		ids := make([]core.TaskID, 0, len(ch.retained))
@@ -272,7 +302,17 @@ func (ch *dataChannel) doRecover(p *sim.Proc) {
 		for _, id := range ids {
 			t := ch.retained[id]
 			ch.curDst = t.receiver
-			for _, orig := range t.history {
+			for _, rec := range t.history {
+				if rec.absorbEpoch != 0 && rec.absorbEpoch == ch.regEpoch {
+					// First transmitted while the flow was registered on the
+					// incarnation we just re-registered on: the switch state
+					// that absorbed it did not die. Its absorbed tuples are
+					// still in the live region (fetched at teardown) and its
+					// residue was claimed at the receiver — replaying here
+					// would double-count.
+					continue
+				}
+				orig := rec.pkt
 				ch.txThread.Run(p, cpumodel.PacketIOCost)
 				rp := &wire.Packet{
 					Type:    wire.TypeReplay,

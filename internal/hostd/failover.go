@@ -49,6 +49,14 @@ import (
 // ledger, and it is counted at teardown iff it was absorbed into the region
 // fetched after all senders re-FINed (switchCommitted); the FIN-generation
 // check guarantees the fetch happens only after every replay is merged.
+// One subtlety: a recovery's RegisterFlowAt RPC lands on whatever incarnation
+// is live NOW, which can be newer than the reboot that triggered it (the
+// switch died again before the daemon noticed). Packets sent after such a
+// registration are absorbed by the live incarnation and will surface through
+// the teardown fetch — so replay must skip them, or they are counted twice.
+// Each history record therefore carries the registration epoch at its first
+// transmission (historyRec.absorbEpoch) and is replayed only if that
+// incarnation has since died.
 
 // FailoverStats counts failover activity at one daemon. It is a
 // point-in-time view over the daemon's telemetry counters (metrics.go).

@@ -28,11 +28,17 @@ import (
 // Controller is the switch control-plane interface (implemented by
 // internal/switchd, adapted in the public ask package).
 type Controller interface {
-	RegisterFlow(fk core.FlowKey) error
+	// RegisterFlow registers a fresh flow and returns the epoch of the
+	// switch incarnation the registration landed on.
+	RegisterFlow(fk core.FlowKey) (uint32, error)
 	// RegisterFlowAt registers a flow whose next sequence number is start —
 	// the re-attach path after a switch reboot, where the flow's window is
-	// mid-stream rather than at zero.
-	RegisterFlowAt(fk core.FlowKey, start uint32) error
+	// mid-stream rather than at zero. Like RegisterFlow it returns the live
+	// incarnation's epoch: control RPCs land on whatever switch is up NOW,
+	// which may be newer than the reboot the caller is recovering from
+	// (detection lag), and the sender must know which incarnation will be
+	// absorbing its packets to replay correctly after the next reboot.
+	RegisterFlowAt(fk core.FlowKey, start uint32) (uint32, error)
 	AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, rows int) error
 	FreeRegion(task core.TaskID) error
 }
@@ -47,6 +53,9 @@ type Stats struct {
 	SwitchTuples    int64 // tuples merged from switch fetches
 	SwapsTriggered  int64
 	PacketsReceived int64 // data/long-key packets processed as receiver
+	// CorruptDropped counts inbound frames quarantined by the end-to-end
+	// checksum check.
+	CorruptDropped int64
 	// SlotFill histograms transmitted data packets by live slot count
 	// (bitmap population), the source of Fig. 8(b).
 	SlotFill [65]int64
@@ -64,6 +73,10 @@ type Daemon struct {
 
 	channels []*dataChannel
 	ctrlCh   *ctrlChannel
+
+	// codec decodes frames that arrive as damaged raw bytes (netsim
+	// corruption faults); SkipVerify mirrors Config.DisableChecksumVerify.
+	codec wire.Codec
 
 	// flowDedup is the receive window per remote flow (shared across tasks;
 	// channels are persistent and multiplex tasks, §3.3).
@@ -128,6 +141,7 @@ func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.
 		sendReady:   make(map[core.TaskID]*sendTask),
 		notified:    make(map[core.TaskID]taskNotify),
 		fetchReqs:   make(map[uint32]*fetchReq),
+		codec:       wire.Codec{KPartBytes: cfg.KPartBytes, SkipVerify: cfg.DisableChecksumVerify},
 		failover:    cfg.Failover,
 		epoch:       1,
 		probeSig:    sim.NewSignal(s),
@@ -140,10 +154,13 @@ func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.
 	net.AttachHost(host, d)
 	for i := 0; i < cfg.DataChannels; i++ {
 		fk := core.FlowKey{Host: host, Channel: core.ChannelID(i)}
-		if err := ctrl.RegisterFlow(fk); err != nil {
+		ep, err := ctrl.RegisterFlow(fk)
+		if err != nil {
 			return nil, fmt.Errorf("hostd: registering %v: %w", fk, err)
 		}
-		d.channels = append(d.channels, newDataChannel(d, fk))
+		ch := newDataChannel(d, fk)
+		ch.regEpoch = ep
+		d.channels = append(d.channels, ch)
 	}
 	d.ctrlCh = newCtrlChannel(d)
 	if d.failover {
@@ -167,6 +184,7 @@ func (d *Daemon) Stats() Stats {
 		SwitchTuples:    m.switchTuples.Value(),
 		SwapsTriggered:  m.swapsTriggered.Value(),
 		PacketsReceived: m.packetsReceived.Value(),
+		CorruptDropped:  m.corruptDropped.Value(),
 	}
 	for i, c := range m.slotFill {
 		s.SlotFill[i] = c.Value() // nil counters read 0
@@ -194,6 +212,25 @@ func (d *Daemon) dedupFor(fk core.FlowKey) *window.HostDedup {
 func (d *Daemon) HandleFrame(f *netsim.Frame) {
 	if d.stalled {
 		return // crashed daemon: inbound frames are lost
+	}
+	// End-to-end integrity check (§3.3 failure model): frames damaged in
+	// flight arrive as raw bytes; a checksum failure quarantines the frame
+	// before any field — including the epoch beacon — is interpreted. The
+	// drop looks like a loss to the sender, whose retransmission (or the
+	// replay protocol during failover) recovers the tuples.
+	wasRaw := f.Pkt == nil && f.Raw != nil
+	if wasRaw {
+		pkt, err := d.codec.Decode(f.Raw)
+		if err != nil {
+			d.met.corruptDropped.Inc()
+			if d.tr != nil {
+				d.tr.EmitNote(telemetry.CompHostd, "corrupt_drop", 0, err.Error())
+			}
+			return
+		}
+		// Only reachable with verification disabled (fault-injection hook)
+		// or a CRC collision: the damaged bytes decoded into a packet.
+		f.Pkt, f.Raw = pkt, nil
 	}
 	pkt := f.Pkt
 	// Every switch-stamped packet doubles as an epoch beacon; a fresher
@@ -243,6 +280,15 @@ func (d *Daemon) HandleFrame(f *netsim.Frame) {
 		idx := (int(pkt.Flow.Host)*31 + int(pkt.Flow.Channel)) % len(d.channels)
 		d.channels[idx].enqueueRx(f)
 	default:
+		if wasRaw {
+			// Corruption forged a type a host never receives and
+			// verification let it through: quarantine instead of crashing.
+			d.met.corruptDropped.Inc()
+			if d.tr != nil {
+				d.tr.EmitNote(telemetry.CompHostd, "corrupt_drop", int64(pkt.Task), "forged type")
+			}
+			return
+		}
 		// Swap/Fetch are switch-terminated and never reach a host.
 		panic(fmt.Sprintf("hostd: unexpected packet %v at host %d", pkt.Type, d.host))
 	}

@@ -30,6 +30,10 @@ type hostMetrics struct {
 	// per transmitted packet (short+medium+long).
 	batchTuples *telemetry.Histogram
 
+	// corruptDropped counts inbound frames quarantined by the end-to-end
+	// checksum check (integrity; see HandleFrame).
+	corruptDropped *telemetry.Counter
+
 	// Failover counters (failover.go).
 	probesSent         *telemetry.Counter
 	probeTimeouts      *telemetry.Counter
@@ -71,6 +75,7 @@ func (d *Daemon) initMetrics(sink telemetry.Sink) {
 		swapsTriggered:  reg.Counter("hostd.swaps_triggered", l),
 		packetsReceived: reg.Counter("hostd.pkts_received", l),
 		batchTuples:     reg.Histogram("hostd.batch_tuples", l),
+		corruptDropped:  reg.Counter("hostd.corrupt_dropped", l),
 
 		probesSent:         reg.Counter("hostd.probes_sent", l),
 		probeTimeouts:      reg.Counter("hostd.probe_timeouts", l),

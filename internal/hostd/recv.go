@@ -476,6 +476,17 @@ func (t *recvTask) mergeEntries(p *sim.Proc, entries []wire.FetchEntry) {
 	for _, gr := range rows {
 		es := groups[gr]
 		if len(es) != m {
+			// An incomplete medium group is impossible on an honest build:
+			// the switch writes all m members of a group atomically, and the
+			// end-to-end checksum quarantines forged packets before they can
+			// touch aggregator state. With verification disabled (the
+			// DisableChecksumVerify fault hook), corrupted bytes can forge
+			// partial groups; downgrade the assertion to data loss so the
+			// chaos soak harness observes a conservation violation instead
+			// of a crashed process.
+			if t.d.cfg.DisableChecksumVerify {
+				continue
+			}
 			panic(fmt.Sprintf("hostd: medium group %d row %d has %d of %d members", gr.group, gr.row, len(es), m))
 		}
 		kparts := make([]uint64, m)

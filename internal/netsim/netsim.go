@@ -15,6 +15,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -33,7 +34,16 @@ type Frame struct {
 	// GoodBytes is the application-payload portion, used for goodput
 	// metrics (e.g. 8 bytes per live tuple).
 	GoodBytes int
+	// Raw, when non-nil, holds the damaged on-wire bytes of a frame that was
+	// corrupted or truncated in flight (wire.Codec Encode layout, including
+	// the CRC32C trailer). Pkt is nil for such frames: receivers must Decode
+	// Raw themselves and quarantine the frame when the checksum fails.
+	Raw []byte
 }
+
+// Corrupted reports whether the frame was damaged in flight and carries raw
+// bytes instead of a decoded packet.
+func (f *Frame) Corrupted() bool { return f.Raw != nil }
 
 // HostHandler receives frames delivered to a host NIC.
 type HostHandler interface {
@@ -72,6 +82,18 @@ type Fault struct {
 	// amount up to ReorderDelay, letting later frames overtake it.
 	ReorderProb  float64
 	ReorderDelay time.Duration
+	// CorruptProb is the probability a delivered copy of a frame is damaged
+	// in flight: the packet is byte-encoded (wire.Codec Encode, CRC32C
+	// trailer included), 1–3 random bits of the ASK-owned region are
+	// flipped, and the damaged bytes — not the packet — are delivered
+	// (Frame.Raw). Requires SetCodec; frames that cannot be byte-encoded
+	// (TypeCtrl) are dropped instead, since their checksum would fail at
+	// the receiver anyway.
+	CorruptProb float64
+	// TruncateProb is the probability a delivered copy is cut short at a
+	// random byte boundary, modelling a runt frame; like corruption the
+	// damaged bytes are delivered via Frame.Raw.
+	TruncateProb float64
 }
 
 // LinkConfig describes one direction of a host-switch link.
@@ -97,6 +119,8 @@ type LinkStats struct {
 	Dropped     int64
 	Duplicated  int64
 	Reordered   int64
+	Corrupted   int64
+	Truncated   int64
 }
 
 // Link is one direction of a point-to-point link.
@@ -115,6 +139,10 @@ type Link struct {
 	// blackhole silently drops every frame after serialization accounting:
 	// a severed cable, as opposed to probabilistic loss.
 	blackhole bool
+	// codec byte-encodes packets for the corruption fault path; zero-valued
+	// (KPartBytes == 0) until the fabric's SetCodec is called, in which case
+	// corruption degrades to a drop.
+	codec wire.Codec
 	// Telemetry (telemetry.go): fault-outcome trace events. host/dir label
 	// the link in traces; tr is nil unless the network is instrumented.
 	tr   *telemetry.Tracer
@@ -214,9 +242,70 @@ func (l *Link) Send(f *Frame) {
 			extra := time.Duration(rng.Int63n(int64(flt.ReorderDelay) + 1))
 			arrive = arrive.Add(extra)
 		}
-		g := &Frame{Src: f.Src, Dst: f.Dst, Pkt: f.Pkt.Clone(), WireBytes: f.WireBytes, GoodBytes: f.GoodBytes}
+		g := &Frame{Src: f.Src, Dst: f.Dst, WireBytes: f.WireBytes, GoodBytes: f.GoodBytes}
+		if f.Raw != nil {
+			// An already-damaged frame forwarded without decoding (e.g. by a
+			// switch in a mode that doesn't inspect it): the raw bytes travel
+			// on, deep-copied so receivers stay independent.
+			g.Raw = append([]byte(nil), f.Raw...)
+		} else {
+			g.Pkt = f.Pkt.Clone()
+		}
+		// Corruption and truncation are decided per delivered copy, so a
+		// duplicate's sibling can arrive intact while this copy is damaged.
+		if flt.CorruptProb > 0 && rng.Float64() < flt.CorruptProb {
+			l.stats.Corrupted++
+			l.traceFault("frame_corrupted", f)
+			if !l.damageFrame(g, rng, false) {
+				continue // unencodable: damage degrades to a drop
+			}
+		} else if flt.TruncateProb > 0 && rng.Float64() < flt.TruncateProb {
+			l.stats.Truncated++
+			l.traceFault("frame_truncated", f)
+			if !l.damageFrame(g, rng, true) {
+				continue
+			}
+		}
 		l.sim.At(arrive, func() { l.deliver(g) })
 	}
+}
+
+// damageFrame turns g into a damaged-bytes frame: it byte-encodes g.Pkt (or
+// reuses g.Raw if the frame is already damaged) and either flips 1–3 random
+// bits of the ASK-owned region (header + payload + CRC trailer; the opaque
+// Ethernet/IP padding is excluded because flips there are semantically
+// inert) or truncates the buffer at a random boundary. It reports false when
+// the packet cannot be byte-encoded — no codec installed, or an opaque
+// TypeCtrl payload — in which case the caller treats the damage as a loss.
+func (l *Link) damageFrame(g *Frame, rng *rand.Rand, truncate bool) bool {
+	buf := g.Raw
+	if buf == nil {
+		if l.codec.KPartBytes <= 0 || g.Pkt.Type == wire.TypeCtrl {
+			return false
+		}
+		var err error
+		if buf, err = l.codec.Encode(g.Pkt); err != nil {
+			return false
+		}
+	}
+	if truncate {
+		if len(buf) == 0 {
+			return true // nothing left to cut
+		}
+		g.Pkt, g.Raw = nil, buf[:rng.Intn(len(buf))]
+		return true
+	}
+	span := (len(buf) - wire.EthIPBytes) * 8
+	if span <= 0 {
+		g.Pkt, g.Raw = nil, buf
+		return true // too short to hold ASK bytes; already undecodable
+	}
+	for flips := 1 + rng.Intn(3); flips > 0; flips-- {
+		pos := wire.EthIPBytes*8 + rng.Intn(span)
+		buf[pos/8] ^= 1 << (pos % 8)
+	}
+	g.Pkt, g.Raw = nil, buf
+	return true
 }
 
 // port is the pair of directed links for one host.
@@ -235,6 +324,12 @@ type Network struct {
 	handler       SwitchHandler
 	ports         map[core.HostID]*port
 	defaultLink   LinkConfig
+	codec         wire.Codec
+	// unroutable counts switch egress frames whose destination host is not
+	// attached. With checksum verification disabled (fault-injection hook) a
+	// corrupted header can name a garbage destination; a real switch drops
+	// such frames at the routing table rather than crashing.
+	unroutable int64
 	// tel is the observability sink (telemetry.go); zero unless Instrument
 	// was called.
 	tel telemetry.Sink
@@ -253,6 +348,20 @@ func New(s *sim.Simulation, link LinkConfig) *Network {
 
 // Sim returns the simulation the network runs on.
 func (n *Network) Sim() *sim.Simulation { return n.sim }
+
+// SetCodec installs the byte codec used by the corruption fault path
+// (Fault.CorruptProb/TruncateProb) on every attached and future link. Until
+// it is called, corruption degrades to frame loss because links cannot
+// byte-encode packets without knowing KPartBytes.
+func (n *Network) SetCodec(c wire.Codec) {
+	n.codec = c
+	// Assigning the same codec to every port commutes; no event is
+	// scheduled here, so this iteration's order cannot escape.
+	//askcheck:allow(simdeterminism)
+	for _, p := range n.ports {
+		p.up.codec, p.down.codec = c, c
+	}
+}
 
 // AttachSwitch installs the switch program. Must be called before traffic.
 func (n *Network) AttachSwitch(h SwitchHandler) { n.handler = h }
@@ -275,6 +384,7 @@ func (n *Network) AttachHostLink(id core.HostID, h HostHandler, cfg LinkConfig) 
 		n.sim.After(n.SwitchLatency, func() { n.handler.HandleIngress(f) })
 	})
 	p.down = newLink(n.sim, cfg, func(f *Frame) { p.host.HandleFrame(f) })
+	p.up.codec, p.down.codec = n.codec, n.codec
 	n.ports[id] = p
 	n.instrumentPort(id, p)
 }
@@ -288,14 +398,29 @@ func (n *Network) HostSend(f *Frame) {
 	p.up.Send(f)
 }
 
-// SwitchSend transmits a frame from the switch to f.Dst.
+// SwitchSend transmits a frame from the switch to f.Dst. A frame addressed
+// to an unattached host is counted and dropped, not a panic: with checksum
+// verification disabled, corruption can forge a destination, and a real
+// switch routing table drops what it cannot match.
 func (n *Network) SwitchSend(f *Frame) {
 	p, ok := n.ports[f.Dst]
 	if !ok {
-		panic(fmt.Sprintf("netsim: send to unattached host %d", f.Dst))
+		n.unroutable++
+		if n.tel.Tr != nil {
+			var task int64
+			if f.Pkt != nil {
+				task = int64(f.Pkt.Task)
+			}
+			n.tel.Tr.EmitNote(telemetry.CompNetsim, "frame_unroutable", task, fmt.Sprintf("dst=%d", f.Dst))
+		}
+		return
 	}
 	p.down.Send(f)
 }
+
+// Unroutable returns the number of switch egress frames dropped because
+// their destination host was not attached.
+func (n *Network) Unroutable() int64 { return n.unroutable }
 
 // Uplink returns the host-to-switch link of a host (for stats/backpressure).
 func (n *Network) Uplink(id core.HostID) *Link { return n.ports[id].up }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -227,4 +228,177 @@ func TestSendToUnattachedPanics(t *testing.T) {
 	s := sim.New(1)
 	n := New(s, DefaultLinkConfig())
 	n.HostSend(frame(9, 2, 1))
+}
+
+// --- End-to-end integrity faults (corruption / truncation) ---
+
+func TestCorruptionDeliversDamagedBytes(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cfg.Fault.CorruptProb = 1.0
+	s, n, cs := testNet(5, cfg, 1, 2)
+	codec := wire.Codec{KPartBytes: 4}
+	n.SetCodec(codec)
+	const N = 50
+	for i := 0; i < N; i++ {
+		f := frame(1, 2, 4)
+		f.Pkt.Bitmap = wire.Bitmap(0).Set(0).Set(2)
+		n.HostSend(f)
+	}
+	s.Run(0)
+	if len(cs[2].frames) != N {
+		t.Fatalf("delivered %d frames, want %d (corruption must deliver, not drop)", len(cs[2].frames), N)
+	}
+	for i, g := range cs[2].frames {
+		if !g.Corrupted() || g.Pkt != nil {
+			t.Fatalf("frame %d: corrupted frame must carry Raw and nil Pkt", i)
+		}
+		if _, err := codec.Decode(g.Raw); !errors.Is(err, wire.ErrChecksum) {
+			t.Fatalf("frame %d: Decode of damaged bytes = %v, want ErrChecksum", i, err)
+		}
+	}
+	// Every hop corrupts; the first hop's damage is what arrives (the switch
+	// here is a plain forwarder that doesn't decode). Both directions count.
+	if n.Uplink(1).Stats().Corrupted == 0 || n.Downlink(2).Stats().Corrupted == 0 {
+		t.Fatal("corruption not counted on both hops")
+	}
+}
+
+func TestTruncationDeliversTypedError(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cfg.Fault.TruncateProb = 1.0
+	s, n, cs := testNet(6, cfg, 1, 2)
+	codec := wire.Codec{KPartBytes: 4}
+	n.SetCodec(codec)
+	const N = 50
+	for i := 0; i < N; i++ {
+		n.HostSend(frame(1, 2, 4))
+	}
+	s.Run(0)
+	if len(cs[2].frames) != N {
+		t.Fatalf("delivered %d frames, want %d", len(cs[2].frames), N)
+	}
+	for i, g := range cs[2].frames {
+		if !g.Corrupted() {
+			t.Fatalf("frame %d not marked corrupted", i)
+		}
+		full := frame(1, 2, 4).Pkt.BufferBytes(4) + wire.ChecksumBytes
+		if len(g.Raw) >= full {
+			t.Fatalf("frame %d: truncated frame has %d bytes, want < %d", i, len(g.Raw), full)
+		}
+		_, err := codec.Decode(g.Raw)
+		if err == nil {
+			t.Fatalf("frame %d: truncated bytes decoded cleanly", i)
+		}
+		if !errors.Is(err, wire.ErrChecksum) && !errors.Is(err, wire.ErrTruncated) {
+			t.Fatalf("frame %d: err %v is not a typed integrity error", i, err)
+		}
+	}
+	if n.Uplink(1).Stats().Truncated == 0 {
+		t.Fatal("truncation not counted")
+	}
+}
+
+func TestCorruptionWithoutCodecDegradesToDrop(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cfg.Fault.CorruptProb = 1.0
+	s, n, cs := testNet(7, cfg, 1, 2) // no SetCodec
+	n.HostSend(frame(1, 2, 4))
+	s.Run(0)
+	if len(cs[2].frames) != 0 {
+		t.Fatal("corruption without a codec must degrade to a drop")
+	}
+	if n.Uplink(1).Stats().Corrupted != 1 {
+		t.Fatalf("Corrupted = %d, want 1", n.Uplink(1).Stats().Corrupted)
+	}
+}
+
+func TestCorruptionOfCtrlIsDrop(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cfg.Fault.CorruptProb = 1.0
+	s, n, cs := testNet(8, cfg, 1, 2)
+	n.SetCodec(wire.Codec{KPartBytes: 4})
+	p := &wire.Packet{Type: wire.TypeCtrl, Ctrl: "opaque"}
+	n.HostSend(&Frame{Src: 1, Dst: 2, Pkt: p, WireBytes: p.WireBytes(4)})
+	s.Run(0)
+	if len(cs[2].frames) != 0 {
+		t.Fatal("corrupted TypeCtrl must be dropped (not byte-encodable)")
+	}
+}
+
+func TestCorruptionDeterministicUnderSeed(t *testing.T) {
+	run := func() [][]byte {
+		cfg := DefaultLinkConfig()
+		cfg.Fault.CorruptProb = 0.5
+		cfg.Fault.TruncateProb = 0.25
+		s, n, cs := testNet(99, cfg, 1, 2)
+		n.SetCodec(wire.Codec{KPartBytes: 4})
+		for i := 0; i < 100; i++ {
+			f := frame(1, 2, 4)
+			f.Pkt.Seq = uint32(i)
+			n.HostSend(f)
+		}
+		s.Run(0)
+		var raws [][]byte
+		for _, g := range cs[2].frames {
+			raws = append(raws, g.Raw)
+		}
+		return raws
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("frame %d raw bytes differ across identically seeded runs", i)
+		}
+	}
+}
+
+func TestSwitchSendUnroutableIsCountedDrop(t *testing.T) {
+	s, n, _ := testNet(1, DefaultLinkConfig(), 1, 2)
+	n.SwitchSend(frame(1, 77, 1)) // host 77 not attached: must not panic
+	s.Run(0)
+	if n.Unroutable() != 1 {
+		t.Fatalf("Unroutable = %d, want 1", n.Unroutable())
+	}
+}
+
+// TestDuplicatedSiblingFramesAreIndependent is the regression test for the
+// duplicate-frame deep-copy guarantee: a receiver mutating one delivered
+// copy's slots or bitmap must corrupt neither the sender's retransmission
+// buffer nor any duplicated sibling copy.
+func TestDuplicatedSiblingFramesAreIndependent(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cfg.Fault.DupProb = 1.0 // every hop duplicates: 1 send -> 4 copies
+	s, n, cs := testNet(9, cfg, 1, 2)
+	f := frame(1, 2, 4)
+	f.Pkt.Bitmap = wire.Bitmap(0).Set(0).Set(1)
+	f.Pkt.Slots[0] = wire.Slot{KPart: wire.PackKPart([]byte("k0"), 4), Val: 100}
+	f.Pkt.Slots[1] = wire.Slot{KPart: wire.PackKPart([]byte("k1"), 4), Val: 200}
+	n.HostSend(f)
+	s.Run(0)
+	got := cs[2].frames
+	if len(got) != 4 {
+		t.Fatalf("delivered %d copies, want 4", len(got))
+	}
+	// Mutate the first delivered copy the way a receiver's aggregation pass
+	// would: consume tuples, clear bits, zero slots.
+	victim := got[0].Pkt
+	victim.Bitmap = 0
+	victim.Slots[0] = wire.Slot{}
+	victim.Slots[1] = wire.Slot{Val: -1}
+	// Sender's retransmission buffer intact.
+	if !f.Pkt.Bitmap.Test(0) || f.Pkt.Slots[0].Val != 100 || f.Pkt.Slots[1].Val != 200 {
+		t.Fatal("receiver mutation leaked into sender's retransmission buffer")
+	}
+	// Every sibling copy intact.
+	for i, g := range got[1:] {
+		if g.Pkt == victim {
+			t.Fatalf("sibling %d aliases the mutated copy", i+1)
+		}
+		if !g.Pkt.Bitmap.Test(0) || g.Pkt.Slots[0].Val != 100 || g.Pkt.Slots[1].Val != 200 {
+			t.Fatalf("sibling %d shares slot storage with the mutated copy", i+1)
+		}
+	}
 }

@@ -18,6 +18,9 @@ import (
 // so far and for every host attached afterwards; call right after New.
 func (n *Network) Instrument(sink telemetry.Sink) {
 	n.tel = sink
+	if sink.Reg != nil {
+		sink.Reg.GaugeFunc("netsim.switch_unroutable_frames", func() int64 { return n.unroutable })
+	}
 	for _, id := range n.Hosts() {
 		n.instrumentPort(id, n.ports[id])
 	}
@@ -49,13 +52,21 @@ func (l *Link) instrument(sink telemetry.Sink, host, dir string) {
 	reg.GaugeFunc("netsim.link_dropped_frames", func() int64 { return l.stats.Dropped }, labels...)
 	reg.GaugeFunc("netsim.link_dup_frames", func() int64 { return l.stats.Duplicated }, labels...)
 	reg.GaugeFunc("netsim.link_reordered_frames", func() int64 { return l.stats.Reordered }, labels...)
+	reg.GaugeFunc("netsim.link_corrupted_frames", func() int64 { return l.stats.Corrupted }, labels...)
+	reg.GaugeFunc("netsim.link_truncated_frames", func() int64 { return l.stats.Truncated }, labels...)
 	reg.GaugeFunc("netsim.link_backlog_ns", func() int64 { return int64(l.Backlog()) }, labels...)
 }
 
-// traceFault emits one fault-outcome event (drop/dup/reorder) for a frame.
+// traceFault emits one fault-outcome event (drop/dup/reorder/corrupt) for a
+// frame. Already-damaged frames carry raw bytes and no decoded packet, so
+// the task label falls back to zero.
 func (l *Link) traceFault(kind string, f *Frame) {
 	if l.tr == nil {
 		return
 	}
-	l.tr.EmitNote(telemetry.CompNetsim, kind, int64(f.Pkt.Task), l.host+"/"+l.dir)
+	var task int64
+	if f.Pkt != nil {
+		task = int64(f.Pkt.Task)
+	}
+	l.tr.EmitNote(telemetry.CompNetsim, kind, task, l.host+"/"+l.dir)
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // TwoTier is the multi-rack fabric of §7 (Deployment in Multi-rack
@@ -28,6 +29,7 @@ type TwoTier struct {
 	hostPorts     map[core.HostID]*port
 	hostLink      LinkConfig
 	coreLink      LinkConfig
+	codec         wire.Codec
 }
 
 // torPort is one rack's TOR: the SwitchFabric its ASK program attaches to.
@@ -69,6 +71,21 @@ func NewTwoTier(s *sim.Simulation, racks int, hostLink, coreLink LinkConfig) *Tw
 	return tt
 }
 
+// SetCodec installs the byte codec used by the corruption fault path on
+// every link in the fabric (host↔TOR and TOR↔core, attached and future).
+func (tt *TwoTier) SetCodec(c wire.Codec) {
+	tt.codec = c
+	for _, tp := range tt.racks {
+		tp.up.codec, tp.down.codec = c, c
+	}
+	// Assigning the same codec to every port commutes; no event is
+	// scheduled here, so this iteration's order cannot escape.
+	//askcheck:allow(simdeterminism)
+	for _, p := range tt.hostPorts {
+		p.up.codec, p.down.codec = c, c
+	}
+}
+
 // Racks returns the rack count.
 func (tt *TwoTier) Racks() int { return len(tt.racks) }
 
@@ -92,6 +109,7 @@ func (tt *TwoTier) AttachHostRack(r int, id core.HostID, h HostHandler) {
 		tt.sim.After(tt.SwitchLatency, func() { tp.ingress(f) })
 	})
 	p.down = newLink(tt.sim, tt.hostLink, func(f *Frame) { p.host.HandleFrame(f) })
+	p.up.codec, p.down.codec = tt.codec, tt.codec
 	tt.hostPorts[id] = p
 	tt.hostRack[id] = r
 }

@@ -17,8 +17,29 @@ func (sw *Switch) HandleIngress(f *netsim.Frame) {
 		// A crashed switch is a black hole: nothing is forwarded, nothing is
 		// acknowledged. Hosts detect the silence via probe timeouts.
 		sw.met.droppedDown.Inc()
-		sw.tr.Emit(telemetry.CompSwitchd, "drop_down", int64(f.Pkt.Task), int64(f.Pkt.Seq), 0)
+		var task, seq int64
+		if f.Pkt != nil {
+			task, seq = int64(f.Pkt.Task), int64(f.Pkt.Seq)
+		}
+		sw.tr.Emit(telemetry.CompSwitchd, "drop_down", task, seq, 0)
 		return
+	}
+	// End-to-end integrity check (§3.3 failure model): a frame damaged in
+	// flight arrives as raw bytes. A checksum failure quarantines it — the
+	// drop is indistinguishable from a loss to the sender, whose
+	// retransmission recovers the tuples. This covers every ingress type,
+	// including the TypeReplay failover bypass path.
+	wasRaw := f.Pkt == nil && f.Raw != nil
+	if wasRaw {
+		pkt, err := sw.codec.Decode(f.Raw)
+		if err != nil {
+			sw.met.corruptDropped.Inc()
+			sw.tr.EmitNote(telemetry.CompSwitchd, "corrupt_drop", 0, err.Error())
+			return
+		}
+		// Only reachable with verification disabled (or an astronomically
+		// unlikely CRC collision): the damaged bytes decoded to a packet.
+		f.Pkt, f.Raw = pkt, nil
 	}
 	switch f.Pkt.Type {
 	case wire.TypeData, wire.TypeLongKey, wire.TypeFin, wire.TypeReplay:
@@ -32,6 +53,13 @@ func (sw *Switch) HandleIngress(f *netsim.Frame) {
 	case wire.TypeAck, wire.TypeCtrl, wire.TypeFetchReply, wire.TypeProbeReply:
 		sw.forward(f)
 	default:
+		if wasRaw {
+			// Corruption forged an unknown type byte and verification let it
+			// through: a real parser drops what it cannot dispatch.
+			sw.met.corruptDropped.Inc()
+			sw.tr.EmitNote(telemetry.CompSwitchd, "corrupt_drop", int64(f.Pkt.Task), "forged type")
+			return
+		}
 		panic(fmt.Sprintf("switchd: unknown packet type %v", f.Pkt.Type))
 	}
 }
@@ -102,6 +130,7 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 		}
 		return next, 0
 	}) == 1
+
 
 	// Stages 2..9: vectorized aggregation for fresh data packets. Replay
 	// packets run the reliability stages but are never aggregated — their

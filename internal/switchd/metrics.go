@@ -26,6 +26,7 @@ type switchMetrics struct {
 	crashes         *telemetry.Counter
 	reboots         *telemetry.Counter
 	droppedDown     *telemetry.Counter
+	corruptDropped  *telemetry.Counter
 	probes          *telemetry.Counter
 	revocations     *telemetry.Counter
 
@@ -71,6 +72,7 @@ func (sw *Switch) initMetrics(sink telemetry.Sink) {
 		crashes:         reg.Counter("switchd.crashes"),
 		reboots:         reg.Counter("switchd.reboots"),
 		droppedDown:     reg.Counter("switchd.dropped_down_pkts"),
+		corruptDropped:  reg.Counter("switchd.corrupt_dropped"),
 		probes:          reg.Counter("switchd.probes_answered"),
 		revocations:     reg.Counter("switchd.revocations"),
 		aaOccupancy:     reg.Gauge("switchd.aa_occupancy"),

@@ -21,6 +21,10 @@ type Stats struct {
 	DroppedDown int64 // frames black-holed while crashed
 	Probes      int64 // health probes answered
 	Revocations int64 // regions revoked
+
+	// CorruptDropped counts ingress frames quarantined by the end-to-end
+	// checksum check (integrity, ingress.go).
+	CorruptDropped int64
 }
 
 // TaskStats are per-task aggregation counters, the source of Table 1 and
@@ -74,6 +78,7 @@ func (sw *Switch) Stats() Stats {
 		DroppedDown:     m.droppedDown.Value(),
 		Probes:          m.probes.Value(),
 		Revocations:     m.revocations.Value(),
+		CorruptDropped:  m.corruptDropped.Value(),
 	}
 }
 

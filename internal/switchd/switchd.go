@@ -32,6 +32,7 @@ import (
 	"repro/internal/pisa"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Aliases to keep pipeline-program signatures compact.
@@ -87,6 +88,11 @@ type Switch struct {
 	regions    map[core.TaskID]*Region
 	regionFree []int
 	rows       *rowAllocator
+
+	// codec decodes frames that arrive as damaged raw bytes (netsim
+	// corruption faults); SkipVerify mirrors Config.DisableChecksumVerify,
+	// the soak harness's deliberately-broken-build hook.
+	codec wire.Codec
 
 	// Failure model (failover.go): incarnation epoch stamped on non-data
 	// egress packets, and the crashed flag that black-holes all traffic.
@@ -150,6 +156,7 @@ func New(s *sim.Simulation, net netsim.SwitchFabric, cfg core.Config, opts Optio
 		regions: make(map[core.TaskID]*Region),
 		rows:    newRowAllocator(cfg.AARows),
 		tasks:   make(map[core.TaskID]*taskEntry),
+		codec:   wire.Codec{KPartBytes: cfg.KPartBytes, SkipVerify: cfg.DisableChecksumVerify},
 		epoch:   1,
 	}
 	sw.initMetrics(opts.Telemetry)

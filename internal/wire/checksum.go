@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// End-to-end integrity (§3.3 failure model).
+//
+// The reliability protocol assumes packets are delivered intact or lost.
+// Real networks also deliver *damaged* packets: NIC/switch memory errors and
+// on-the-wire bit flips that slip past (or happen after) the Ethernet FCS.
+// The 4-byte CRC budgeted in L1Overhead models that link-layer FCS, but it is
+// hop-by-hop and recomputed by every forwarding element — it cannot protect
+// the ASK header and payload end to end, and a corrupted in-switch rewrite
+// would be re-covered by a freshly computed FCS on egress.
+//
+// Encode therefore appends an end-to-end CRC32C (Castagnoli) trailer computed
+// over the ASK header + payload — the bytes ASK itself owns — and Decode
+// verifies it before any field is interpreted. The opaque Ethernet+IP padding
+// (EthIPBytes) is excluded: those bytes are rewritten per hop in a real
+// deployment, and corruption there is the L1/L3 checksums' problem, not ours.
+// CRC32C has Hamming distance >= 4 at these packet sizes, so any burst of up
+// to 3 flipped bits is always detected; receivers treat a mismatch exactly
+// like a loss and rely on §3.3 retransmission for recovery.
+
+// ChecksumBytes is the size of the end-to-end CRC32C trailer Encode appends
+// after the packet buffer. It is accounted as the 4-byte CRC already included
+// in L1Overhead, so WireBytes/PerPacketOverhead are unchanged.
+const ChecksumBytes = 4
+
+// ErrChecksum is returned (wrapped) by Decode when the CRC32C trailer does
+// not match the packet contents. Receivers must treat it as a packet loss.
+var ErrChecksum = errors.New("wire: checksum mismatch")
+
+// ErrTruncated is returned (wrapped) by Decode when the buffer is too short
+// to contain a header and checksum trailer.
+var ErrTruncated = errors.New("wire: truncated packet")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the end-to-end CRC32C over an encoded packet buffer
+// (headers + payload, no trailer). Only the ASK-owned bytes — everything
+// after the opaque Ethernet+IP padding — are covered.
+func Checksum(buf []byte) uint32 {
+	if len(buf) < EthIPBytes {
+		return crc32.Checksum(buf, castagnoli)
+	}
+	return crc32.Checksum(buf[EthIPBytes:], castagnoli)
+}
+
+// Encode marshals p and appends the CRC32C trailer: the result is
+// p.BufferBytes(KPartBytes) + ChecksumBytes bytes. This is the
+// byte-for-byte representation a corrupting network delivers to receivers.
+func (c Codec) Encode(p *Packet) ([]byte, error) {
+	buf, err := c.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	sum := Checksum(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[len(buf)-ChecksumBytes:], sum)
+	return buf, nil
+}
+
+// Decode verifies the CRC32C trailer of an Encode-produced buffer and
+// unmarshals the packet. A trailer mismatch returns an error satisfying
+// errors.Is(err, ErrChecksum); a buffer too short to carry a header plus
+// trailer returns one satisfying errors.Is(err, ErrTruncated). Decode never
+// panics on arbitrary input.
+//
+// When SkipVerify is set (test hook, Config.DisableChecksumVerify), the
+// trailer is ignored and the damaged bytes flow straight into Unmarshal —
+// this models a deployment that shipped without integrity checking and is
+// what the chaos soak harness uses to prove it can catch such a build.
+func (c Codec) Decode(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderBytes+ChecksumBytes {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(buf), HeaderBytes+ChecksumBytes)
+	}
+	body := buf[:len(buf)-ChecksumBytes]
+	if !c.SkipVerify {
+		want := binary.BigEndian.Uint32(buf[len(buf)-ChecksumBytes:])
+		if got := Checksum(body); got != want {
+			return nil, fmt.Errorf("%w: stored %08x computed %08x", ErrChecksum, want, got)
+		}
+	}
+	return c.Unmarshal(body)
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// samplePackets returns one representative marshallable packet per Type.
+func samplePackets() []*Packet {
+	return []*Packet{
+		{Type: TypeData, Seq: 7, Bitmap: Bitmap(0).Set(0).Set(2), Slots: []Slot{
+			{KPart: PackKPart([]byte("ka"), 4), Val: 11}, {}, {KPart: PackKPart([]byte("kb"), 4), Val: -3},
+		}},
+		{Type: TypeAck, AckFor: TypeData, Seq: 7, Epoch: 2},
+		{Type: TypeLongKey, Long: []LongKV{{Key: "a-long-key-beyond-kpart", Val: 9}}},
+		{Type: TypeFin, OrigSeq: 1, Epoch: 1},
+		{Type: TypeSwap, Seq: 3},
+		{Type: TypeFetch, Seq: 4, FetchCopy: 1, FetchClear: true},
+		{Type: TypeFetchReply, Seq: 4, FetchChunk: 0, FetchChunks: 1,
+			FetchEntries: []FetchEntry{{AA: 1, Row: 2, KPart: 3, Val: 4}}},
+		{Type: TypeProbe, Seq: 5},
+		{Type: TypeProbeReply, Seq: 5, Epoch: 3},
+		{Type: TypeReplay, Seq: 9, OrigSeq: 2, Bitmap: Bitmap(0).Set(1), Slots: []Slot{
+			{}, {KPart: PackKPart([]byte("rk"), 4), Val: 21},
+		}},
+	}
+}
+
+// TestEncodeDecodeRoundtrip: Encode appends exactly ChecksumBytes and Decode
+// verifies + reverses it for every packet type.
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	c := Codec{KPartBytes: 4}
+	for _, p := range samplePackets() {
+		buf, err := c.Encode(p)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", p.Type, err)
+		}
+		if want := p.BufferBytes(4) + ChecksumBytes; len(buf) != want {
+			t.Fatalf("%s: encoded %d bytes, want %d", p.Type, len(buf), want)
+		}
+		q, err := c.Decode(buf)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", p.Type, err)
+		}
+		if q.Type != p.Type || q.Seq != p.Seq {
+			t.Fatalf("%s: roundtrip mismatch: got %v", p.Type, q)
+		}
+	}
+}
+
+// TestDecodeDetectsEveryBitFlip: flipping any single bit of the ASK-owned
+// bytes (header + payload + trailer) must yield ErrChecksum. CRC32C has
+// Hamming distance >= 4 at these sizes, so single flips are always caught.
+func TestDecodeDetectsEveryBitFlip(t *testing.T) {
+	c := Codec{KPartBytes: 4}
+	for _, p := range samplePackets() {
+		buf, err := c.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := EthIPBytes; i < len(buf); i++ {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte(nil), buf...)
+				mut[i] ^= 1 << bit
+				if _, err := c.Decode(mut); !errors.Is(err, ErrChecksum) {
+					t.Fatalf("%s: flip byte %d bit %d: err = %v, want ErrChecksum", p.Type, i, bit, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeIgnoresEthIPPadding: the opaque Ethernet+IP padding bytes are not
+// covered by the end-to-end checksum (they are rewritten per hop; the L1 FCS
+// owns them), so flips there must not fail verification.
+func TestDecodeIgnoresEthIPPadding(t *testing.T) {
+	c := Codec{KPartBytes: 4}
+	p := samplePackets()[0]
+	buf, err := c.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < EthIPBytes; i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0xff
+		if _, err := c.Decode(mut); err != nil {
+			t.Fatalf("flip of opaque padding byte %d failed decode: %v", i, err)
+		}
+	}
+}
+
+// TestDecodeTruncated: buffers shorter than header+trailer return a typed
+// truncation error, never a panic.
+func TestDecodeTruncated(t *testing.T) {
+	c := Codec{KPartBytes: 4}
+	buf, err := c.Encode(samplePackets()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < HeaderBytes+ChecksumBytes; cut++ {
+		if _, err := c.Decode(buf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut to %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestSkipVerifyPassesDamage: with the fault-injection hook set, Decode feeds
+// damaged bytes straight to Unmarshal — corruption becomes silently wrong
+// data (or a shape error) instead of ErrChecksum. This is the "deployment
+// without integrity checking" the soak harness must catch.
+func TestSkipVerifyPassesDamage(t *testing.T) {
+	honest := Codec{KPartBytes: 4}
+	broken := Codec{KPartBytes: 4, SkipVerify: true}
+	p := samplePackets()[0]
+	buf, err := honest.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a value byte in the first slot: checksum-verified decode rejects,
+	// SkipVerify decode returns a packet with a silently different value.
+	mut := append([]byte(nil), buf...)
+	mut[HeaderBytes+7] ^= 0x40 // last value byte of slot 0
+	if _, err := honest.Decode(mut); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("honest decode: err = %v, want ErrChecksum", err)
+	}
+	q, err := broken.Decode(mut)
+	if err != nil {
+		t.Fatalf("SkipVerify decode rejected damage: %v", err)
+	}
+	if q.Slots[0].Val == p.Slots[0].Val {
+		t.Fatal("damaged value decoded identically — flip did not land where expected")
+	}
+}
+
+// TestChecksumBurstDetection: random bursts of <= 3 bit flips are always
+// detected (CRC32C HD >= 4 for these lengths).
+func TestChecksumBurstDetection(t *testing.T) {
+	c := Codec{KPartBytes: 4}
+	rng := rand.New(rand.NewSource(11))
+	buf, err := c.Encode(&Packet{Type: TypeData, Bitmap: 0xff, Slots: make([]Slot, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), buf...)
+		flips := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		for f := 0; f < flips; f++ {
+			pos := EthIPBytes*8 + rng.Intn((len(mut)-EthIPBytes)*8)
+			if seen[pos] {
+				continue
+			}
+			seen[pos] = true
+			mut[pos/8] ^= 1 << (pos % 8)
+		}
+		if len(seen) == 0 {
+			continue
+		}
+		if _, err := c.Decode(mut); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("burst of %d flips undetected: %v", len(seen), err)
+		}
+	}
+}

@@ -16,6 +16,11 @@ import (
 type Codec struct {
 	// KPartBytes is the per-slot key-part width (Config.KPartBytes).
 	KPartBytes int
+	// SkipVerify disables CRC32C verification in Decode. It exists solely as
+	// a fault-injection hook (Config.DisableChecksumVerify) so the chaos soak
+	// harness can prove it detects an integrity-broken build; production
+	// paths never set it.
+	SkipVerify bool
 }
 
 // Marshal encodes p into a fresh buffer of exactly p.BufferBytes(KPartBytes)
