@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test test-shuffle race bench lint telemetry-lint soak ci
+.PHONY: all vet build test test-shuffle race bench bench-smoke bench-json lint telemetry-lint soak ci
 
 all: ci
 
@@ -36,6 +36,25 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+# One iteration of the headline macro-benchmarks: catches harness rot (a
+# benchmark that no longer compiles or errors out) without paying full
+# measurement time. CI runs this.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkFig3$$|BenchmarkTable1$$|BenchmarkMultiRack$$' -benchtime=1x .
+
+# Perf-trajectory artifact (see DESIGN.md "Performance engineering"): run
+# the headline macro-benchmarks and serialize wall ns/op, allocs/op, and
+# simulated throughput to JSON. Compare two checkouts by saving each
+# phase's raw output and feeding both to benchjson (seed=… after=…), or
+# point benchstat at the raw files directly.
+BENCH_JSON ?= BENCH_current.json
+BENCH_PAT  ?= BenchmarkFig3$$|BenchmarkFig7$$|BenchmarkMultiRack$$
+bench-json:
+	$(GO) test -run='^$$' -bench='$(BENCH_PAT)' -benchmem . | tee bench_raw.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) current=bench_raw.txt
+	@rm -f bench_raw.txt
+	@echo "wrote $(BENCH_JSON)"
 
 # Bounded chaos soak (README "Failure model"): 12 fixed seeds of randomized
 # fault schedules — switch outages, black-holes, loss/corruption bursts,

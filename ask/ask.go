@@ -130,7 +130,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	// Hand links the byte codec so the corruption fault path can deliver
 	// real damaged bytes (never SkipVerify here — the on-wire encoding is
 	// always checksummed; verification policy lives at the receivers).
-	n.SetCodec(wire.Codec{KPartBytes: opts.Config.KPartBytes})
+	n.SetCodec(wire.NewCodec(opts.Config.KPartBytes))
 	swOpts := opts.Switch
 	swOpts.Telemetry = sink
 	sw, err := switchd.New(s, n, opts.Config, swOpts)

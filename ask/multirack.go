@@ -73,7 +73,7 @@ func NewMultiRackCluster(opts MultiRackOptions) (*MultiRackCluster, error) {
 	}
 	s := sim.New(opts.Seed)
 	tt := netsim.NewTwoTier(s, opts.Racks, opts.HostLink, opts.CoreLink)
-	tt.SetCodec(wire.Codec{KPartBytes: opts.Config.KPartBytes})
+	tt.SetCodec(wire.NewCodec(opts.Config.KPartBytes))
 	mc := &MultiRackCluster{
 		Sim:     s,
 		Net:     tt,

@@ -27,6 +27,8 @@ func benchExperiment(b *testing.B, name string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	experiments.ResetPeakAKV()
 	var tables []*stats.Table
 	for i := 0; i < b.N; i++ {
 		tables, err = r.Full()
@@ -35,6 +37,12 @@ func benchExperiment(b *testing.B, name string) {
 		}
 	}
 	b.StopTimer()
+	// Peak simulated aggregation rate (virtual-time tuples/s) observed by
+	// the experiment — recorded alongside the wall-clock numbers so
+	// BENCH_*.json tracks simulated throughput, not just harness speed.
+	if rate := experiments.PeakAKV(); rate > 0 {
+		b.ReportMetric(rate, "sim-AKV/s")
+	}
 	for _, t := range tables {
 		fmt.Println(t.String())
 	}

@@ -6,9 +6,19 @@
 //	askbench -list
 //	askbench -run fig9
 //	askbench -run all -quick
+//	askbench -run all -quick -parallel 8
+//	askbench -run all -json > results.json
 //
 // Each experiment prints the same rows/series the paper reports; -quick
 // uses the test-scale presets (seconds instead of minutes).
+//
+// -parallel N runs independent experiments on a worker pool. Every
+// simulation is single-goroutine deterministic and shares no state with its
+// siblings, so the output is byte-identical to a serial run (outcomes are
+// printed in registry order regardless of completion order); only the wall
+// clock shrinks. -json emits the outcomes as deterministic JSON — the
+// format the serial-vs-parallel golden test locks down — instead of the
+// human-readable tables.
 package main
 
 import (
@@ -23,10 +33,12 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment to run (or 'all')")
-		quick = flag.Bool("quick", false, "use test-scale presets")
-		list  = flag.Bool("list", false, "list available experiments")
-		telem = flag.Bool("telemetry", false, "instrument experiment clusters and print a metric report per experiment")
+		run      = flag.String("run", "", "experiment to run (or 'all')")
+		quick    = flag.Bool("quick", false, "use test-scale presets")
+		list     = flag.Bool("list", false, "list available experiments")
+		telem    = flag.Bool("telemetry", false, "instrument experiment clusters and print a metric report per experiment")
+		parallel = flag.Int("parallel", 1, "run up to N experiments concurrently (results stay in order and byte-identical)")
+		jsonOut  = flag.Bool("json", false, "emit outcomes as deterministic JSON instead of tables")
 	)
 	flag.Parse()
 	if *telem {
@@ -39,7 +51,7 @@ func main() {
 			fmt.Printf("  %-16s %s\n", r.Name, r.Desc)
 		}
 		if *run == "" {
-			fmt.Println("\nRun one with: askbench -run <name> [-quick]")
+			fmt.Println("\nRun one with: askbench -run <name> [-quick] [-parallel N] [-json]")
 		}
 		return
 	}
@@ -56,25 +68,42 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
-	for _, r := range runners {
-		f := r.Full
-		if *quick {
-			f = r.Quick
-		}
-		start := time.Now()
-		tables, err := f()
+	// Wall-clock measurement stays in this package: the model packages are
+	// forbidden (by the simdeterminism analyzer) from reading real time.
+	start := time.Now()
+	outcomes := experiments.RunParallel(runners, *quick, *parallel)
+
+	failed := false
+	if *jsonOut {
+		b, err := experiments.OutcomesJSON(outcomes)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			fmt.Println(t.String())
+		os.Stdout.Write(b)
+		for _, o := range outcomes {
+			failed = failed || o.Err != ""
+		}
+	} else {
+		for _, o := range outcomes {
+			if o.Err != "" {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", o.Name, o.Err)
+				failed = true
+				continue
+			}
+			for _, t := range o.Tables {
+				fmt.Println(t.String())
+			}
 		}
 		if *telem {
 			if set := experiments.LastTelemetry(); set != nil {
 				fmt.Println(telemetry.Report(set.Registry).String())
 			}
 		}
-		fmt.Printf("(%s completed in %v wall time)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%d experiment(s) completed in %v wall time, parallel=%d)\n",
+			len(outcomes), time.Since(start).Round(time.Millisecond), *parallel)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -17,6 +17,7 @@
 //	simdeterminism  wall-clock, global rand, order-leaking map iteration
 //	clockwait       mutexes held across sim-clock waits / channel ops
 //	telemetrynames  metric-name shape + DESIGN.md inventory
+//	poolrelease     packet-pool acquisitions that are never released
 //
 // A diagnostic can be suppressed with //askcheck:allow(<analyzer>) on the
 // offending line or the line above. Exit status: 0 clean, 1 diagnostics
@@ -33,6 +34,7 @@ import (
 	"repro/internal/analysis/clockwait"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/pisaaccess"
+	"repro/internal/analysis/poolrelease"
 	"repro/internal/analysis/simdeterminism"
 	"repro/internal/analysis/telemetrynames"
 )
@@ -42,6 +44,7 @@ var all = []*framework.Analyzer{
 	simdeterminism.Analyzer,
 	clockwait.Analyzer,
 	telemetrynames.Analyzer,
+	poolrelease.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,260 @@
+// Command benchjson converts `go test -bench` output into the committed
+// BENCH_*.json perf-trajectory artifacts.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Fig3$|Fig7$|MultiRack$' -benchmem . > after.txt
+//	go run ./cmd/benchjson -o BENCH_5.json seed=seed.txt after=after.txt
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_5.json current=-
+//
+// Each positional argument is label=path ("-" reads stdin). The output
+// records, per benchmark and phase: iterations, wall ns/op, B/op,
+// allocs/op, and any custom b.ReportMetric units (e.g. the experiment
+// harness's sim-AKV/s simulated throughput). When both a "seed" and an
+// "after" phase are present, a delta section reports the percentage change
+// of ns/op and allocs/op per benchmark — the committed form of the
+// benchstat before/after table.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result. Repeated -count=N runs of the same
+// benchmark are merged into a single entry holding the arithmetic mean of
+// every measured value, with Runs recording how many lines contributed.
+type Bench struct {
+	Name       string             `json:"name"`
+	Runs       int                `json:"runs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BPerOp     float64            `json:"b_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Delta is the seed→after change for one benchmark.
+type Delta struct {
+	Name         string  `json:"name"`
+	NsPerOpPct   float64 `json:"ns_per_op_pct"`
+	AllocsOpPct  float64 `json:"allocs_per_op_pct"`
+	SeedNsPerOp  float64 `json:"seed_ns_per_op"`
+	AfterNsPerOp float64 `json:"after_ns_per_op"`
+}
+
+// Output is the whole artifact.
+type Output struct {
+	Note   string             `json:"note,omitempty"`
+	Phases map[string][]Bench `json:"phases"`
+	Deltas []Delta            `json:"deltas,omitempty"`
+}
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output file (default stdout)")
+		note = flag.String("note", "", "free-form provenance note embedded in the artifact")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [-note text] label=path ...")
+		os.Exit(2)
+	}
+
+	res := Output{Note: *note, Phases: map[string][]Bench{}}
+	for _, arg := range flag.Args() {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=path\n", arg)
+			os.Exit(2)
+		}
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		benches, err := parse(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		res.Phases[label] = aggregate(benches)
+	}
+	res.Deltas = deltas(res.Phases["seed"], res.Phases["after"])
+
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines ("BenchmarkX-8  10  123 ns/op ...")
+// from go test output, ignoring everything else (printed tables, PASS).
+//
+// When a benchmark writes to stdout, go test prints "BenchmarkX" once and
+// the measurements of later -count runs appear on bare lines ("  1  123
+// ns/op ..."); those orphan lines are attributed to the most recent name.
+func parse(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	lastName := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		var name string
+		var vals []string
+		switch {
+		case len(fields) >= 4 && strings.HasPrefix(fields[0], "Benchmark"):
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				continue // e.g. "Benchmarking..." prose
+			}
+			name = strings.TrimPrefix(fields[0], "Benchmark")
+			if i := strings.LastIndexByte(name, '-'); i > 0 {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+			lastName = name
+			vals = fields[1:]
+		case len(fields) >= 3 && lastName != "" && strings.Contains(sc.Text(), "ns/op"):
+			if _, err := strconv.ParseInt(fields[0], 10, 64); err != nil {
+				continue
+			}
+			name = lastName
+			vals = fields
+		default:
+			continue
+		}
+		iters, _ := strconv.ParseInt(vals[0], 10, 64)
+		b := Bench{Name: name, Iterations: iters}
+		// Remaining fields come in "value unit" pairs.
+		for i := 1; i+1 < len(vals); i += 2 {
+			v, err := strconv.ParseFloat(vals[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", vals[i], sc.Text())
+			}
+			switch unit := vals[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BPerOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// aggregate merges repeated runs of the same benchmark (go test -count=N)
+// into one entry per name, averaging every per-op value and custom metric
+// and summing iterations. First-seen order is preserved.
+func aggregate(in []Bench) []Bench {
+	type acc struct {
+		b    Bench
+		runs float64
+	}
+	var order []string
+	byName := map[string]*acc{}
+	for _, b := range in {
+		a, ok := byName[b.Name]
+		if !ok {
+			a = &acc{b: Bench{Name: b.Name}}
+			byName[b.Name] = a
+			order = append(order, b.Name)
+		}
+		a.runs++
+		a.b.Iterations += b.Iterations
+		a.b.NsPerOp += b.NsPerOp
+		a.b.BPerOp += b.BPerOp
+		a.b.AllocsOp += b.AllocsOp
+		for k, v := range b.Metrics {
+			if a.b.Metrics == nil {
+				a.b.Metrics = map[string]float64{}
+			}
+			a.b.Metrics[k] += v
+		}
+	}
+	out := make([]Bench, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		a.b.Runs = int(a.runs)
+		a.b.NsPerOp = round2(a.b.NsPerOp / a.runs)
+		a.b.BPerOp = round2(a.b.BPerOp / a.runs)
+		a.b.AllocsOp = round2(a.b.AllocsOp / a.runs)
+		for k := range a.b.Metrics {
+			a.b.Metrics[k] = round2(a.b.Metrics[k] / a.runs)
+		}
+		out = append(out, a.b)
+	}
+	return out
+}
+
+// deltas computes per-benchmark percentage change between a seed and an
+// after phase (nil if either is missing). Output is sorted by name so the
+// artifact is deterministic.
+func deltas(seed, after []Bench) []Delta {
+	if seed == nil || after == nil {
+		return nil
+	}
+	idx := make(map[string]Bench, len(seed))
+	for _, b := range seed {
+		idx[b.Name] = b
+	}
+	var out []Delta
+	for _, a := range after {
+		s, ok := idx[a.Name]
+		if !ok || s.NsPerOp == 0 {
+			continue
+		}
+		d := Delta{
+			Name:         a.Name,
+			NsPerOpPct:   round2(100 * (a.NsPerOp - s.NsPerOp) / s.NsPerOp),
+			SeedNsPerOp:  s.NsPerOp,
+			AfterNsPerOp: a.NsPerOp,
+		}
+		if s.AllocsOp > 0 {
+			d.AllocsOpPct = round2(100 * (a.AllocsOp - s.AllocsOp) / s.AllocsOp)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5*sign(v))) / 100 }
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample mimics go test -bench -count=2 output where the benchmark body
+// printed tables to stdout: the first run's line carries the name, the
+// second run's measurements appear on a bare continuation line.
+const sample = `goos: linux
+BenchmarkFig3      	       1	9000000000 ns/op	 830902597 sim-AKV/s	3000000000 B/op	50000000 allocs/op
+BenchmarkFig3      	== Fig. 3: table output ==
+       1	7000000000 ns/op	 830902597 sim-AKV/s	1000000000 B/op	10000000 allocs/op
+BenchmarkCodecMarshal-8   	 3354966	       357.1 ns/op	     320 B/op	       1 allocs/op
+PASS
+`
+
+func TestParseAttributesOrphanLines(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d lines, want 3: %+v", len(benches), benches)
+	}
+	if benches[1].Name != "Fig3" || benches[1].NsPerOp != 7000000000 {
+		t.Fatalf("orphan line misattributed: %+v", benches[1])
+	}
+	if benches[2].Name != "CodecMarshal" || benches[2].AllocsOp != 1 {
+		t.Fatalf("suffix strip or alloc parse broken: %+v", benches[2])
+	}
+}
+
+func TestAggregateMeansRepeatedRuns(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := aggregate(benches)
+	if len(agg) != 2 {
+		t.Fatalf("aggregated to %d entries, want 2: %+v", len(agg), agg)
+	}
+	fig3 := agg[0]
+	if fig3.Name != "Fig3" || fig3.Runs != 2 {
+		t.Fatalf("bad aggregation order/runs: %+v", fig3)
+	}
+	if fig3.NsPerOp != 8000000000 {
+		t.Fatalf("ns/op mean = %v, want 8e9", fig3.NsPerOp)
+	}
+	if fig3.AllocsOp != 30000000 {
+		t.Fatalf("allocs/op mean = %v, want 3e7", fig3.AllocsOp)
+	}
+	if fig3.Metrics["sim-AKV/s"] != 830902597 {
+		t.Fatalf("metric mean = %v", fig3.Metrics["sim-AKV/s"])
+	}
+	if agg[1].Runs != 1 || agg[1].NsPerOp != 357.1 {
+		t.Fatalf("single-run entry mangled: %+v", agg[1])
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	seed := []Bench{{Name: "Fig3", NsPerOp: 10, AllocsOp: 100}}
+	after := []Bench{{Name: "Fig3", NsPerOp: 5, AllocsOp: 25}}
+	d := deltas(seed, after)
+	if len(d) != 1 || d[0].NsPerOpPct != -50 || d[0].AllocsOpPct != -75 {
+		t.Fatalf("deltas = %+v", d)
+	}
+	if deltas(nil, after) != nil {
+		t.Fatal("deltas without seed should be nil")
+	}
+}

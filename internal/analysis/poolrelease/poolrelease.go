@@ -1,0 +1,226 @@
+// Package poolrelease defines an analyzer that flags packet-pool
+// acquisitions that can never be released.
+//
+// The hot-path packages (netsim, switchd, hostd) draw wire.Packet objects
+// from a process-wide free list — wire.NewPacket and Packet.ClonePooled —
+// under an explicit ownership discipline (see wire/pool.go): every
+// acquisition must end in exactly one Packet.Release, either directly or
+// by handing the packet to something that releases it (an owned
+// netsim.Frame, Daemon.sendOwned, a return to the caller). A packet that
+// is acquired and then simply dropped is not a correctness bug — the GC
+// still reclaims it — but it silently re-introduces the per-packet
+// allocation churn the pool exists to eliminate, which is exactly the kind
+// of regression that survives every functional test.
+//
+// The analyzer is intra-procedural and deliberately conservative: it
+// reports only DEFINITE leaks, where the acquired packet provably cannot
+// reach a Release:
+//
+//   - an acquisition whose result is discarded (expression statement or
+//     assignment to the blank identifier);
+//   - an acquisition bound to a local variable that is never subsequently
+//     released, passed to any call, returned, sent on a channel, assigned
+//     anywhere, or embedded in a composite literal. Field writes
+//     (pkt.Type = …) and read-only method calls (pkt.WireBytes(k)) do not
+//     count as hand-offs.
+//
+// Any escape — a call argument, a frame literal, a return — silences the
+// analyzer, so code that transfers ownership through helpers needs no
+// annotation. The rare intentional leak can carry
+// //askcheck:allow(poolrelease).
+package poolrelease
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the poolrelease analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "poolrelease",
+	Doc:  "flag wire packet-pool acquisitions that are provably never released or handed off",
+	Run:  run,
+}
+
+// pooledPkgs are the last path elements of the packages on the pooled
+// fast path, where a leaked acquisition defeats the free list.
+var pooledPkgs = map[string]bool{
+	"netsim": true, "switchd": true, "hostd": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !pooledPkgs[lastElem(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isAcquisition reports whether call draws a packet from the pool:
+// wire.NewPacket(...) or (*wire.Packet).ClonePooled(...).
+func isAcquisition(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "NewPacket" && name != "ClonePooled" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "/wire") || obj.Pkg().Path() == "wire"
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	// tracked maps a local variable's declaring identifier object to the
+	// acquisition position; satisfied records a release or hand-off.
+	type track struct {
+		pos       ast.Node
+		satisfied bool
+	}
+	tracked := map[any]*track{}
+
+	// Pass 1: find acquisitions.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isAcquisition(pass, call) {
+				pass.Reportf(call.Pos(), "packet-pool acquisition result is discarded (never released)")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isAcquisition(pass, call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "packet-pool acquisition assigned to _ (never released)")
+				return true
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				tracked[obj] = &track{pos: call}
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				// Re-assignment (pkt = x.ClonePooled()): treat like a fresh
+				// acquisition of the same variable.
+				tracked[obj] = &track{pos: call}
+			}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// escMark walks an expression in VALUE position and marks every tracked
+	// variable whose value escapes through it. Selector reads (pkt.Seq) and
+	// method-call receivers (pkt.WireBytes(k)) are NOT value escapes — only
+	// the bare identifier, its address, call arguments, composite-literal
+	// elements, and type conversions hand the pointer onward.
+	var escMark func(e ast.Expr)
+	escMark = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				if t, ok := tracked[obj]; ok {
+					t.satisfied = true
+				}
+			}
+		case *ast.ParenExpr:
+			escMark(e.X)
+		case *ast.UnaryExpr:
+			escMark(e.X)
+		case *ast.StarExpr:
+			escMark(e.X)
+		case *ast.CallExpr:
+			for _, a := range e.Args {
+				escMark(a)
+			}
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				escMark(el)
+			}
+		case *ast.KeyValueExpr:
+			escMark(e.Value)
+		case *ast.IndexExpr:
+			escMark(e.Index) // m[pkt] keys the packet into a map
+		}
+	}
+
+	// Pass 2: find satisfying uses — Release calls and escapes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// pkt.Release() satisfies; any other method on pkt does not.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						if t, ok := tracked[obj]; ok && sel.Sel.Name == "Release" {
+							t.satisfied = true
+						}
+					}
+				}
+			}
+			// A tracked packet handed to any call argument is a hand-off
+			// (sendOwned, frame literals, helper calls).
+			for _, arg := range n.Args {
+				escMark(arg)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				escMark(e)
+			}
+		case *ast.SendStmt:
+			escMark(n.Value)
+		case *ast.AssignStmt:
+			// A tracked packet on the right-hand side escapes into another
+			// binding (frame field, map entry, alias); left-hand selector
+			// writes (pkt.Seq = n) are plain field initialization.
+			for i, e := range n.Rhs {
+				if call, ok := e.(*ast.CallExpr); ok && isAcquisition(pass, call) && i < len(n.Lhs) {
+					continue // the defining acquisition itself
+				}
+				escMark(e)
+			}
+			for _, e := range n.Lhs {
+				// frames[pkt] = x keys the packet into someone else's
+				// storage: conservatively an escape.
+				if ix, ok := e.(*ast.IndexExpr); ok {
+					escMark(ix.Index)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, t := range tracked {
+		if !t.satisfied {
+			pass.Reportf(t.pos.Pos(), "packet acquired from the pool is neither released nor handed off")
+		}
+	}
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,77 @@
+// Package pool exercises the poolrelease analyzer inside a pooled-path
+// package (the directory name "hostd" puts it in scope).
+package pool
+
+import "repro/internal/wire"
+
+type frame struct {
+	Pkt   *wire.Packet
+	Owned bool
+}
+
+func send(f *frame)             {}
+func sendOwned(p *wire.Packet)  {}
+func stash(m map[int]*wire.Packet, p *wire.Packet) { m[0] = p }
+
+func leakDiscarded() {
+	wire.NewPacket() // want `poolrelease: packet-pool acquisition result is discarded`
+}
+
+func leakBlank(src *wire.Packet) {
+	_ = src.ClonePooled() // want `poolrelease: packet-pool acquisition assigned to _`
+}
+
+func leakLocal() {
+	pkt := wire.NewPacket() // want `poolrelease: packet acquired from the pool is neither released nor handed off`
+	pkt.Type = wire.TypeAck
+	pkt.Seq = 7
+	_ = pkt.WireBytes(4) // read-only method call is not a hand-off
+}
+
+func leakClone(src *wire.Packet) {
+	q := src.ClonePooled() // want `poolrelease: packet acquired from the pool is neither released nor handed off`
+	q.Seq = 1
+}
+
+func okReleased() {
+	pkt := wire.NewPacket()
+	pkt.Type = wire.TypeAck
+	pkt.Release()
+}
+
+func okHandedToCall() {
+	pkt := wire.NewPacket()
+	sendOwned(pkt)
+}
+
+func okFrameLiteral(src *wire.Packet) {
+	q := src.ClonePooled()
+	send(&frame{Pkt: q, Owned: true})
+}
+
+func okReturned() *wire.Packet {
+	pkt := wire.NewPacket()
+	pkt.Seq = 2
+	return pkt
+}
+
+func okStored(m map[int]*wire.Packet) {
+	pkt := wire.NewPacket()
+	stash(m, pkt)
+}
+
+func okAssigned(dst *frame) {
+	pkt := wire.NewPacket()
+	dst.Pkt = pkt
+}
+
+func okNestedAcquisition(src *wire.Packet) {
+	// Acquisitions nested in a hand-off context need no binding at all.
+	send(&frame{Pkt: src.ClonePooled(), Owned: true})
+}
+
+func okAllowed() {
+	//askcheck:allow(poolrelease)
+	pkt := wire.NewPacket()
+	pkt.Seq = 3
+}

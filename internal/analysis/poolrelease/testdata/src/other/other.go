@@ -1,0 +1,11 @@
+// Package other is outside the pooled-path packages: identical leaks are
+// NOT reported here (clients of the library own their packets and may
+// legitimately let the GC reclaim them).
+package other
+
+import "repro/internal/wire"
+
+func leakOutsideScope() {
+	pkt := wire.NewPacket() // no diagnostic: package not on the pooled path
+	pkt.Seq = 9
+}

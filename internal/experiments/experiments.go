@@ -10,6 +10,9 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/ask"
@@ -25,28 +28,46 @@ import (
 // cmd/askbench's -telemetry flag sets it. lastTelemetry retains the most
 // recently built instrumented cluster's observability set so the CLI can
 // report it after an experiment finishes.
+//
+// telemetryMu guards both: with RunParallel, experiments build clusters from
+// several worker goroutines concurrently. Each simulation itself remains
+// single-goroutine deterministic — the mutex only protects this CLI-level
+// reporting state.
 var (
+	telemetryMu      sync.Mutex
 	defaultTelemetry telemetry.Config
 	lastTelemetry    *telemetry.Set
 )
 
 // SetDefaultTelemetry configures the telemetry applied to experiment
 // clusters built through the shared helpers.
-func SetDefaultTelemetry(cfg telemetry.Config) { defaultTelemetry = cfg }
+func SetDefaultTelemetry(cfg telemetry.Config) {
+	telemetryMu.Lock()
+	defaultTelemetry = cfg
+	telemetryMu.Unlock()
+}
 
 // LastTelemetry returns the observability set of the most recent
 // instrumented experiment cluster (nil if telemetry was never enabled).
-func LastTelemetry() *telemetry.Set { return lastTelemetry }
+func LastTelemetry() *telemetry.Set {
+	telemetryMu.Lock()
+	defer telemetryMu.Unlock()
+	return lastTelemetry
+}
 
 // newCluster is the shared-helper cluster constructor: it folds in the
 // CLI-level default telemetry and records the instrumented set.
 func newCluster(opts ask.Options) (*ask.Cluster, error) {
 	if !opts.Telemetry.Enabled {
+		telemetryMu.Lock()
 		opts.Telemetry = defaultTelemetry
+		telemetryMu.Unlock()
 	}
 	cl, err := ask.NewCluster(opts)
 	if err == nil && cl.Tel != nil {
+		telemetryMu.Lock()
 		lastTelemetry = cl.Tel
+		telemetryMu.Unlock()
 	}
 	return cl, err
 }
@@ -83,12 +104,34 @@ func singleSenderTask(spec workload.Spec, rows int, colocated bool) (core.TaskSp
 	return task, map[core.HostID]core.Stream{sender: spec.Stream()}
 }
 
+// peakAKV tracks the highest simulated aggregation rate (tuples/s of
+// virtual time) computed by any experiment since the last reset. The
+// benchmark harness reports it next to wall-clock numbers so BENCH_*.json
+// records simulated throughput per experiment. Atomic because RunParallel
+// may compute rates from several worker goroutines; rates are non-negative,
+// so the IEEE-754 bit pattern is monotone and a CAS-max is exact.
+var peakAKV atomic.Uint64
+
+// ResetPeakAKV clears the peak simulated-rate tracker.
+func ResetPeakAKV() { peakAKV.Store(0) }
+
+// PeakAKV returns the highest tuples/s (virtual time) computed since the
+// last ResetPeakAKV, 0 if none.
+func PeakAKV() float64 { return math.Float64frombits(peakAKV.Load()) }
+
 // akvPerSec computes aggregated key-value tuples per second.
 func akvPerSec(tuples int64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(tuples) / elapsed.Seconds()
+	rate := float64(tuples) / elapsed.Seconds()
+	for {
+		cur := peakAKV.Load()
+		if math.Float64frombits(cur) >= rate || peakAKV.CompareAndSwap(cur, math.Float64bits(rate)) {
+			break
+		}
+	}
+	return rate
 }
 
 // checkExact verifies an experiment's functional output against the

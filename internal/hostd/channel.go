@@ -360,5 +360,9 @@ func (ch *dataChannel) rxLoop(p *sim.Proc) {
 		f := ch.rxQ[0]
 		ch.rxQ = ch.rxQ[1:]
 		ch.d.processInbound(p, ch, f)
+		// processInbound copies everything it keeps (residue bitmaps are
+		// decoded into fresh storage, long-key strings are immutable), so
+		// the frame and its packet can be recycled here.
+		f.Release()
 	}
 }

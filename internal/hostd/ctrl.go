@@ -87,6 +87,10 @@ func (ch *ctrlChannel) rxLoop(p *sim.Proc) {
 		f := ch.rxQ[0]
 		ch.rxQ = ch.rxQ[1:]
 		ch.process(p, f.Pkt)
+		// process retains nothing from the packet (ctrl bodies are plain
+		// values and the ack is a fresh packet), so the frame can go back
+		// to the pool here.
+		f.Release()
 	}
 }
 
@@ -110,6 +114,11 @@ func (ch *ctrlChannel) process(p *sim.Proc, pkt *wire.Packet) {
 		// the application (§3.1 step ⑤).
 		p.Sleep(time.Microsecond)
 	}
-	ack := &wire.Packet{Type: wire.TypeAck, AckFor: wire.TypeCtrl, Task: pkt.Task, Flow: pkt.Flow, Seq: pkt.Seq}
-	ch.d.sendFrame(pkt.Flow.Host, ack, 0)
+	ack := wire.NewPacket()
+	ack.Type = wire.TypeAck
+	ack.AckFor = wire.TypeCtrl
+	ack.Task = pkt.Task
+	ack.Flow = pkt.Flow
+	ack.Seq = pkt.Seq
+	ch.d.sendOwned(pkt.Flow.Host, ack, 0)
 }

@@ -216,12 +216,11 @@ func (d *Daemon) probeLoop(p *sim.Proc) {
 		}
 		d.probeSeq++
 		seq := d.probeSeq
-		probe := &wire.Packet{
-			Type: wire.TypeProbe,
-			Flow: d.ctrlCh.flow,
-			Seq:  seq,
-		}
-		d.sendFrame(d.host, probe, 0)
+		probe := wire.NewPacket()
+		probe.Type = wire.TypeProbe
+		probe.Flow = d.ctrlCh.flow
+		probe.Seq = seq
+		d.sendOwned(d.host, probe, 0)
 		d.met.probesSent.Inc()
 		timeout := d.cfg.RetransmitTimeout
 		deadline := d.sim.Now().Add(timeout)

@@ -141,7 +141,7 @@ func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.
 		sendReady:   make(map[core.TaskID]*sendTask),
 		notified:    make(map[core.TaskID]taskNotify),
 		fetchReqs:   make(map[uint32]*fetchReq),
-		codec:       wire.Codec{KPartBytes: cfg.KPartBytes, SkipVerify: cfg.DisableChecksumVerify},
+		codec:       wire.NewCodec(cfg.KPartBytes).WithSkipVerify(cfg.DisableChecksumVerify),
 		failover:    cfg.Failover,
 		epoch:       1,
 		probeSig:    sim.NewSignal(s),
@@ -211,7 +211,8 @@ func (d *Daemon) dedupFor(fk core.FlowKey) *window.HostDedup {
 // thread (packet processing with real CPU cost).
 func (d *Daemon) HandleFrame(f *netsim.Frame) {
 	if d.stalled {
-		return // crashed daemon: inbound frames are lost
+		f.Release() // crashed daemon: inbound frames are lost
+		return
 	}
 	// End-to-end integrity check (§3.3 failure model): frames damaged in
 	// flight arrive as raw bytes; a checksum failure quarantines the frame
@@ -226,6 +227,7 @@ func (d *Daemon) HandleFrame(f *netsim.Frame) {
 			if d.tr != nil {
 				d.tr.EmitNote(telemetry.CompHostd, "corrupt_drop", 0, err.Error())
 			}
+			f.Release()
 			return
 		}
 		// Only reachable with verification disabled (fault-injection hook)
@@ -256,17 +258,22 @@ func (d *Daemon) HandleFrame(f *netsim.Frame) {
 				d.channels[pkt.Flow.Channel].win.Ack(pkt.Seq)
 			}
 		}
+		f.Release() // handled inline; nothing retains the ACK
 	case wire.TypeFetchReply:
 		if fr := d.fetchReqs[pkt.Seq]; fr != nil {
 			fr.addChunk(pkt)
 		}
+		// addChunk keeps only pkt.FetchEntries, which is GC-owned (the pool
+		// recycles the Packet struct and its Slots array, never the entries).
+		f.Release()
 	case wire.TypeCtrl:
-		d.ctrlCh.enqueue(f)
+		d.ctrlCh.enqueue(f) // released by the ctrl rxLoop after processing
 	case wire.TypeProbeReply:
 		if window.SeqLess(d.probeReplySeq, pkt.Seq) {
 			d.probeReplySeq = pkt.Seq
 		}
 		d.probeSig.Fire()
+		f.Release()
 	case wire.TypeData, wire.TypeLongKey, wire.TypeFin, wire.TypeReplay:
 		// Acknowledge at the transport layer immediately — processing
 		// happens asynchronously on a channel thread, and holding the ACK
@@ -277,6 +284,7 @@ func (d *Daemon) HandleFrame(f *netsim.Frame) {
 		// the daemon once acknowledged.
 		d.sendAck(pkt)
 		// Spread receive processing across channel threads by flow.
+		// (Released by the channel rxLoop after processInbound.)
 		idx := (int(pkt.Flow.Host)*31 + int(pkt.Flow.Channel)) % len(d.channels)
 		d.channels[idx].enqueueRx(f)
 	default:
@@ -287,6 +295,7 @@ func (d *Daemon) HandleFrame(f *netsim.Frame) {
 			if d.tr != nil {
 				d.tr.EmitNote(telemetry.CompHostd, "corrupt_drop", int64(pkt.Task), "forged type")
 			}
+			f.Release()
 			return
 		}
 		// Swap/Fetch are switch-terminated and never reach a host.
@@ -294,7 +303,9 @@ func (d *Daemon) HandleFrame(f *netsim.Frame) {
 	}
 }
 
-// sendFrame transmits a packet from this host.
+// sendFrame transmits a packet from this host. The packet is RETAINED by
+// the caller (window retransmission buffers, failover history): the link
+// clones it at delivery. Packets nothing retains go through sendOwned.
 func (d *Daemon) sendFrame(dst core.HostID, pkt *wire.Packet, goodBytes int) {
 	if d.stalled {
 		return // crashed daemon: outbound frames are lost
@@ -308,10 +319,35 @@ func (d *Daemon) sendFrame(dst core.HostID, pkt *wire.Packet, goodBytes int) {
 	})
 }
 
-// sendAck acknowledges a received flow packet back to its sender.
+// sendOwned transmits a packet this daemon relinquishes: nothing here
+// retains a reference after the call, so the link may hand the frame through
+// by ownership transfer (clone elision) and the receiver releases it.
+func (d *Daemon) sendOwned(dst core.HostID, pkt *wire.Packet, goodBytes int) {
+	if d.stalled {
+		pkt.Release() // lost before the wire; recycle immediately
+		return
+	}
+	d.net.HostSend(&netsim.Frame{
+		Src:       d.host,
+		Dst:       dst,
+		Pkt:       pkt,
+		WireBytes: pkt.WireBytes(d.cfg.KPartBytes),
+		GoodBytes: goodBytes,
+		Owned:     true,
+	})
+}
+
+// sendAck acknowledges a received flow packet back to its sender. The ACK
+// comes from the wire free list; the sender host releases it after the
+// window bookkeeping.
 func (d *Daemon) sendAck(pkt *wire.Packet) {
-	ack := &wire.Packet{Type: wire.TypeAck, AckFor: pkt.Type, Task: pkt.Task, Flow: pkt.Flow, Seq: pkt.Seq}
-	d.sendFrame(pkt.Flow.Host, ack, 0)
+	ack := wire.NewPacket()
+	ack.Type = wire.TypeAck
+	ack.AckFor = pkt.Type
+	ack.Task = pkt.Task
+	ack.Flow = pkt.Flow
+	ack.Seq = pkt.Seq
+	d.sendOwned(pkt.Flow.Host, ack, 0)
 }
 
 // decodeResidueBits reconstructs the tuples of a data (or replay) packet

@@ -75,13 +75,13 @@ func (pz *packetizer) pull() {
 			}
 			continue
 		}
-		p := pz.layout.Place(kv.Key)
+		class, firstSlot, _ := pz.layout.Locate(kv.Key)
 		var unit int
-		switch p.Class {
+		switch class {
 		case keyspace.Short:
-			unit = p.FirstSlot
+			unit = firstSlot
 		case keyspace.Medium:
-			unit = shortSlots + (p.FirstSlot-shortSlots)/pz.layout.Config().MediumSegs
+			unit = shortSlots + (firstSlot-shortSlots)/pz.layout.Config().MediumSegs
 		default:
 			pz.longQ = append(pz.longQ, wire.LongKV{Key: kv.Key, Val: kv.Val})
 			if len(pz.longQ) >= maxLongPerPacket {
@@ -124,8 +124,14 @@ func (pz *packetizer) next() (pkt *wire.Packet, tuples int, ok bool) {
 }
 
 // emitData builds one data packet taking at most one tuple per unit.
+//
+// The unit index already encodes the placement — unit u < shortSlots IS the
+// short slot, and a medium unit's group is u − shortSlots — so tuples are
+// packed straight from the key string without re-classifying or re-hashing
+// (pull's Locate call did that once when bucketing).
 func (pz *packetizer) emitData() (*wire.Packet, int, bool) {
 	cfg := pz.layout.Config()
+	shortSlots := pz.layout.ShortSlots()
 	pkt := &wire.Packet{Type: wire.TypeData, Slots: make([]wire.Slot, cfg.NumAAs)}
 	tuples := 0
 	for u := range pz.buckets {
@@ -138,14 +144,31 @@ func (pz *packetizer) emitData() (*wire.Packet, int, bool) {
 		if len(pz.buckets[u]) == 0 {
 			pz.nonEmpty--
 		}
-		p := pz.layout.Place(kv.Key)
-		for j, kp := range p.KParts {
-			slot := wire.Slot{KPart: kp}
-			if j == len(p.KParts)-1 {
-				slot.Val = kv.Val
+		if u < shortSlots {
+			pkt.Slots[u] = wire.Slot{
+				KPart: wire.PackKPartString(kv.Key, cfg.KPartBytes),
+				Val:   kv.Val,
 			}
-			pkt.Slots[p.FirstSlot+j] = slot
-			pkt.Bitmap = pkt.Bitmap.Set(p.FirstSlot + j)
+			pkt.Bitmap = pkt.Bitmap.Set(u)
+		} else {
+			first := shortSlots + (u-shortSlots)*cfg.MediumSegs
+			for j := 0; j < cfg.MediumSegs; j++ {
+				lo := j * cfg.KPartBytes
+				hi := lo + cfg.KPartBytes
+				var seg string
+				if lo < len(kv.Key) {
+					if hi > len(kv.Key) {
+						hi = len(kv.Key)
+					}
+					seg = kv.Key[lo:hi]
+				}
+				slot := wire.Slot{KPart: wire.PackKPartString(seg, cfg.KPartBytes)}
+				if j == cfg.MediumSegs-1 {
+					slot.Val = kv.Val
+				}
+				pkt.Slots[first+j] = slot
+				pkt.Bitmap = pkt.Bitmap.Set(first + j)
+			}
 		}
 		tuples++
 	}

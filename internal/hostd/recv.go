@@ -413,7 +413,7 @@ func (t *recvTask) runSwap(p *sim.Proc) {
 		Seq:  seq,
 	}
 	for window.SeqLess(t.lastSwapAck, seq) {
-		t.d.sendFrame(t.d.host, pkt.Clone(), 0)
+		t.d.sendOwned(t.d.host, pkt.ClonePooled(), 0)
 		p.WaitTimeout(t.swapAckSig, t.d.cfg.RetransmitTimeout)
 	}
 	t.activeCopy ^= 1
@@ -559,10 +559,10 @@ func (d *Daemon) fetchEntries(p *sim.Proc, task core.TaskID, copy int, clear boo
 		Seq:       fr.id,
 		FetchCopy: copy,
 	}
-	d.sendFrame(d.host, req.Clone(), 0)
+	d.sendOwned(d.host, req.ClonePooled(), 0)
 	for !fr.complete() {
 		if !p.WaitTimeout(fr.progress, fetchRetry) && !fr.complete() {
-			d.sendFrame(d.host, req.Clone(), 0)
+			d.sendOwned(d.host, req.ClonePooled(), 0)
 		}
 	}
 	delete(d.fetchReqs, fr.id)
@@ -578,10 +578,10 @@ func (d *Daemon) fetchEntries(p *sim.Proc, task core.TaskID, copy int, clear boo
 		creq := req.Clone()
 		creq.Seq = cr.id
 		creq.FetchClear = true
-		d.sendFrame(d.host, creq.Clone(), 0)
+		d.sendOwned(d.host, creq.ClonePooled(), 0)
 		for !cr.cleared {
 			if !p.WaitTimeout(cr.progress, fetchRetry) && !cr.cleared {
-				d.sendFrame(d.host, creq.Clone(), 0)
+				d.sendOwned(d.host, creq.ClonePooled(), 0)
 			}
 		}
 		delete(d.fetchReqs, cr.id)

@@ -146,39 +146,62 @@ type Placement struct {
 	RowHash uint64
 }
 
+// Locate computes where key goes without packing its kParts: the class,
+// first packet slot, and slot count. It performs no heap allocation, so hot
+// paths that only need routing (which bucket / unit a key belongs to) can
+// skip the kPart packing entirely. firstSlot and segs are 0 for Long.
+func (l *Layout) Locate(key string) (class Class, firstSlot, segs int) {
+	switch l.Classify(key) {
+	case Short:
+		return Short, int(HashSlot(key) % uint64(l.shortSlots)), 1
+	case Medium:
+		group := int(HashSlot(key) % uint64(l.cfg.MediumGroups))
+		return Medium, l.shortSlots + group*l.cfg.MediumSegs, l.cfg.MediumSegs
+	default:
+		return Long, 0, 0
+	}
+}
+
 // Place computes the placement for key. Long keys get Placement{Class: Long}
 // with no slots.
 func (l *Layout) Place(key string) Placement {
-	switch l.Classify(key) {
+	return l.PlaceInto(key, nil)
+}
+
+// PlaceInto is Place with caller-provided kPart storage: the packed
+// segments are appended to buf (usually scratch[:0]), so a hot loop that
+// consumes each Placement before computing the next can reuse one buffer
+// and avoid a heap allocation per tuple. Segments are packed straight from
+// the key string — no intermediate []byte conversions.
+func (l *Layout) PlaceInto(key string, buf []uint64) Placement {
+	class, first, segs := l.Locate(key)
+	switch class {
 	case Short:
-		slot := int(HashSlot(key) % uint64(l.shortSlots))
 		return Placement{
 			Class:     Short,
-			FirstSlot: slot,
+			FirstSlot: first,
 			Segs:      1,
-			KParts:    []uint64{wire.PackKPart([]byte(key), l.cfg.KPartBytes)},
+			KParts:    append(buf, wire.PackKPartString(key, l.cfg.KPartBytes)),
 			RowHash:   HashRow(key),
 		}
 	case Medium:
-		group := int(HashSlot(key) % uint64(l.cfg.MediumGroups))
-		first := l.shortSlots + group*l.cfg.MediumSegs
-		kparts := make([]uint64, l.cfg.MediumSegs)
-		for i := 0; i < l.cfg.MediumSegs; i++ {
+		kparts := buf
+		for i := 0; i < segs; i++ {
 			lo := i * l.cfg.KPartBytes
 			hi := lo + l.cfg.KPartBytes
-			var seg []byte
+			var seg string
 			if lo < len(key) {
 				if hi > len(key) {
 					hi = len(key)
 				}
-				seg = []byte(key[lo:hi])
+				seg = key[lo:hi]
 			}
-			kparts[i] = wire.PackKPart(seg, l.cfg.KPartBytes)
+			kparts = append(kparts, wire.PackKPartString(seg, l.cfg.KPartBytes))
 		}
 		return Placement{
 			Class:     Medium,
 			FirstSlot: first,
-			Segs:      l.cfg.MediumSegs,
+			Segs:      segs,
 			KParts:    kparts,
 			RowHash:   HashRow(key),
 		}

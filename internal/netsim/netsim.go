@@ -39,11 +39,36 @@ type Frame struct {
 	// the CRC32C trailer). Pkt is nil for such frames: receivers must Decode
 	// Raw themselves and quarantine the frame when the checksum fails.
 	Raw []byte
+	// Owned marks the frame and its packet as exclusively owned by whoever
+	// currently holds the frame (clone-elision invariant, DESIGN.md):
+	//
+	//   - Senders set it when nothing retains the packet after Send — e.g. a
+	//     freshly built ACK, or an explicit clone. The link then hands the
+	//     frame through by ownership transfer instead of deep-copying it.
+	//   - Senders leave it false when they retain the packet (window
+	//     retransmission buffers, failover history); the link clones at
+	//     delivery exactly as before, and the clone arrives Owned.
+	//
+	// Every delivered frame is therefore exclusively owned by its receiver,
+	// which may mutate the packet freely and should call Release when no
+	// reference into it survives.
+	Owned bool
 }
 
 // Corrupted reports whether the frame was damaged in flight and carries raw
 // bytes instead of a decoded packet.
 func (f *Frame) Corrupted() bool { return f.Raw != nil }
+
+// Release recycles the frame's packet into the wire free list when the
+// caller owns it (see Owned). Receivers call it once they retain no
+// reference into the packet; it is a no-op for frames that are not owned or
+// already released, so calling it defensively is safe.
+func (f *Frame) Release() {
+	if f.Owned && f.Pkt != nil {
+		f.Pkt.Release()
+		f.Pkt = nil
+	}
+}
 
 // HostHandler receives frames delivered to a host NIC.
 type HostHandler interface {
@@ -143,6 +168,14 @@ type Link struct {
 	// (KPartBytes == 0) until the fabric's SetCodec is called, in which case
 	// corruption degrades to a drop.
 	codec wire.Codec
+	// scratch is the per-link encode workspace for the corruption/truncation
+	// fault path: a Send's packet is byte-encoded into it at most once, and
+	// each damaged copy derives from it. Only the exact-size damaged buffer
+	// that actually travels is allocated (it must outlive the Send).
+	scratch []byte
+	// deliverAny adapts deliver to the kernel's arg-carrying event form so
+	// the frame-delivery hot path schedules without a per-event closure.
+	deliverAny func(any)
 	// Telemetry (telemetry.go): fault-outcome trace events. host/dir label
 	// the link in traces; tr is nil unless the network is instrumented.
 	tr   *telemetry.Tracer
@@ -154,7 +187,9 @@ func newLink(s *sim.Simulation, cfg LinkConfig, deliver func(*Frame)) *Link {
 	if cfg.BandwidthBps <= 0 {
 		panic("netsim: non-positive bandwidth")
 	}
-	return &Link{sim: s, cfg: cfg, deliver: deliver}
+	l := &Link{sim: s, cfg: cfg, deliver: deliver}
+	l.deliverAny = func(a any) { l.deliver(a.(*Frame)) }
+	return l
 }
 
 // Stats returns a copy of the link's counters.
@@ -201,9 +236,11 @@ func (l *Link) serialize(n int) time.Duration {
 	return d
 }
 
-// Send enqueues f for transmission. The frame's packet is cloned at delivery
-// so receivers may mutate it freely without corrupting sender-side
-// retransmission buffers.
+// Send enqueues f for transmission. Frames whose sender retains the packet
+// (f.Owned == false) are cloned at delivery so receivers may mutate them
+// freely without corrupting retransmission buffers; owned frames on the
+// common single-copy, undamaged path are handed through by ownership
+// transfer with no copy at all (clone elision).
 func (l *Link) Send(f *Frame) {
 	now := l.sim.Now()
 	start := l.busyUntil
@@ -219,6 +256,7 @@ func (l *Link) Send(f *Frame) {
 	if l.blackhole {
 		l.stats.Dropped++
 		l.traceFault("frame_blackholed", f)
+		f.Release() // owned frame dropped: nothing references the packet
 		return
 	}
 	flt := l.fault()
@@ -226,6 +264,7 @@ func (l *Link) Send(f *Frame) {
 	if flt.LossProb > 0 && rng.Float64() < flt.LossProb {
 		l.stats.Dropped++
 		l.traceFault("frame_dropped", f)
+		f.Release()
 		return
 	}
 	copies := 1
@@ -234,6 +273,14 @@ func (l *Link) Send(f *Frame) {
 		l.traceFault("frame_duplicated", f)
 		copies = 2
 	}
+	// handedOff flips when f itself is delivered (sole owned copy): from
+	// that point f belongs to the receiver and must not be touched again.
+	handedOff := false
+	// encoded caches the one-time byte encoding of f for this Send; with a
+	// duplicated-and-damaged frame both copies derive from it instead of
+	// re-encoding per copy.
+	var encoded []byte
+	haveEncoded := false
 	for i := 0; i < copies; i++ {
 		arrive := done.Add(l.cfg.Propagation)
 		if flt.ReorderProb > 0 && rng.Float64() < flt.ReorderProb {
@@ -242,70 +289,131 @@ func (l *Link) Send(f *Frame) {
 			extra := time.Duration(rng.Int63n(int64(flt.ReorderDelay) + 1))
 			arrive = arrive.Add(extra)
 		}
-		g := &Frame{Src: f.Src, Dst: f.Dst, WireBytes: f.WireBytes, GoodBytes: f.GoodBytes}
-		if f.Raw != nil {
-			// An already-damaged frame forwarded without decoding (e.g. by a
-			// switch in a mode that doesn't inspect it): the raw bytes travel
-			// on, deep-copied so receivers stay independent.
-			g.Raw = append([]byte(nil), f.Raw...)
-		} else {
-			g.Pkt = f.Pkt.Clone()
-		}
 		// Corruption and truncation are decided per delivered copy, so a
 		// duplicate's sibling can arrive intact while this copy is damaged.
+		damage := damageNone
 		if flt.CorruptProb > 0 && rng.Float64() < flt.CorruptProb {
 			l.stats.Corrupted++
 			l.traceFault("frame_corrupted", f)
-			if !l.damageFrame(g, rng, false) {
-				continue // unencodable: damage degrades to a drop
-			}
+			damage = damageCorrupt
 		} else if flt.TruncateProb > 0 && rng.Float64() < flt.TruncateProb {
 			l.stats.Truncated++
 			l.traceFault("frame_truncated", f)
-			if !l.damageFrame(g, rng, true) {
-				continue
-			}
+			damage = damageTruncate
 		}
-		l.sim.At(arrive, func() { l.deliver(g) })
+		var g *Frame
+		if damage != damageNone {
+			if !haveEncoded {
+				encoded = l.encodeForDamage(f)
+				haveEncoded = true
+			}
+			g = l.damagedCopy(f, encoded, rng, damage, copies == 1 && !handedOff)
+			if g == nil {
+				continue // unencodable: damage degrades to a drop
+			}
+			if g == f {
+				handedOff = true
+			}
+		} else if f.Owned && copies == 1 {
+			// Clone elision: the sender relinquished the frame and this is
+			// its only delivery — hand it through untouched.
+			g = f
+			handedOff = true
+		} else if f.Raw != nil {
+			// An already-damaged frame forwarded without decoding (e.g. by a
+			// switch in a mode that doesn't inspect it): the raw bytes travel
+			// on, deep-copied so receivers stay independent.
+			g = &Frame{Src: f.Src, Dst: f.Dst, WireBytes: f.WireBytes, GoodBytes: f.GoodBytes,
+				Raw: append([]byte(nil), f.Raw...), Owned: true}
+		} else {
+			g = &Frame{Src: f.Src, Dst: f.Dst, WireBytes: f.WireBytes, GoodBytes: f.GoodBytes,
+				Pkt: f.Pkt.ClonePooled(), Owned: true}
+		}
+		l.sim.AtCall(arrive, l.deliverAny, g)
+	}
+	if !handedOff {
+		// Every delivered copy was a clone (or dropped); if the sender
+		// relinquished f, its packet is now unreferenced.
+		f.Release()
 	}
 }
 
-// damageFrame turns g into a damaged-bytes frame: it byte-encodes g.Pkt (or
-// reuses g.Raw if the frame is already damaged) and either flips 1–3 random
-// bits of the ASK-owned region (header + payload + CRC trailer; the opaque
-// Ethernet/IP padding is excluded because flips there are semantically
-// inert) or truncates the buffer at a random boundary. It reports false when
-// the packet cannot be byte-encoded — no codec installed, or an opaque
-// TypeCtrl payload — in which case the caller treats the damage as a loss.
-func (l *Link) damageFrame(g *Frame, rng *rand.Rand, truncate bool) bool {
-	buf := g.Raw
-	if buf == nil {
-		if l.codec.KPartBytes <= 0 || g.Pkt.Type == wire.TypeCtrl {
-			return false
-		}
-		var err error
-		if buf, err = l.codec.Encode(g.Pkt); err != nil {
-			return false
-		}
+// damage kinds for one delivered copy.
+const (
+	damageNone = iota
+	damageCorrupt
+	damageTruncate
+)
+
+// encodeForDamage byte-encodes f once per Send into the link's scratch
+// buffer (wire.Codec Encode layout, CRC32C trailer included). It returns nil
+// when the frame cannot be encoded — no codec installed, or an opaque
+// TypeCtrl payload — in which case damage degrades to a drop. For frames
+// already carrying raw bytes the raw buffer itself serves as the source.
+func (l *Link) encodeForDamage(f *Frame) []byte {
+	if f.Raw != nil {
+		return f.Raw
 	}
-	if truncate {
-		if len(buf) == 0 {
-			return true // nothing left to cut
-		}
-		g.Pkt, g.Raw = nil, buf[:rng.Intn(len(buf))]
-		return true
+	if l.codec.KPartBytes <= 0 || f.Pkt.Type == wire.TypeCtrl {
+		return nil
 	}
-	span := (len(buf) - wire.EthIPBytes) * 8
+	buf, err := l.codec.AppendEncode(l.scratch[:0], f.Pkt)
+	if err != nil {
+		return nil
+	}
+	l.scratch = buf[:0] // retain capacity for the next damaged Send
+	return buf
+}
+
+// damagedCopy builds the damaged-bytes frame for one delivered copy: either
+// 1–3 random bit flips over the ASK-owned region (header + payload + CRC
+// trailer; the opaque Ethernet/IP padding is excluded because flips there
+// are semantically inert) or truncation at a random byte boundary. encoded
+// is the Send-wide encoding from encodeForDamage (nil = undecodable, the
+// damage becomes a drop). When the frame is owned and this is its sole
+// delivery, a raw frame is damaged in place with no copy; otherwise the
+// damaged bytes get their own exact-size buffer, since they must stay
+// stable until the receiver consumes them while the scratch buffer is
+// recycled on the next Send.
+func (l *Link) damagedCopy(f *Frame, encoded []byte, rng *rand.Rand, kind int, sole bool) *Frame {
+	if encoded == nil {
+		return nil
+	}
+	inPlace := sole && f.Owned && f.Raw != nil
+	if kind == damageTruncate {
+		if len(encoded) == 0 {
+			// Nothing left to cut; the (already empty) bytes travel as-is.
+			return l.rawCopy(f, encoded, inPlace)
+		}
+		cut := rng.Intn(len(encoded))
+		if inPlace {
+			f.Raw = f.Raw[:cut]
+			return f
+		}
+		g := l.rawCopy(f, encoded, false)
+		g.Raw = g.Raw[:cut]
+		return g
+	}
+	span := (len(encoded) - wire.EthIPBytes) * 8
 	if span <= 0 {
-		g.Pkt, g.Raw = nil, buf
-		return true // too short to hold ASK bytes; already undecodable
+		return l.rawCopy(f, encoded, inPlace) // too short to hold ASK bytes; already undecodable
 	}
+	g := l.rawCopy(f, encoded, inPlace)
 	for flips := 1 + rng.Intn(3); flips > 0; flips-- {
 		pos := wire.EthIPBytes*8 + rng.Intn(span)
-		buf[pos/8] ^= 1 << (pos % 8)
+		g.Raw[pos/8] ^= 1 << (pos % 8)
 	}
-	g.Pkt, g.Raw = nil, buf
-	return true
+	return g
+}
+
+// rawCopy returns the frame that will carry damaged bytes: f itself when the
+// damage may be applied in place, or a fresh frame with its own copy of buf.
+func (l *Link) rawCopy(f *Frame, buf []byte, inPlace bool) *Frame {
+	if inPlace {
+		return f
+	}
+	return &Frame{Src: f.Src, Dst: f.Dst, WireBytes: f.WireBytes, GoodBytes: f.GoodBytes,
+		Raw: append([]byte(nil), buf...), Owned: true}
 }
 
 // port is the pair of directed links for one host.
@@ -330,6 +438,9 @@ type Network struct {
 	// corrupted header can name a garbage destination; a real switch drops
 	// such frames at the routing table rather than crashing.
 	unroutable int64
+	// ingressAny is the arg-carrying event adapter for the switch-latency
+	// hop, bound once so the per-frame schedule allocates no closure.
+	ingressAny func(any)
 	// tel is the observability sink (telemetry.go); zero unless Instrument
 	// was called.
 	tel telemetry.Sink
@@ -338,12 +449,14 @@ type Network struct {
 // New creates a network on s where every subsequently attached host gets a
 // link with the given configuration.
 func New(s *sim.Simulation, link LinkConfig) *Network {
-	return &Network{
+	n := &Network{
 		sim:           s,
 		SwitchLatency: 800 * time.Nanosecond,
 		ports:         make(map[core.HostID]*port),
 		defaultLink:   link,
 	}
+	n.ingressAny = func(a any) { n.handler.HandleIngress(a.(*Frame)) }
+	return n
 }
 
 // Sim returns the simulation the network runs on.
@@ -381,7 +494,7 @@ func (n *Network) AttachHostLink(id core.HostID, h HostHandler, cfg LinkConfig) 
 		if n.handler == nil {
 			panic("netsim: frame arrived with no switch attached")
 		}
-		n.sim.After(n.SwitchLatency, func() { n.handler.HandleIngress(f) })
+		n.sim.AfterCall(n.SwitchLatency, n.ingressAny, f)
 	})
 	p.down = newLink(n.sim, cfg, func(f *Frame) { p.host.HandleFrame(f) })
 	p.up.codec, p.down.codec = n.codec, n.codec
@@ -413,6 +526,7 @@ func (n *Network) SwitchSend(f *Frame) {
 			}
 			n.tel.Tr.EmitNote(telemetry.CompNetsim, "frame_unroutable", task, fmt.Sprintf("dst=%d", f.Dst))
 		}
+		f.Release() // dropped at the routing table: the packet is unreferenced
 		return
 	}
 	p.down.Send(f)

@@ -30,6 +30,9 @@ type TwoTier struct {
 	hostLink      LinkConfig
 	coreLink      LinkConfig
 	codec         wire.Codec
+	// coreForwardAny is the arg-carrying event adapter for the core switch
+	// hop, bound once (see torPort's adapters).
+	coreForwardAny func(any)
 }
 
 // torPort is one rack's TOR: the SwitchFabric its ASK program attaches to.
@@ -40,6 +43,10 @@ type torPort struct {
 	// up/down are the TOR↔core links.
 	up   *Link
 	down *Link
+	// Arg-carrying event adapters, bound once per port so the per-frame
+	// switch-latency hops allocate no closures.
+	ingressAny      func(any)
+	deliverLocalAny func(any)
 }
 
 // NewTwoTier builds a fabric with the given number of racks. hostLink
@@ -56,15 +63,18 @@ func NewTwoTier(s *sim.Simulation, racks int, hostLink, coreLink LinkConfig) *Tw
 		hostLink:      hostLink,
 		coreLink:      coreLink,
 	}
+	tt.coreForwardAny = func(a any) { tt.coreForward(a.(*Frame)) }
 	for r := 0; r < racks; r++ {
 		tp := &torPort{tt: tt, rack: r}
+		tp.ingressAny = func(a any) { tp.ingress(a.(*Frame)) }
+		tp.deliverLocalAny = func(a any) { tp.deliverLocal(a.(*Frame)) }
 		tp.up = newLink(s, coreLink, func(f *Frame) {
-			s.After(tt.SwitchLatency, func() { tt.coreForward(f) })
+			s.AfterCall(tt.SwitchLatency, tt.coreForwardAny, f)
 		})
 		tp.down = newLink(s, coreLink, func(f *Frame) {
 			// From the core into the TOR: bypass the program (§7) and
 			// deliver to the local destination host.
-			s.After(tt.SwitchLatency, func() { tp.deliverLocal(f) })
+			s.AfterCall(tt.SwitchLatency, tp.deliverLocalAny, f)
 		})
 		tt.racks = append(tt.racks, tp)
 	}
@@ -106,7 +116,7 @@ func (tt *TwoTier) AttachHostRack(r int, id core.HostID, h HostHandler) {
 	tp := tt.racks[r]
 	p := &port{host: h}
 	p.up = newLink(tt.sim, tt.hostLink, func(f *Frame) {
-		tt.sim.After(tt.SwitchLatency, func() { tp.ingress(f) })
+		tt.sim.AfterCall(tt.SwitchLatency, tp.ingressAny, f)
 	})
 	p.down = newLink(tt.sim, tt.hostLink, func(f *Frame) { p.host.HandleFrame(f) })
 	p.up.codec, p.down.codec = tt.codec, tt.codec

@@ -16,6 +16,12 @@ type Proc struct {
 	wake  chan struct{} // scheduler -> proc: you may run
 	yield chan struct{} // proc -> scheduler: I parked or finished
 	done  bool
+
+	// dispatchFn is the method value p.dispatch, bound once at Spawn. Every
+	// blocking call (Sleep, Wait, Acquire) schedules the proc's own wake-up;
+	// caching the bound method avoids materializing a fresh method value —
+	// one heap allocation — per block.
+	dispatchFn func()
 }
 
 // Spawn starts fn as a new process at the current virtual time. The process
@@ -28,13 +34,14 @@ func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
 		wake:  make(chan struct{}),
 		yield: make(chan struct{}),
 	}
+	p.dispatchFn = p.dispatch
 	go func() {
 		<-p.wake
 		fn(p)
 		p.done = true
 		p.yield <- struct{}{}
 	}()
-	s.At(s.now, p.dispatch)
+	s.At(s.now, p.dispatchFn)
 	return p
 }
 
@@ -75,7 +82,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d == 0 {
 		return
 	}
-	p.sim.After(d, p.dispatch)
+	p.sim.After(d, p.dispatchFn)
 	p.park()
 }
 
@@ -84,13 +91,13 @@ func (p *Proc) SleepUntil(t Time) {
 	if t <= p.sim.now {
 		return
 	}
-	p.sim.At(t, p.dispatch)
+	p.sim.At(t, p.dispatchFn)
 	p.park()
 }
 
 // Wait suspends the process until the signal fires.
 func (p *Proc) Wait(sg *Signal) {
-	sg.Subscribe(p.dispatch)
+	sg.Subscribe(p.dispatchFn)
 	p.park()
 }
 
@@ -201,7 +208,7 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.queue = append(r.queue, p.dispatch)
+	r.queue = append(r.queue, p.dispatchFn)
 	p.park()
 	// Ownership was transferred to us by Release before dispatch.
 }

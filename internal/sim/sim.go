@@ -17,10 +17,35 @@
 // Only one goroutine executes simulation logic at any moment; the kernel
 // hands control back and forth between the event loop and at most one parked
 // process, so no locking is required in model code.
+//
+// # Event kernel
+//
+// The scheduler is engineered for the frame-delivery hot path: a simulated
+// 100 Gbps rack pushes tens of millions of events per wall-second through
+// it, so per-event heap pointers and closure captures dominate profiles if
+// left unchecked (cf. the DPDK/Tofino substrate the paper runs on, which
+// engineers exactly these overheads away).
+//
+//   - Events live by value in an index-addressed store with a free list;
+//     steady-state scheduling allocates nothing and recycles event slots.
+//   - The priority queue is a hand-rolled binary heap of small {time, seq,
+//     index} entries — the ordering key is carried inline, so sift
+//     comparisons never chase a pointer, and no container/heap interface
+//     boxing occurs.
+//   - AtCall/AfterCall schedule a pre-bound func(any) with an argument,
+//     letting hot callers (netsim frame delivery) avoid allocating a fresh
+//     closure per event. Converting a pointer to `any` does not allocate.
+//   - Timers address events as (slot index, generation); recycling a slot
+//     bumps its generation, so a stale Timer held across reuse is an inert
+//     no-op exactly like the old popped-event semantics.
+//
+// Ordering is bit-for-bit identical to the previous container/heap kernel:
+// events execute in strictly increasing (time, sequence) order and the
+// sequence counter is unique per event, so the execution order is a total
+// order independent of heap internals.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -49,50 +74,50 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 // String formats the time as a duration since the start of the run.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a single scheduled callback.
+// event is the payload of one scheduled entry. Events are stored by value in
+// Simulation.store and addressed by slot index; gen disambiguates successive
+// occupants of the same slot (see Timer).
 type event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among same-time events
-	fn   func()
-	idx  int // heap index, -1 when popped or cancelled
+	// fn is the closure-style callback (At/After).
+	fn func()
+	// afn+arg are the argument-carrying form (AtCall/AfterCall), used by hot
+	// paths to avoid a per-event closure allocation. Exactly one of fn/afn is
+	// non-nil while the slot is live.
+	afn func(any)
+	arg any
+	// gen counts occupants of this slot; a Timer whose gen does not match is
+	// stale and inert.
+	gen uint32
+	// live marks the slot as scheduled (between alloc and recycle).
+	live bool
+	// dead marks a cancelled event awaiting lazy removal at pop time.
 	dead bool
 }
 
-type eventHeap []*event
+// heapEntry is one priority-queue node. The ordering key (at, seq) is
+// carried inline so heap sifts compare without touching the event store.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func heapLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Simulation is a discrete-event scheduler with a virtual clock.
 // The zero value is not usable; call New.
 type Simulation struct {
 	now     Time
-	events  eventHeap
+	heap    []heapEntry
+	store   []event
+	free    []int32
 	seq     uint64
+	pending int // scheduled, non-cancelled events
 	rng     *rand.Rand
 	running bool
 	stopped bool
@@ -114,33 +139,83 @@ func (s *Simulation) Now() Time { return s.now }
 // use this source (never the global one) so runs stay reproducible.
 func (s *Simulation) Rand() *rand.Rand { return s.rng }
 
-// Timer identifies a scheduled event so it can be cancelled.
-type Timer struct{ e *event }
+// Timer identifies a scheduled event so it can be cancelled. It names the
+// event by (store slot, generation): once the event fires or is reaped, the
+// slot's generation advances and the Timer becomes inert.
+type Timer struct {
+	s   *Simulation
+	idx int32
+	gen uint32
+}
 
 // Stop cancels the timer. It reports whether the callback was still pending.
 // Stopping an already-fired or already-stopped timer is a no-op.
 func (t Timer) Stop() bool {
-	if t.e == nil || t.e.dead || t.e.idx < 0 {
+	if t.s == nil {
 		return false
 	}
-	t.e.dead = true
+	e := &t.s.store[t.idx]
+	if e.gen != t.gen || !e.live || e.dead {
+		return false
+	}
+	e.dead = true
+	t.s.pending--
 	return true
 }
 
 // Pending reports whether the timer's callback has not yet run or been stopped.
-func (t Timer) Pending() bool { return t.e != nil && !t.e.dead && t.e.idx >= 0 }
+func (t Timer) Pending() bool {
+	if t.s == nil {
+		return false
+	}
+	e := &t.s.store[t.idx]
+	return e.gen == t.gen && e.live && !e.dead
+}
+
+// alloc takes a free event slot (or grows the store) and returns its index.
+func (s *Simulation) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	s.store = append(s.store, event{})
+	return int32(len(s.store) - 1)
+}
+
+// recycle returns a popped event slot to the free list. Bumping gen
+// invalidates every Timer pointing at the old occupant; clearing the
+// callback fields drops references so pooled frames and closures do not
+// outlive their event.
+func (s *Simulation) recycle(idx int32) {
+	e := &s.store[idx]
+	e.gen++
+	e.live = false
+	e.dead = false
+	e.fn, e.afn, e.arg = nil, nil, nil
+	s.free = append(s.free, idx)
+}
+
+// schedule is the common body of At and AtCall.
+func (s *Simulation) schedule(t Time, fn func(), afn func(any), arg any) Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	idx := s.alloc()
+	e := &s.store[idx]
+	e.fn, e.afn, e.arg = fn, afn, arg
+	e.live = true
+	s.pending++
+	s.heapPush(heapEntry{at: t, seq: s.seq, idx: idx})
+	s.seq++
+	return Timer{s: s, idx: idx, gen: e.gen}
+}
 
 // At schedules fn to run at time t. Scheduling in the past is an error;
 // scheduling at the current time runs fn after all previously scheduled
 // events for this instant.
 func (s *Simulation) At(t Time, fn func()) Timer {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
-	e := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, e)
-	return Timer{e}
+	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d from now.
@@ -149,6 +224,22 @@ func (s *Simulation) After(d time.Duration, fn func()) Timer {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.At(s.now.Add(d), fn)
+}
+
+// AtCall schedules fn(arg) to run at time t. It is the allocation-free
+// alternative to At for hot paths: fn is typically a long-lived pre-bound
+// function (e.g. a link's delivery adapter) and arg a pointer, so no closure
+// is materialized per event.
+func (s *Simulation) AtCall(t Time, fn func(any), arg any) Timer {
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterCall schedules fn(arg) to run d from now (see AtCall).
+func (s *Simulation) AfterCall(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.AtCall(s.now.Add(d), fn, arg)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -164,19 +255,31 @@ func (s *Simulation) Run(limit Time) Time {
 	s.running = true
 	defer func() { s.running = false }()
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		e := s.events[0]
+	for len(s.heap) > 0 && !s.stopped {
+		top := s.heap[0]
+		e := &s.store[top.idx]
 		if e.dead {
-			heap.Pop(&s.events)
+			s.heapPop()
+			s.recycle(top.idx)
 			continue
 		}
-		if limit > 0 && e.at > limit {
+		if limit > 0 && top.at > limit {
 			s.now = limit
 			return s.now
 		}
-		heap.Pop(&s.events)
-		s.now = e.at
-		e.fn()
+		s.heapPop()
+		s.now = top.at
+		// Copy the callback out and recycle the slot BEFORE running it: the
+		// callback may schedule new events, and the freed slot is then
+		// immediately reusable (its generation already advanced).
+		fn, afn, arg := e.fn, e.afn, e.arg
+		s.recycle(top.idx)
+		s.pending--
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 	}
 	return s.now
 }
@@ -185,12 +288,44 @@ func (s *Simulation) Run(limit Time) Time {
 func (s *Simulation) RunFor(d time.Duration) Time { return s.Run(s.now.Add(d)) }
 
 // Pending returns the number of scheduled (non-cancelled) events.
-func (s *Simulation) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.dead {
-			n++
+func (s *Simulation) Pending() int { return s.pending }
+
+// heapPush inserts an entry and sifts it up.
+func (s *Simulation) heapPush(e heapEntry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(s.heap[i], s.heap[parent]) {
+			break
 		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
 	}
-	return n
+}
+
+// heapPop removes the minimum entry and sifts the displaced tail down.
+func (s *Simulation) heapPop() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && heapLess(s.heap[r], s.heap[l]) {
+			least = r
+		}
+		if !heapLess(s.heap[least], s.heap[i]) {
+			break
+		}
+		s.heap[i], s.heap[least] = s.heap[least], s.heap[i]
+		i = least
+	}
 }

@@ -147,5 +147,7 @@ func (sw *Switch) processProbe(f *netsim.Frame) {
 		Dst:       f.Src,
 		Pkt:       reply,
 		WireBytes: reply.WireBytes(sw.cfg.KPartBytes),
+		Owned:     true,
 	})
+	f.Release() // probe is switch-terminated
 }

@@ -28,9 +28,10 @@ func (sw *Switch) processFetch(f *netsim.Frame) {
 		// receiver does not retry forever; reads return an empty snapshot.
 		if pkt.FetchClear {
 			sw.ackFetch(f, pkt)
-			return
+		} else {
+			sw.sendFetchReplies(f, pkt, nil)
 		}
-		sw.sendFetchReplies(f, pkt, nil)
+		f.Release()
 		return
 	}
 	copyIdx := pkt.FetchCopy
@@ -58,6 +59,7 @@ func (sw *Switch) processFetch(f *netsim.Frame) {
 			sw.clearAARange(lo, hi)
 		}
 		sw.ackFetch(f, pkt)
+		f.Release() // fetch is switch-terminated
 		return
 	}
 
@@ -80,6 +82,7 @@ func (sw *Switch) processFetch(f *netsim.Frame) {
 		}
 	}
 	sw.sendFetchReplies(f, pkt, entries)
+	f.Release() // fetch is switch-terminated
 }
 
 // sendFetchReplies streams the snapshot back in MTU-sized chunks. An empty
@@ -106,29 +109,32 @@ func (sw *Switch) sendFetchReplies(f *netsim.Frame, req *wire.Packet, entries []
 			FetchEntries: append([]wire.FetchEntry(nil), entries[lo:hi]...),
 		}
 		sw.stamp(reply)
+		// Owned: nothing here retains the reply. The receiving host keeps
+		// the FetchEntries (addChunk) and therefore does NOT release it.
 		sw.net.SwitchSend(&netsim.Frame{
 			Src:       f.Dst,
 			Dst:       f.Src,
 			Pkt:       reply,
 			WireBytes: reply.WireBytes(sw.cfg.KPartBytes),
+			Owned:     true,
 		})
 	}
 }
 
 // ackFetch acknowledges a clear request.
 func (sw *Switch) ackFetch(f *netsim.Frame, req *wire.Packet) {
-	ack := &wire.Packet{
-		Type:   wire.TypeAck,
-		AckFor: wire.TypeFetch,
-		Task:   req.Task,
-		Flow:   req.Flow,
-		Seq:    req.Seq,
-	}
+	ack := wire.NewPacket()
+	ack.Type = wire.TypeAck
+	ack.AckFor = wire.TypeFetch
+	ack.Task = req.Task
+	ack.Flow = req.Flow
+	ack.Seq = req.Seq
 	sw.stamp(ack)
 	sw.net.SwitchSend(&netsim.Frame{
 		Src:       f.Dst,
 		Dst:       f.Src,
 		Pkt:       ack,
 		WireBytes: ack.WireBytes(sw.cfg.KPartBytes),
+		Owned:     true,
 	})
 }

@@ -22,6 +22,7 @@ func (sw *Switch) HandleIngress(f *netsim.Frame) {
 			task, seq = int64(f.Pkt.Task), int64(f.Pkt.Seq)
 		}
 		sw.tr.Emit(telemetry.CompSwitchd, "drop_down", task, seq, 0)
+		f.Release() // black-holed: the packet is unreferenced
 		return
 	}
 	// End-to-end integrity check (§3.3 failure model): a frame damaged in
@@ -112,6 +113,7 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 	if stale {
 		sw.met.staleDropped.Inc()
 		sw.tr.Emit(telemetry.CompSwitchd, "stale_drop", int64(pkt.Task), int64(pkt.Seq), 0)
+		f.Release()
 		return
 	}
 
@@ -168,6 +170,7 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 	if pkt.Type == wire.TypeData && pkt.Bitmap.Empty() {
 		sw.taskEntryOf(pkt.Task).ackedPackets.Inc()
 		sw.sendAck(f, pkt)
+		f.Release() // fully consumed: tuples live in the AAs, packet is done
 		return
 	}
 	sw.taskEntryOf(pkt.Task).forwardedPackets.Inc()
@@ -273,15 +276,16 @@ func (sw *Switch) slotRMW(ps *pisaPass, aa *pisaArray, row int, slot wire.Slot, 
 }
 
 // sendAck emits a switch-generated ACK back to the packet's sender with the
-// same sequence number (§3.2.1).
+// same sequence number (§3.2.1). The ACK packet comes from the wire free
+// list and its frame is owned: the receiving host releases it after the
+// window bookkeeping, so steady-state acking recycles a handful of packets.
 func (sw *Switch) sendAck(f *netsim.Frame, pkt *wire.Packet) {
-	ack := &wire.Packet{
-		Type:   wire.TypeAck,
-		AckFor: pkt.Type,
-		Task:   pkt.Task,
-		Flow:   pkt.Flow,
-		Seq:    pkt.Seq,
-	}
+	ack := wire.NewPacket()
+	ack.Type = wire.TypeAck
+	ack.AckFor = pkt.Type
+	ack.Task = pkt.Task
+	ack.Flow = pkt.Flow
+	ack.Seq = pkt.Seq
 	sw.stamp(ack)
 	sw.met.switchAcks.Inc()
 	sw.net.SwitchSend(&netsim.Frame{
@@ -289,6 +293,7 @@ func (sw *Switch) sendAck(f *netsim.Frame, pkt *wire.Packet) {
 		Dst:       pkt.Flow.Host,
 		Pkt:       ack,
 		WireBytes: ack.WireBytes(sw.cfg.KPartBytes),
+		Owned:     true,
 	})
 }
 
@@ -315,20 +320,21 @@ func (sw *Switch) processSwap(f *netsim.Frame) {
 			sw.tr.Emit(telemetry.CompSwitchd, "shadow_swap", int64(pkt.Task), int64(pkt.Seq), 0)
 		}
 	}
-	ack := &wire.Packet{
-		Type:   wire.TypeAck,
-		AckFor: wire.TypeSwap,
-		Task:   pkt.Task,
-		Flow:   pkt.Flow,
-		Seq:    pkt.Seq,
-	}
+	ack := wire.NewPacket()
+	ack.Type = wire.TypeAck
+	ack.AckFor = wire.TypeSwap
+	ack.Task = pkt.Task
+	ack.Flow = pkt.Flow
+	ack.Seq = pkt.Seq
 	sw.stamp(ack)
 	sw.net.SwitchSend(&netsim.Frame{
 		Src:       f.Dst,
 		Dst:       f.Src,
 		Pkt:       ack,
 		WireBytes: ack.WireBytes(sw.cfg.KPartBytes),
+		Owned:     true,
 	})
+	f.Release() // swap is switch-terminated: the request packet is done
 }
 
 // ActiveCopy returns the region's current write copy (for tests).

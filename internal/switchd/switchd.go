@@ -156,7 +156,7 @@ func New(s *sim.Simulation, net netsim.SwitchFabric, cfg core.Config, opts Optio
 		regions: make(map[core.TaskID]*Region),
 		rows:    newRowAllocator(cfg.AARows),
 		tasks:   make(map[core.TaskID]*taskEntry),
-		codec:   wire.Codec{KPartBytes: cfg.KPartBytes, SkipVerify: cfg.DisableChecksumVerify},
+		codec:   wire.NewCodec(cfg.KPartBytes).WithSkipVerify(cfg.DisableChecksumVerify),
 		epoch:   1,
 	}
 	sw.initMetrics(opts.Telemetry)

@@ -52,17 +52,27 @@ func Checksum(buf []byte) uint32 {
 }
 
 // Encode marshals p and appends the CRC32C trailer: the result is
-// p.BufferBytes(KPartBytes) + ChecksumBytes bytes. This is the
-// byte-for-byte representation a corrupting network delivers to receivers.
+// p.BufferBytes(KPartBytes) + ChecksumBytes bytes in a single allocation.
+// This is the byte-for-byte representation a corrupting network delivers to
+// receivers.
 func (c Codec) Encode(p *Packet) ([]byte, error) {
-	buf, err := c.Marshal(p)
+	return c.AppendEncode(make([]byte, 0, p.BufferBytes(c.KPartBytes)+ChecksumBytes), p)
+}
+
+// AppendEncode appends the encoding of p plus its CRC32C trailer to dst and
+// returns the extended slice. The per-link corruption path reuses a scratch
+// buffer through this, so damaging a frame allocates nothing in steady
+// state.
+func (c Codec) AppendEncode(dst []byte, p *Packet) ([]byte, error) {
+	start := len(dst)
+	buf, err := c.AppendMarshal(dst, p)
 	if err != nil {
 		return nil, err
 	}
-	sum := Checksum(buf)
-	buf = append(buf, 0, 0, 0, 0)
-	binary.BigEndian.PutUint32(buf[len(buf)-ChecksumBytes:], sum)
-	return buf, nil
+	sum := Checksum(buf[start:])
+	var trailer [ChecksumBytes]byte
+	binary.BigEndian.PutUint32(trailer[:], sum)
+	return append(buf, trailer[:]...), nil
 }
 
 // Decode verifies the CRC32C trailer of an Encode-produced buffer and

@@ -13,6 +13,11 @@ import (
 // through it and assert that the encoded length matches BufferBytes, which
 // keeps the analytical size accounting honest. TypeCtrl payloads are opaque
 // simulation objects and cannot be marshalled.
+//
+// Construct codecs with NewCodec: KPartBytes validation happens once there
+// instead of on every Marshal call (the corruption fault path encodes every
+// damaged frame, so per-call validation was measurable). A zero or
+// out-of-range width is a configuration bug, not a runtime condition.
 type Codec struct {
 	// KPartBytes is the per-slot key-part width (Config.KPartBytes).
 	KPartBytes int
@@ -23,16 +28,55 @@ type Codec struct {
 	SkipVerify bool
 }
 
-// Marshal encodes p into a fresh buffer of exactly p.BufferBytes(KPartBytes)
-// bytes (headers + payload, no L1 framing).
-func (c Codec) Marshal(p *Packet) ([]byte, error) {
-	if c.KPartBytes <= 0 || c.KPartBytes > 8 {
-		return nil, fmt.Errorf("wire: invalid KPartBytes %d", c.KPartBytes)
+// NewCodec returns a Codec for the given key-part width, validating it once
+// at construction. Widths outside 1..8 are a programming error and panic.
+func NewCodec(kPartBytes int) Codec {
+	if kPartBytes <= 0 || kPartBytes > 8 {
+		panic(fmt.Sprintf("wire: invalid KPartBytes %d", kPartBytes))
 	}
+	return Codec{KPartBytes: kPartBytes}
+}
+
+// WithSkipVerify returns a copy of the codec with the Decode verification
+// hook set (see SkipVerify).
+func (c Codec) WithSkipVerify(skip bool) Codec {
+	c.SkipVerify = skip
+	return c
+}
+
+// grow extends dst by n zeroed bytes and returns the extended slice plus the
+// grown region. The zeroing matters when dst's capacity is being reused:
+// several layouts leave reserved bytes untouched and rely on them reading 0.
+func grow(dst []byte, n int) (all, region []byte) {
+	if total := len(dst) + n; cap(dst) >= total {
+		all = dst[:total]
+	} else {
+		all = append(dst, make([]byte, n)...)
+	}
+	region = all[len(dst):]
+	for i := range region {
+		region[i] = 0
+	}
+	return all, region
+}
+
+// Marshal encodes p into a fresh buffer of exactly p.BufferBytes(KPartBytes)
+// bytes (headers + payload, no L1 framing). It is AppendMarshal with a
+// capacity-exact fresh buffer.
+func (c Codec) Marshal(p *Packet) ([]byte, error) {
+	return c.AppendMarshal(make([]byte, 0, p.BufferBytes(c.KPartBytes)), p)
+}
+
+// AppendMarshal appends the encoding of p to dst and returns the extended
+// slice. Hot callers (the per-link corruption scratch buffer, Encode) reuse
+// dst's capacity across packets, so steady-state marshalling allocates
+// nothing. The appended region is exactly p.BufferBytes(KPartBytes) bytes.
+func (c Codec) AppendMarshal(dst []byte, p *Packet) ([]byte, error) {
 	if p.Type == TypeCtrl {
 		return nil, fmt.Errorf("wire: TypeCtrl payloads are not marshallable")
 	}
-	buf := make([]byte, p.BufferBytes(c.KPartBytes))
+	k := c.KPartBytes
+	out, buf := grow(dst, p.BufferBytes(k))
 	// Ethernet+IP headers are opaque padding in this model.
 	h := buf[EthIPBytes:]
 	h[0] = byte(p.Type)
@@ -65,11 +109,35 @@ func (c Codec) Marshal(p *Packet) ([]byte, error) {
 			binary.BigEndian.PutUint32(body[0:], p.OrigSeq)
 			off = 4
 		}
-		for _, s := range p.Slots {
-			putUintN(body[off:], s.KPart>>uint(8*(8-c.KPartBytes)), c.KPartBytes)
-			off += c.KPartBytes
-			putUintN(body[off:], uint64(s.Val)&mask(c.KPartBytes), c.KPartBytes)
-			off += c.KPartBytes
+		// Width-specialized slot loops: the generic putUintN byte loop costs
+		// ~2N data-dependent iterations per slot; the common widths compile
+		// to single bounds-checked stores.
+		switch k {
+		case 4:
+			for _, s := range p.Slots {
+				binary.BigEndian.PutUint32(body[off:], uint32(s.KPart>>32))
+				binary.BigEndian.PutUint32(body[off+4:], uint32(s.Val))
+				off += 8
+			}
+		case 8:
+			for _, s := range p.Slots {
+				binary.BigEndian.PutUint64(body[off:], s.KPart)
+				binary.BigEndian.PutUint64(body[off+8:], uint64(s.Val))
+				off += 16
+			}
+		case 2:
+			for _, s := range p.Slots {
+				binary.BigEndian.PutUint16(body[off:], uint16(s.KPart>>48))
+				binary.BigEndian.PutUint16(body[off+2:], uint16(s.Val))
+				off += 4
+			}
+		default:
+			for _, s := range p.Slots {
+				putUintN(body[off:], s.KPart>>uint(8*(8-k)), k)
+				off += k
+				putUintN(body[off:], uint64(s.Val)&mask(k), k)
+				off += k
+			}
 		}
 	case TypeLongKey:
 		off := 0
@@ -101,10 +169,12 @@ func (c Codec) Marshal(p *Packet) ([]byte, error) {
 			off += fetchEntryWireBytes
 		}
 	}
-	return buf, nil
+	return out, nil
 }
 
-// Unmarshal decodes a buffer produced by Marshal.
+// Unmarshal decodes a buffer produced by Marshal. Payload containers are
+// preallocated capacity-exact (the entry counts are implied by the buffer
+// length), so decoding performs at most one allocation per container.
 func (c Codec) Unmarshal(buf []byte) (*Packet, error) {
 	if len(buf) < HeaderBytes {
 		return nil, fmt.Errorf("wire: buffer of %d bytes shorter than header", len(buf))
@@ -138,21 +208,45 @@ func (c Codec) Unmarshal(buf []byte) (*Packet, error) {
 			p.OrigSeq = binary.BigEndian.Uint32(body[0:])
 			off = 4
 		}
-		slotBytes := 2 * c.KPartBytes
+		k := c.KPartBytes
+		slotBytes := 2 * k
 		if (len(body)-off)%slotBytes != 0 {
 			return nil, fmt.Errorf("wire: data payload of %d bytes not a multiple of slot size %d", len(body)-off, slotBytes)
 		}
 		n := (len(body) - off) / slotBytes
 		p.Slots = make([]Slot, n)
-		for i := 0; i < n; i++ {
-			p.Slots[i].KPart = getUintN(body[off:], c.KPartBytes) << uint(8*(8-c.KPartBytes))
-			off += c.KPartBytes
-			p.Slots[i].Val = signExtend(getUintN(body[off:], c.KPartBytes), c.KPartBytes)
-			off += c.KPartBytes
+		switch k {
+		case 4:
+			for i := 0; i < n; i++ {
+				p.Slots[i].KPart = uint64(binary.BigEndian.Uint32(body[off:])) << 32
+				p.Slots[i].Val = int64(int32(binary.BigEndian.Uint32(body[off+4:])))
+				off += 8
+			}
+		case 8:
+			for i := 0; i < n; i++ {
+				p.Slots[i].KPart = binary.BigEndian.Uint64(body[off:])
+				p.Slots[i].Val = int64(binary.BigEndian.Uint64(body[off+8:]))
+				off += 16
+			}
+		case 2:
+			for i := 0; i < n; i++ {
+				p.Slots[i].KPart = uint64(binary.BigEndian.Uint16(body[off:])) << 48
+				p.Slots[i].Val = int64(int16(binary.BigEndian.Uint16(body[off+2:])))
+				off += 4
+			}
+		default:
+			for i := 0; i < n; i++ {
+				p.Slots[i].KPart = getUintN(body[off:], k) << uint(8*(8-k))
+				off += k
+				p.Slots[i].Val = signExtend(getUintN(body[off:], k), k)
+				off += k
+			}
 		}
 	case TypeLongKey:
-		off := 0
-		for off < len(body) {
+		// Counting pre-pass so the container is allocated capacity-exact;
+		// the per-tuple work below is dominated by the key string copy.
+		count := 0
+		for off := 0; off < len(body); {
 			if off+2 > len(body) {
 				return nil, fmt.Errorf("wire: truncated long-key length at %d", off)
 			}
@@ -161,6 +255,15 @@ func (c Codec) Unmarshal(buf []byte) (*Packet, error) {
 			if off+kl+8 > len(body) {
 				return nil, fmt.Errorf("wire: truncated long-key tuple at %d", off)
 			}
+			off += kl + 8
+			count++
+		}
+		if count > 0 {
+			p.Long = make([]LongKV, 0, count)
+		}
+		for off := 0; off < len(body); {
+			kl := int(binary.BigEndian.Uint16(body[off:]))
+			off += 2
 			key := string(body[off : off+kl])
 			off += kl
 			val := int64(binary.BigEndian.Uint64(body[off:]))
@@ -179,6 +282,9 @@ func (c Codec) Unmarshal(buf []byte) (*Packet, error) {
 		}
 		p.FetchChunk = binary.BigEndian.Uint16(body[0:])
 		p.FetchChunks = binary.BigEndian.Uint16(body[2:])
+		if n := (len(body) - 4) / fetchEntryWireBytes; n > 0 {
+			p.FetchEntries = make([]FetchEntry, 0, n)
+		}
 		for off := 4; off < len(body); off += fetchEntryWireBytes {
 			p.FetchEntries = append(p.FetchEntries, FetchEntry{
 				AA:    int(body[off]),

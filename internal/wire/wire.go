@@ -155,6 +155,23 @@ func PackKPart(seg []byte, n int) uint64 {
 	return v << uint(8*(8-n))
 }
 
+// PackKPartString is PackKPart for a string segment. Identical packing,
+// but takes the key material as a string slice so hot paths can pack
+// directly from key strings without a []byte conversion per call.
+func PackKPartString(seg string, n int) uint64 {
+	if len(seg) > n || n > 8 {
+		panic(fmt.Sprintf("wire: segment of %d bytes does not fit kPart of %d", len(seg), n))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v <<= 8
+		if i < len(seg) {
+			v |= uint64(seg[i])
+		}
+	}
+	return v << uint(8*(8-n))
+}
+
 // UnpackKPart reverses PackKPart, trimming the right zero padding. The
 // result is exact for NUL-free keys (keys containing 0x00 take the long-key
 // bypass; see internal/keyspace).
@@ -229,6 +246,13 @@ type Packet struct {
 	// Ctrl carries an opaque control message for TypeCtrl (not byte-encoded;
 	// charged CtrlBytes on the wire).
 	Ctrl any
+
+	// Free-list bookkeeping (pool.go). pooledSlots marks Slots as owned by
+	// the packet free list, so Release recycles the array; slices installed
+	// by callers stay GC-owned. scratch stashes retained slot capacity while
+	// the packet rests in the pool and is nil on live packets.
+	pooledSlots bool
+	scratch     []Slot
 }
 
 // CtrlBytes is the nominal wire size charged for a control message payload.
@@ -293,11 +317,13 @@ func (p *Packet) String() string {
 	}
 }
 
-// Clone returns a deep copy of the packet. The network fault model uses it
-// for duplication, and the switch uses it when a forwarded packet must
-// diverge from the sender's retransmission buffer.
+// Clone returns a deep copy of the packet with plain GC-owned storage. The
+// hot delivery path uses ClonePooled (pool.go) instead; Clone remains for
+// callers that keep the copy indefinitely (retransmission buffers, tests).
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pooledSlots = false
+	q.scratch = nil
 	if p.Slots != nil {
 		q.Slots = append([]Slot(nil), p.Slots...)
 	}

@@ -186,12 +186,16 @@ func (s Spec) Stream() core.Stream {
 	}
 	lens := s.lens()
 	// Key-string cache: rank → word, built lazily (hot ranks dominate).
-	cache := make(map[int]string)
+	// Rank-indexed slice, not a map: the lookup is on the per-tuple fast
+	// path of every generated stream, and an array index beats a map probe.
+	// Word never returns "" (it always emits at least the rank digits), so
+	// the empty string doubles as the not-yet-built sentinel.
+	cache := make([]string, s.Distinct)
 	key := func(rank int) string {
 		if s.Keys != nil {
 			return s.Keys[rank]
 		}
-		if w, ok := cache[rank]; ok {
+		if w := cache[rank]; w != "" {
 			return w
 		}
 		w := Word(rank, lens)
