@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test test-shuffle race bench bench-smoke bench-json lint telemetry-lint soak ci
+.PHONY: all vet build test test-shuffle race bench bench-smoke bench-json lint telemetry-lint soak scenarios ci
 
 all: ci
 
@@ -64,4 +64,12 @@ bench-json:
 soak:
 	$(GO) run ./cmd/asksim -soak -soak.seed=1 -soak.runs=12 -soak.corrupt=1e-3
 
-ci: vet build lint test test-shuffle race soak
+# Scenario-corpus round trip (README "Workloads & traces"): every committed
+# scenario regenerated from its seed (byte-identical), encoded to the v2
+# timed trace format, decoded back, and replayed through the full stack on
+# the sim clock against a direct run. CI runs this.
+scenarios:
+	$(GO) test -count=1 -run 'TestCorpusDeterminism|TestTraceRoundTripCorpus' ./internal/workload/scenario
+	$(GO) test -count=1 -run 'TestScenarioCorpus' ./ask
+
+ci: vet build lint test test-shuffle race soak scenarios

@@ -233,6 +233,20 @@ func (c *Cluster) Aggregate(spec core.TaskSpec, streams map[core.HostID]core.Str
 	return res.Get()
 }
 
+// AggregateTimed runs one aggregation task whose sender streams carry
+// arrival timestamps: each daemon consumes its stream on the sim clock —
+// tuples enter the packetizer at their arrival offsets, partial packets
+// flush on lulls — so the task experiences the trace's temporal shape
+// (bursts, diurnal cycles, idle gaps) instead of back-to-back pressure.
+func (c *Cluster) AggregateTimed(spec core.TaskSpec, streams map[core.HostID]core.TimedStream) (*TaskResult, error) {
+	res, err := c.StartTaskTimed(spec, streams)
+	if err != nil {
+		return nil, err
+	}
+	c.Sim.Run(0)
+	return res.Get()
+}
+
 // PendingTask is a task started with StartTask whose result becomes
 // available after the simulation runs.
 type PendingTask struct {
@@ -248,6 +262,19 @@ type PendingTask struct {
 // simulation, so several tasks can run concurrently; call Sim.Run(0) (or
 // Aggregate another task) and then Get.
 func (c *Cluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*PendingTask, error) {
+	has := func(h core.HostID) bool { _, ok := streams[h]; return ok }
+	submit := func(d *hostd.Daemon, h core.HostID) { d.SubmitSend(spec.ID, streams[h]) }
+	return c.startTask(spec, has, submit)
+}
+
+// StartTaskTimed is StartTask for timed sender streams (see AggregateTimed).
+func (c *Cluster) StartTaskTimed(spec core.TaskSpec, streams map[core.HostID]core.TimedStream) (*PendingTask, error) {
+	has := func(h core.HostID) bool { _, ok := streams[h]; return ok }
+	submit := func(d *hostd.Daemon, h core.HostID) { d.SubmitSendTimed(spec.ID, streams[h]) }
+	return c.startTask(spec, has, submit)
+}
+
+func (c *Cluster) startTask(spec core.TaskSpec, hasStream func(core.HostID) bool, submit func(*hostd.Daemon, core.HostID)) (*PendingTask, error) {
 	if len(spec.Senders) == 0 {
 		return nil, fmt.Errorf("ask: task %d has no senders", spec.ID)
 	}
@@ -255,7 +282,7 @@ func (c *Cluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Str
 		if _, ok := c.daemons[s]; !ok {
 			return nil, fmt.Errorf("ask: sender host %d not in cluster", s)
 		}
-		if _, ok := streams[s]; !ok {
+		if !hasStream(s) {
 			return nil, fmt.Errorf("ask: no stream for sender host %d", s)
 		}
 	}
@@ -276,7 +303,7 @@ func (c *Cluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Str
 		senders := append([]core.HostID(nil), spec.Senders...)
 		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
 		for _, s := range senders {
-			c.daemons[s].SubmitSend(spec.ID, streams[s])
+			submit(c.daemons[s], s)
 		}
 		result := h.Wait(p)
 		var degraded time.Duration

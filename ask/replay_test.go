@@ -1,0 +1,144 @@
+package ask
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/workload/scenario"
+)
+
+// replayTuples keeps the full-corpus round trips fast: record/replay
+// equivalence is a structural property, not a scale one.
+const replayTuples = 3_000
+
+// runTimed replays timed per-sender streams through a fresh cluster and
+// verifies the result exactly.
+func runTimed(t *testing.T, seed int64, parts [][]core.TimedKV) *TaskResult {
+	t.Helper()
+	cl, err := NewCluster(Options{Hosts: len(parts) + 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum}
+	streams := make(map[core.HostID]core.TimedStream, len(parts))
+	want := make(core.Result)
+	for i, part := range parts {
+		h := core.HostID(i + 1)
+		spec.Senders = append(spec.Senders, h)
+		streams[h] = core.SliceTimedStream(part)
+		for _, tkv := range part {
+			want.MergeKV(tkv.KV, core.OpSum)
+		}
+	}
+	res, err := cl.AggregateTimed(spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Equal(want) {
+		t.Fatalf("aggregation incorrect: %s", res.Result.Diff(want, 8))
+	}
+	return res
+}
+
+// TestScenarioCorpusReplayMatchesDirect is the record/replay golden lock:
+// for every corpus scenario, running the generator's timed stream directly
+// and replaying the recorded v2 trace must be indistinguishable — same
+// aggregate, same tuple counts, same virtual-time completion — because the
+// trace captures everything the generator feeds the cluster.
+func TestScenarioCorpusReplayMatchesDirect(t *testing.T) {
+	const senders = 2
+	for _, s := range scenario.All() {
+		s := s.WithTuples(replayTuples)
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			// Direct: generate → split → timed aggregation.
+			direct := runTimed(t, s.Seed,
+				workload.SplitTimedRoundRobin(core.CollectTimed(s.TimedStream()), senders))
+
+			// Recorded: generate → encode → decode → split → replay.
+			var buf bytes.Buffer
+			if _, err := workload.WriteTimedTrace(&buf, s.Header(), s.TimedStream()); err != nil {
+				t.Fatal(err)
+			}
+			hdr, tkvs, err := workload.ReadTrace(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hdr.Scenario != s.Name {
+				t.Fatalf("trace header names %q", hdr.Scenario)
+			}
+			replay := runTimed(t, s.Seed, workload.SplitTimedRoundRobin(tkvs, senders))
+
+			if !replay.Result.Equal(direct.Result) {
+				t.Fatalf("replay result diverged: %s", replay.Result.Diff(direct.Result, 8))
+			}
+			if replay.Elapsed != direct.Elapsed {
+				t.Fatalf("replay elapsed %v, direct %v", replay.Elapsed, direct.Elapsed)
+			}
+			if replay.Switch.TuplesIn != direct.Switch.TuplesIn {
+				t.Fatalf("replay switch saw %d tuples, direct %d",
+					replay.Switch.TuplesIn, direct.Switch.TuplesIn)
+			}
+
+			// Pacing proof: the task cannot complete before the last tuple
+			// has even arrived, so elapsed covers the trace's span.
+			last := tkvs[len(tkvs)-1].At
+			if time.Duration(direct.Elapsed) < last {
+				t.Fatalf("elapsed %v < last arrival %v: pacing did not take effect",
+					time.Duration(direct.Elapsed), last)
+			}
+		})
+	}
+}
+
+// TestScenarioCorpusTimedDeterminism locks seed → simulation determinism
+// end to end: two full timed runs of the same scenario agree on every
+// counter, and the sim clock (not the wall clock) carried the arrivals.
+func TestScenarioCorpusTimedDeterminism(t *testing.T) {
+	s, err := scenario.ByName("mixed-diurnal-growth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = s.WithTuples(replayTuples)
+	parts := workload.SplitTimedRoundRobin(core.CollectTimed(s.TimedStream()), 3)
+	a := runTimed(t, s.Seed, parts)
+	b := runTimed(t, s.Seed, parts)
+	if a.Elapsed != b.Elapsed || a.Switch != b.Switch || a.Recv != b.Recv {
+		t.Fatalf("two identical timed runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Elapsed == sim.Time(0) {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+// TestTimedMatchesUntimedResult checks the timed path changes *when*
+// tuples move, never *what* they aggregate to: the same records replayed
+// with and without timestamps produce the same result.
+func TestTimedMatchesUntimedResult(t *testing.T) {
+	s, err := scenario.ByName("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = s.WithTuples(replayTuples)
+	tkvs := core.CollectTimed(s.TimedStream())
+	parts := workload.SplitTimedRoundRobin(tkvs, 2)
+	timed := runTimed(t, s.Seed, parts)
+
+	spec := core.TaskSpec{ID: 1, Receiver: 0, Senders: []core.HostID{1, 2}, Op: core.OpSum}
+	data := map[core.HostID][]core.KV{}
+	for i, part := range parts {
+		kvs := make([]core.KV, len(part))
+		for j, tkv := range part {
+			kvs[j] = tkv.KV
+		}
+		data[core.HostID(i+1)] = kvs
+	}
+	untimed := run(t, Options{Hosts: 3, Seed: s.Seed}, spec, data)
+	if !timed.Result.Equal(untimed.Result) {
+		t.Fatalf("timed and untimed runs disagree: %s", timed.Result.Diff(untimed.Result, 8))
+	}
+}

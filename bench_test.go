@@ -100,3 +100,9 @@ func BenchmarkAblationCongestion(b *testing.B) { benchExperiment(b, "ablation-co
 // BenchmarkMultiRack sweeps the §7 multi-rack deployment: switch absorption
 // versus the fraction of cross-rack senders.
 func BenchmarkMultiRack(b *testing.B) { benchExperiment(b, "multirack") }
+
+// BenchmarkScenarios sweeps the committed scenario corpus: every named
+// workload shape generated from its seed and replayed with arrival
+// timestamps on the sim clock (pacing, lull flushes, bursts), reporting AA
+// hit rate, shadow promotions, and goodput fraction per shape.
+func BenchmarkScenarios(b *testing.B) { benchExperiment(b, "scenarios") }

@@ -5,6 +5,8 @@
 //
 //	askbench -list
 //	askbench -run fig9
+//	askbench -run scenarios -quick      # whole scenario corpus
+//	askbench -scenario flash-crowd      # one corpus scenario
 //	askbench -run all -quick
 //	askbench -run all -quick -parallel 8
 //	askbench -run all -json > results.json
@@ -39,13 +41,14 @@ func main() {
 		telem    = flag.Bool("telemetry", false, "instrument experiment clusters and print a metric report per experiment")
 		parallel = flag.Int("parallel", 1, "run up to N experiments concurrently (results stay in order and byte-identical)")
 		jsonOut  = flag.Bool("json", false, "emit outcomes as deterministic JSON instead of tables")
+		scen     = flag.String("scenario", "", "run the scenario-corpus sweep for one named scenario (see askgen -list-scenarios)")
 	)
 	flag.Parse()
 	if *telem {
 		experiments.SetDefaultTelemetry(telemetry.Config{Enabled: true})
 	}
 
-	if *list || *run == "" {
+	if *list || (*run == "" && *scen == "") {
 		fmt.Println("Available experiments:")
 		for _, r := range experiments.All() {
 			fmt.Printf("  %-16s %s\n", r.Name, r.Desc)
@@ -57,9 +60,17 @@ func main() {
 	}
 
 	var runners []experiments.Runner
-	if *run == "all" {
+	switch {
+	case *scen != "":
+		r, err := experiments.ScenarioRunner(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	case *run == "all":
 		runners = experiments.All()
-	} else {
+	default:
 		r, err := experiments.ByName(*run)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

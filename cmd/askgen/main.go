@@ -1,23 +1,34 @@
 // Command askgen generates and inspects the key-value stream workloads used
-// throughout the evaluation.
+// throughout the evaluation, and records corpus scenarios to timed traces.
+//
+// Determinism contract: the -seed flag pins every random choice the
+// generator makes (key order, values, arrival times). The same flags with
+// the same seed always produce byte-identical output — traces are safe to
+// regenerate instead of archive, and a seed in a bug report reproduces the
+// exact stream. Corpus scenarios (-scenario) carry their own pinned seed;
+// -seed overrides it when nonzero.
 //
 // Examples:
 //
-//	askgen -dataset yelp -tuples 100000 -out trace.tsv   # write a trace
+//	askgen -dataset yelp -tuples 100000 -out trace.tsv   # write a v1 trace
 //	askgen -dataset yelp -tuples 1000000 -stats          # summarize skew/lengths
 //	askgen -distinct 4096 -skew 1.2 -order hot -stats    # synthetic Zipf
+//	askgen -list-scenarios                               # corpus registry
+//	askgen -scenario flash-crowd -out flash.askt         # record a timed v2 trace
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workload"
+	"repro/internal/workload/scenario"
 )
 
 func main() {
@@ -27,11 +38,41 @@ func main() {
 		skew     = flag.Float64("skew", 0, "Zipf exponent (synthetic; 0 = uniform)")
 		order    = flag.String("order", "shuffled", "arrival order: shuffled, hot, cold")
 		tuples   = flag.Int64("tuples", 100_000, "stream length")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		out      = flag.String("out", "", "write the trace to this file (TSV: key<TAB>value)")
+		seed     = flag.Int64("seed", 1, "generator seed: same flags + same seed = byte-identical output")
+		out      = flag.String("out", "", "write the trace to this file instead of stdout")
 		show     = flag.Bool("stats", false, "print stream statistics instead of a trace")
+
+		scen     = flag.String("scenario", "", "record a corpus scenario (timed v2 trace; see -list-scenarios)")
+		scenSeed = flag.Int64("scenario-seed", 0, "override the scenario's pinned seed (0 = keep)")
+		list     = flag.Bool("list-scenarios", false, "list the scenario corpus and exit")
 	)
 	flag.Parse()
+	// -tuples has a non-zero default; a scenario keeps its own length
+	// unless the flag was given explicitly.
+	scenTuples := int64(0)
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tuples" {
+			scenTuples = *tuples
+		}
+	})
+
+	if *list {
+		listScenarios(os.Stdout)
+		return
+	}
+	if *scen != "" {
+		n, err := writeOut(*out, func(w io.Writer) (int64, error) {
+			return recordScenario(w, *scen, scenTuples, *scenSeed)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "askgen:", err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			fmt.Printf("recorded %d timed tuples of scenario %q to %s\n", n, *scen, *out)
+		}
+		return
+	}
 
 	var spec workload.Spec
 	if *dataset != "" {
@@ -56,18 +97,65 @@ func main() {
 	switch {
 	case *show:
 		printStats(spec)
-	case *out != "":
-		if err := writeTrace(spec, *out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	default:
+		n, err := writeOut(*out, func(w io.Writer) (int64, error) {
+			return writeTSV(w, spec)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "askgen:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d tuples to %s\n", *tuples, *out)
-	default:
-		// Default: trace to stdout.
-		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
-		emit(spec, func(kv core.KV) { fmt.Fprintf(w, "%s\t%d\n", kv.Key, kv.Val) })
+		if *out != "" {
+			fmt.Printf("wrote %d tuples to %s\n", n, *out)
+		}
 	}
+}
+
+// writeOut runs write against path (empty = stdout) through one buffered
+// writer.
+func writeOut(path string, write func(io.Writer) (int64, error)) (int64, error) {
+	out := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	n, err := write(w)
+	if err != nil {
+		return n, err
+	}
+	return n, w.Flush()
+}
+
+// recordScenario resolves a corpus scenario and streams it as a v2 timed
+// trace. tuples > 0 rescales the stream; seed != 0 overrides the pinned
+// seed (both are stamped into the header, so a recorded trace names its
+// exact generator).
+func recordScenario(w io.Writer, name string, tuples, seed int64) (int64, error) {
+	s, err := scenario.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	if tuples > 0 {
+		s = s.WithTuples(tuples)
+	}
+	if seed != 0 {
+		s = s.WithSeed(seed)
+	}
+	return workload.WriteTimedTrace(w, s.Header(), s.TimedStream())
+}
+
+func listScenarios(w io.Writer) {
+	fmt.Fprintln(w, "Scenario corpus:")
+	for _, s := range scenario.All() {
+		fmt.Fprintf(w, "  %-22s %s\n", s.Name, s.Desc)
+		fmt.Fprintf(w, "  %-22s   stresses: %s\n", "", s.Stressor)
+	}
+	fmt.Fprintln(w, "\nRecord one with: askgen -scenario <name> -out <file>")
 }
 
 func emit(spec workload.Spec, f func(core.KV)) {
@@ -81,15 +169,17 @@ func emit(spec workload.Spec, f func(core.KV)) {
 	}
 }
 
-func writeTrace(spec workload.Spec, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	emit(spec, func(kv core.KV) { fmt.Fprintf(w, "%s\t%d\n", kv.Key, kv.Val) })
-	return w.Flush()
+// writeTSV writes the classic v1 trace: key<TAB>value, no header.
+func writeTSV(w io.Writer, spec workload.Spec) (int64, error) {
+	var n int64
+	var err error
+	emit(spec, func(kv core.KV) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, "%s\t%d\n", kv.Key, kv.Val)
+			n++
+		}
+	})
+	return n, err
 }
 
 func printStats(spec workload.Spec) {

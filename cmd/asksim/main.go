@@ -6,6 +6,9 @@
 //
 //	asksim -hosts 4 -senders 3 -tuples 1000000 -distinct 8192 \
 //	       -skew 1.1 -loss 0.01 -channels 4 -swap 4096
+//
+//	askgen -scenario flash-crowd -out flash.askt
+//	asksim -replay flash.askt          # timed replay on the sim clock
 package main
 
 import (
@@ -57,6 +60,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		verify   = flag.Bool("verify", true, "check the result against a host-computed reference")
 		trace    = flag.String("trace", "", "replay a TSV trace (from askgen) instead of generating (split round-robin across senders)")
+		replay   = flag.String("replay", "", "replay a timed trace (askgen -scenario; v1 TSV also accepted) on the sim clock: tuples enter the senders at their recorded arrival offsets")
 		layout   = flag.Bool("layout", false, "print the switch pipeline layout and exit")
 		telem    = flag.Bool("telemetry", false, "enable the cluster telemetry stack and print the metric report")
 		promOut  = flag.String("prom", "", "write a Prometheus text snapshot to this file ('-' = stdout; implies -telemetry)")
@@ -126,9 +130,36 @@ func main() {
 
 	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum, Rows: *rows}
 	streams := make(map[core.HostID]core.Stream)
+	timed := make(map[core.HostID]core.TimedStream)
 	want := make(core.Result)
 	var total int64
-	if *trace != "" {
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		hdr, tkvs, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if hdr.Scenario != "" {
+			fmt.Printf("replaying scenario %q (trace v%d, seed %d, %d records)\n",
+				hdr.Scenario, hdr.Version, hdr.Seed, hdr.Records)
+		}
+		total = int64(len(tkvs))
+		parts := workload.SplitTimedRoundRobin(tkvs, *senders)
+		for i := 1; i <= *senders; i++ {
+			h := core.HostID(i)
+			spec.Senders = append(spec.Senders, h)
+			timed[h] = core.SliceTimedStream(parts[i-1])
+			for _, tkv := range parts[i-1] {
+				want.MergeKV(tkv.KV, core.OpSum)
+			}
+		}
+	} else if *trace != "" {
 		f, err := os.Open(*trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -163,7 +194,12 @@ func main() {
 		}
 	}
 
-	res, err := cl.Aggregate(spec, streams)
+	var res *ask.TaskResult
+	if len(timed) > 0 {
+		res, err = cl.AggregateTimed(spec, timed)
+	} else {
+		res, err = cl.Aggregate(spec, streams)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -53,6 +53,10 @@ var Analyzer = &framework.Analyzer{
 var deterministicPkgs = map[string]bool{
 	"sim": true, "netsim": true, "switchd": true, "hostd": true,
 	"window": true, "chaos": true, "experiments": true,
+	// The workload generators: traces regenerate byte-identically from a
+	// seed, so wall-clock and global-rand reads are just as forbidden as in
+	// the simulation packages.
+	"workload": true, "scenario": true,
 }
 
 var bannedTime = map[string]bool{

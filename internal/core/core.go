@@ -238,6 +238,64 @@ func ReferenceStreams(op Op, streams ...Stream) Result {
 	return r
 }
 
+// TimedKV is one tuple of a timed stream: the tuple plus its arrival offset
+// from the start of the stream. Timed streams model temporal workloads —
+// bursts, diurnal cycles, trace replays — where tuples become available to
+// the sending daemon at their arrival times rather than back-to-back.
+type TimedKV struct {
+	KV
+	// At is the arrival offset from stream start; offsets within one stream
+	// are non-decreasing.
+	At time.Duration
+}
+
+// TimedStream lazily yields timestamped tuples in non-decreasing At order;
+// it returns ok == false when exhausted. Like Stream, timed streams are
+// single-use.
+type TimedStream func() (tkv TimedKV, ok bool)
+
+// SliceTimedStream returns a TimedStream over tkvs.
+func SliceTimedStream(tkvs []TimedKV) TimedStream {
+	i := 0
+	return func() (TimedKV, bool) {
+		if i >= len(tkvs) {
+			return TimedKV{}, false
+		}
+		tkv := tkvs[i]
+		i++
+		return tkv, true
+	}
+}
+
+// CollectTimed drains a timed stream into a slice (test-sized streams only).
+func CollectTimed(ts TimedStream) []TimedKV {
+	var out []TimedKV
+	for {
+		tkv, ok := ts()
+		if !ok {
+			return out
+		}
+		out = append(out, tkv)
+	}
+}
+
+// Untimed projects a timed stream onto its tuples, discarding arrival times.
+func (ts TimedStream) Untimed() Stream {
+	return func() (KV, bool) {
+		tkv, ok := ts()
+		return tkv.KV, ok
+	}
+}
+
+// Timed lifts a plain stream into a timed one with every arrival at offset
+// zero (immediately available — the back-to-back regime).
+func (s Stream) Timed() TimedStream {
+	return func() (TimedKV, bool) {
+		kv, ok := s()
+		return TimedKV{KV: kv}, ok
+	}
+}
+
 // TaskSpec describes one aggregation task submitted to the service: a set of
 // sender hosts streaming tuples toward a single receiver host (§3.1).
 type TaskSpec struct {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/stats"
+	"repro/internal/workload/scenario"
 )
 
 // Runner names one reproducible experiment with its two scale presets.
@@ -126,6 +127,12 @@ func All() []Runner {
 			Full:  one(func() (*stats.Table, error) { return AblationMedium(DefaultAblationMedium()) }),
 		},
 		{
+			Name:  "scenarios",
+			Desc:  "scenario corpus: AA hit rate / promotions / goodput per shape",
+			Quick: one(func() (*stats.Table, error) { return Scenarios(QuickScenarios()) }),
+			Full:  one(func() (*stats.Table, error) { return Scenarios(DefaultScenarios()) }),
+		},
+		{
 			Name:  "chaos",
 			Desc:  "fault injection: switch failover + degradation vs golden run",
 			Quick: one(func() (*stats.Table, error) { return Chaos(QuickChaos()) }),
@@ -138,6 +145,29 @@ func All() []Runner {
 			Full:  one(func() (*stats.Table, error) { return Corruption(DefaultCorruption()) }),
 		},
 	}
+}
+
+// ScenarioRunner builds a Runner sweeping a single named corpus scenario
+// (cmd/askbench -scenario). The name is validated here so the CLI fails
+// fast instead of mid-sweep.
+func ScenarioRunner(name string) (Runner, error) {
+	if _, err := scenario.ByName(name); err != nil {
+		return Runner{}, err
+	}
+	pick := func(cfg ScenariosConfig) ([]*stats.Table, error) {
+		cfg.Names = []string{name}
+		t, err := Scenarios(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{t}, nil
+	}
+	return Runner{
+		Name:  "scenario:" + name,
+		Desc:  "scenario corpus sweep restricted to " + name,
+		Quick: func() ([]*stats.Table, error) { return pick(QuickScenarios()) },
+		Full:  func() ([]*stats.Table, error) { return pick(DefaultScenarios()) },
+	}, nil
 }
 
 // ByName finds an experiment runner.

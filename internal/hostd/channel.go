@@ -11,11 +11,14 @@ import (
 	"repro/internal/wire"
 )
 
-// sendTask is one application stream queued on a data channel.
+// sendTask is one application stream queued on a data channel. Exactly one
+// of stream/timed is set: timed streams are paced on the sim clock (trace
+// replay), plain streams are drained back-to-back.
 type sendTask struct {
 	id       core.TaskID
 	receiver core.HostID
 	stream   core.Stream
+	timed    core.TimedStream
 	done     *sim.Signal
 	finished bool
 	// err records a transport abort (MaxRetries exhausted); the stream was
@@ -175,7 +178,16 @@ func (ch *dataChannel) txLoop(p *sim.Proc) {
 			ch.retained[task.id] = task
 		}
 
-		pz := newPacketizer(ch.d.layout, task.stream)
+		var pz *packetizer
+		if task.timed != nil {
+			// Timed replay: arrival offsets anchor at this moment — the
+			// channel is the task's ingress, so "stream start" is when the
+			// channel begins serving it.
+			stream, stall := paceStream(p, task.timed)
+			pz = newPacedPacketizer(ch.d.layout, stream, stall)
+		} else {
+			pz = newPacketizer(ch.d.layout, task.stream)
+		}
 		for {
 			pkt, tuples, ok := pz.next()
 			if !ok {

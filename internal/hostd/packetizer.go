@@ -23,6 +23,17 @@ import (
 type packetizer struct {
 	layout *keyspace.Layout
 	stream core.Stream
+	// stall, when non-nil, marks the stream as paced (a timed replay): a
+	// !ok from the stream means "no tuple due yet", not EOF. stall blocks
+	// (on the sim clock) until the next tuple is due and returns true, or
+	// returns false at true EOF. pull consults it only with empty buffers;
+	// with tuples queued it flushes a partial packet first, so a lull in
+	// arrivals never holds aggregated data hostage (NIC-style idle flush).
+	stall func() bool
+	// flush marks that the last pull stopped on a not-yet-due tuple with
+	// data buffered: next must emit what it has even though no bucket set
+	// is full.
+	flush bool
 	// buckets[u] queues tuples for logical unit u: units 0..shortSlots-1
 	// are short slots, then one per medium group.
 	buckets  [][]core.KV
@@ -54,18 +65,41 @@ func newPacketizer(layout *keyspace.Layout, stream core.Stream) *packetizer {
 	}
 }
 
+// newPacedPacketizer builds a packetizer over a paced source: stream yields
+// only tuples already due, stall waits (on the sim clock) for the next
+// arrival. See the stall field for the emission policy.
+func newPacedPacketizer(layout *keyspace.Layout, stream core.Stream, stall func() bool) *packetizer {
+	pz := newPacketizer(layout, stream)
+	pz.stall = stall
+	return pz
+}
+
 // pull moves tuples from the stream into buckets until a packet can be
 // emitted or the stream ends.
 func (pz *packetizer) pull() {
 	shortSlots := pz.layout.ShortSlots()
+	pz.flush = false
 	for !pz.eof {
 		if pz.nonEmpty == len(pz.buckets) && len(pz.buckets) > 0 {
 			return // full packet available
 		}
 		kv, ok := pz.stream()
 		if !ok {
-			pz.eof = true
-			return
+			if pz.stall == nil {
+				pz.eof = true
+				return
+			}
+			// Paced source: the next tuple is not due yet. Flush whatever
+			// is queued before waiting; only park with empty buffers.
+			if pz.buffered > 0 || len(pz.longQ) > 0 {
+				pz.flush = true
+				return
+			}
+			if !pz.stall() {
+				pz.eof = true
+				return
+			}
+			continue
 		}
 		if kv.Val < pz.valLo || kv.Val > pz.valHi {
 			// Value exceeds the aggregator vPart: host-side path.
@@ -106,9 +140,10 @@ func (pz *packetizer) pull() {
 // the data channel assigns.
 func (pz *packetizer) next() (pkt *wire.Packet, tuples int, ok bool) {
 	pz.pull()
-	// Long-key packets flush when saturated, or at EOF before final data
-	// packets (order is irrelevant; both are reliable).
-	if len(pz.longQ) >= maxLongPerPacket || (pz.eof && pz.nonEmpty == 0 && len(pz.longQ) > 0) {
+	// Long-key packets flush when saturated, at EOF before final data
+	// packets (order is irrelevant; both are reliable), or on an arrival
+	// lull when only long keys are queued.
+	if len(pz.longQ) >= maxLongPerPacket || ((pz.eof || pz.flush) && pz.nonEmpty == 0 && len(pz.longQ) > 0) {
 		n := len(pz.longQ)
 		if n > maxLongPerPacket {
 			n = maxLongPerPacket

@@ -192,11 +192,23 @@ func (d *Daemon) Submit(p *sim.Proc, spec core.TaskSpec) (*RecvHandle, error) {
 // The stream starts flowing once the receiver's notification has arrived;
 // either order works.
 func (d *Daemon) SubmitSend(task core.TaskID, stream core.Stream) *SendHandle {
-	st := &sendTask{id: task, stream: stream, done: sim.NewSignal(d.sim)}
-	if n, ok := d.notified[task]; ok {
+	return d.submitSend(&sendTask{id: task, stream: stream, done: sim.NewSignal(d.sim)})
+}
+
+// SubmitSendTimed registers a timed sender-side stream for a task: tuples
+// become available to the data channel at their arrival offsets (anchored
+// at the moment the channel starts serving the task) instead of
+// back-to-back, so the whole protocol — packetization, windowing,
+// congestion — runs under the trace's temporal shape.
+func (d *Daemon) SubmitSendTimed(task core.TaskID, ts core.TimedStream) *SendHandle {
+	return d.submitSend(&sendTask{id: task, timed: ts, done: sim.NewSignal(d.sim)})
+}
+
+func (d *Daemon) submitSend(st *sendTask) *SendHandle {
+	if n, ok := d.notified[st.id]; ok {
 		d.activateSend(st, n)
 	} else {
-		d.sendReady[task] = st
+		d.sendReady[st.id] = st
 	}
 	return &SendHandle{st}
 }

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Arrival describes a temporal arrival process. Clock instantiates a
+// deterministic generator bound to one seeded RNG stream; the same RNG
+// state always yields the same arrival sequence.
+type Arrival interface {
+	// Clock returns the process's gap generator: called at stream time now,
+	// it returns the gap to the next arrival (strictly relative; the caller
+	// accumulates).
+	Clock(rng *rand.Rand) Clock
+	// String names the process and its parameters for trace metadata.
+	String() string
+}
+
+// Clock yields inter-arrival gaps for successive tuples.
+type Clock func(now time.Duration) time.Duration
+
+// expDur draws an exponential gap for a process running at rate events/s.
+func expDur(rng *rand.Rand, rate float64) time.Duration {
+	if rate <= 0 {
+		panic(fmt.Sprintf("scenario: non-positive rate %v", rate))
+	}
+	d := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+	if d < time.Nanosecond {
+		d = time.Nanosecond // arrivals stay strictly ordered at ns resolution
+	}
+	return d
+}
+
+// Poisson is a homogeneous Poisson process: independent exponential gaps at
+// a constant rate (tuples per second of stream time).
+type Poisson struct {
+	Rate float64
+}
+
+func (p Poisson) Clock(rng *rand.Rand) Clock {
+	return func(time.Duration) time.Duration { return expDur(rng, p.Rate) }
+}
+
+func (p Poisson) String() string { return fmt.Sprintf("poisson(%.3g/s)", p.Rate) }
+
+// Phase is one regime of an MMPP: a Poisson rate held for an exponentially
+// distributed dwell time.
+type Phase struct {
+	Rate  float64       // arrivals per second while in this phase
+	Dwell time.Duration // mean dwell before moving to the next phase
+}
+
+// MMPP is a Markov-modulated Poisson process cycling through its phases in
+// order (the classic 2-phase instance alternates a quiet baseline with a
+// high-rate burst regime). Gaps inside a phase are exponential at the
+// phase's rate; phase changes arrive after exponential dwells.
+type MMPP struct {
+	Phases []Phase
+}
+
+func (m MMPP) Clock(rng *rand.Rand) Clock {
+	if len(m.Phases) == 0 {
+		panic("scenario: MMPP needs at least one phase")
+	}
+	idx := 0
+	var phaseEnd time.Duration
+	started := false
+	return func(now time.Duration) time.Duration {
+		if !started {
+			started = true
+			phaseEnd = now + expDur(rng, 1/m.Phases[idx].Dwell.Seconds())
+		}
+		for now >= phaseEnd {
+			idx = (idx + 1) % len(m.Phases)
+			phaseEnd += expDur(rng, 1/m.Phases[idx].Dwell.Seconds())
+		}
+		return expDur(rng, m.Phases[idx].Rate)
+	}
+}
+
+func (m MMPP) String() string {
+	parts := make([]string, len(m.Phases))
+	for i, p := range m.Phases {
+		parts[i] = fmt.Sprintf("%.3g/s×%v", p.Rate, p.Dwell)
+	}
+	return "mmpp(" + strings.Join(parts, ",") + ")"
+}
+
+// Harmonic is one periodic component of a diurnal rate profile.
+type Harmonic struct {
+	Period time.Duration // cycle length
+	Amp    float64       // relative amplitude in [0, 1]
+	Phase  float64       // phase offset in radians
+}
+
+// Diurnal is a non-homogeneous Poisson process whose rate is a multi-period
+// sinusoidal profile: rate(t) = Base · (1 + Σ Ampᵢ·sin(2πt/Periodᵢ + φᵢ)),
+// clamped at a small positive floor. Scaled-down stand-in for diurnal plus
+// intra-day load cycles; sampled exactly by Lewis thinning against the
+// profile's peak rate.
+type Diurnal struct {
+	Base      float64
+	Harmonics []Harmonic
+}
+
+// rate evaluates the instantaneous arrival rate at stream time t.
+func (d Diurnal) rate(t time.Duration) float64 {
+	r := 1.0
+	for _, h := range d.Harmonics {
+		r += h.Amp * math.Sin(2*math.Pi*t.Seconds()/h.Period.Seconds()+h.Phase)
+	}
+	if r < 0.01 {
+		r = 0.01 // the profile never fully switches off
+	}
+	return d.Base * r
+}
+
+func (d Diurnal) Clock(rng *rand.Rand) Clock {
+	peak := 1.0
+	for _, h := range d.Harmonics {
+		peak += math.Abs(h.Amp)
+	}
+	maxRate := d.Base * peak
+	return func(now time.Duration) time.Duration {
+		// Lewis–Shedler thinning: candidate arrivals at the peak rate,
+		// accepted with probability rate(t)/maxRate.
+		gap := time.Duration(0)
+		for {
+			gap += expDur(rng, maxRate)
+			if rng.Float64()*maxRate <= d.rate(now+gap) {
+				return gap
+			}
+		}
+	}
+}
+
+func (d Diurnal) String() string {
+	parts := make([]string, len(d.Harmonics))
+	for i, h := range d.Harmonics {
+		parts[i] = fmt.Sprintf("%v×%.2f", h.Period, h.Amp)
+	}
+	return fmt.Sprintf("diurnal(%.3g/s;%s)", d.Base, strings.Join(parts, ","))
+}

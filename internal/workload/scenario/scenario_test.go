@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestCorpusRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("corpus has %d scenarios, want >= 10", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || s.Desc == "" || s.Stressor == "" {
+			t.Errorf("scenario %+v missing name/desc/stressor", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Tuples <= 0 {
+			t.Errorf("%s: non-positive tuple count", s.Name)
+		}
+		got, err := ByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Errorf("ByName(%q): %v", s.Name, err)
+		}
+	}
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+// encode renders a scenario's full trace to bytes.
+func encode(t *testing.T, s Scenario) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := workload.WriteTimedTrace(&buf, s.Header(), s.TimedStream()); err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorpusDeterminism is the corpus's reproducibility lock: every
+// registered scenario must produce a byte-identical trace on regeneration
+// from its seed (CI runs this under -race, so any hidden shared state or
+// wall-clock leak also surfaces here).
+func TestCorpusDeterminism(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			a, b := encode(t, s), encode(t, s)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s: regenerated trace differs from first generation", s.Name)
+			}
+			c := encode(t, s.WithSeed(s.Seed+1))
+			if bytes.Equal(a, c) {
+				t.Fatalf("%s: different seed produced an identical trace", s.Name)
+			}
+		})
+	}
+}
+
+func TestCorpusStreamsWellFormed(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			tkvs := core.CollectTimed(s.TimedStream())
+			if int64(len(tkvs)) != s.Tuples {
+				t.Fatalf("%d tuples, want %d", len(tkvs), s.Tuples)
+			}
+			var last time.Duration
+			for i, tkv := range tkvs {
+				if tkv.At < last {
+					t.Fatalf("tuple %d: arrival %v before %v", i, tkv.At, last)
+				}
+				last = tkv.At
+				if tkv.Key == "" {
+					t.Fatalf("tuple %d: empty key", i)
+				}
+				if tkv.Val < 1 {
+					t.Fatalf("tuple %d: value %d < 1", i, tkv.Val)
+				}
+			}
+			if last == 0 {
+				t.Fatal("stream never advances time")
+			}
+		})
+	}
+}
+
+// TestRotationChurnsHotKey asserts the time-varying Zipf actually varies:
+// under hot-set rotation the dominant key of an early window differs from
+// the dominant key of a late one.
+func TestRotationChurnsHotKey(t *testing.T) {
+	s, err := ByName("hot-rotate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkvs := core.CollectTimed(s.TimedStream())
+	third := len(tkvs) / 3
+	top := func(window []core.TimedKV) string {
+		counts := map[string]int{}
+		best, bestN := "", -1
+		for _, tkv := range window {
+			counts[tkv.Key]++
+			if counts[tkv.Key] > bestN {
+				best, bestN = tkv.Key, counts[tkv.Key]
+			}
+		}
+		return best
+	}
+	early, late := top(tkvs[:third]), top(tkvs[2*third:])
+	if early == late {
+		t.Fatalf("hot key never rotated: %q dominates both early and late windows", early)
+	}
+}
+
+// TestCardinalityGrows asserts key-cardinality growth: the late window of
+// the ramp scenario uses many more distinct keys than the early window.
+func TestCardinalityGrows(t *testing.T) {
+	s, err := ByName("cardinality-ramp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkvs := core.CollectTimed(s.TimedStream())
+	third := len(tkvs) / 3
+	distinct := func(window []core.TimedKV) int {
+		set := map[string]bool{}
+		for _, tkv := range window {
+			set[tkv.Key] = true
+		}
+		return len(set)
+	}
+	early, late := distinct(tkvs[:third]), distinct(tkvs[2*third:])
+	if late < early*2 {
+		t.Fatalf("cardinality did not ramp: %d early vs %d late distinct keys", early, late)
+	}
+}
+
+// TestBurstsAreCorrelated asserts burst tuples land in tight key
+// neighborhoods: the burst scenario shows runs of near-identical arrival
+// times whose tuple count greatly exceeds the Poisson baseline's.
+func TestBurstsAreCorrelated(t *testing.T) {
+	s, err := ByName("burst-correlated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkvs := core.CollectTimed(s.TimedStream())
+	// Count maximal runs of gap <= Burst.Gap; the overlay guarantees runs
+	// of exactly Size tuples, far longer than Poisson at 8e5/s produces by
+	// chance at 200 ns spacing.
+	longest := 0
+	run := 1
+	for i := 1; i < len(tkvs); i++ {
+		if tkvs[i].At-tkvs[i-1].At <= s.Burst.Gap {
+			run++
+		} else {
+			run = 1
+		}
+		if run > longest {
+			longest = run
+		}
+	}
+	if longest < s.Burst.Size {
+		t.Fatalf("longest tight run %d tuples, want >= burst size %d", longest, s.Burst.Size)
+	}
+}
+
+// TestTraceRoundTripCorpus round-trips every corpus scenario through
+// encode → decode and compares the decoded records to the generator.
+func TestTraceRoundTripCorpus(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			raw := encode(t, s)
+			hdr, tkvs, err := workload.ReadTimedTrace(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hdr.Scenario != s.Name || hdr.Seed != s.Seed || hdr.Records != s.Tuples {
+				t.Fatalf("header: %+v", hdr)
+			}
+			want := core.CollectTimed(s.TimedStream())
+			if len(want) != len(tkvs) {
+				t.Fatalf("decoded %d records, want %d", len(tkvs), len(want))
+			}
+			for i := range want {
+				if tkvs[i] != want[i] {
+					t.Fatalf("record %d: decoded %+v want %+v", i, tkvs[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScenarioGenerate(b *testing.B) {
+	s, err := ByName("mixed-diurnal-growth")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := s.TimedStream()
+		for {
+			if _, ok := ts(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -31,10 +32,17 @@ func WriteTSV(w io.Writer, s core.Stream) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadTSV parses a trace written by WriteTSV.
+// maxTSVLine bounds one v1 trace line (key + value); a longer line is a
+// parse error, reported with its line number rather than truncated.
+const maxTSVLine = 1 << 20
+
+// ReadTSV parses a trace written by WriteTSV. Parse and scan errors carry
+// the 1-based line number of the offending line; an over-long line is
+// reported explicitly (bufio.Scanner's ErrTooLong, which would otherwise
+// surface as a bare "token too long" with no location).
 func ReadTSV(r io.Reader) ([]core.KV, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTSVLine)
 	var out []core.KV
 	line := 0
 	for sc.Scan() {
@@ -54,7 +62,11 @@ func ReadTSV(r io.Reader) ([]core.KV, error) {
 		out = append(out, core.KV{Key: text[:tab], Val: val})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The failed read is the line after the last delivered token.
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("workload: line %d: exceeds %d bytes: %w", line+1, maxTSVLine, err)
+		}
+		return nil, fmt.Errorf("workload: line %d: %w", line+1, err)
 	}
 	return out, nil
 }
