@@ -41,7 +41,7 @@ bench:
 # benchmark that no longer compiles or errors out) without paying full
 # measurement time. CI runs this.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='BenchmarkFig3$$|BenchmarkTable1$$|BenchmarkMultiRack$$' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='BenchmarkFig3$$|BenchmarkTable1$$|BenchmarkMultiRack$$|BenchmarkTenancy$$' -benchtime=1x .
 
 # Perf-trajectory artifact (see DESIGN.md "Performance engineering"): run
 # the headline macro-benchmarks and serialize wall ns/op, allocs/op, and

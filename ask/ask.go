@@ -97,9 +97,9 @@ func (c controllerAdapter) RegisterFlowAt(fk core.FlowKey, start uint32) (uint32
 	return c.sw.Epoch(), nil
 }
 
-func (c controllerAdapter) AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, rows int) error {
-	_, err := c.sw.AllocRegion(task, receiver, op, rows)
-	return err
+func (c controllerAdapter) AllocRegion(spec core.TaskSpec) (hostd.AllocInfo, error) {
+	_, err := c.sw.AllocRegion(spec.ID, spec.Receiver, spec.Op, spec.Rows)
+	return hostd.AllocInfo{}, err
 }
 
 func (c controllerAdapter) FreeRegion(task core.TaskID) error { return c.sw.FreeRegion(task) }

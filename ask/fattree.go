@@ -1,0 +1,515 @@
+package ask
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/hostd"
+	"repro/internal/keyspace"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/switchd"
+	"repro/internal/telemetry"
+	"repro/internal/tenancy"
+	"repro/internal/wire"
+)
+
+// FatTreeOptions configures the spine/leaf deployment: L leaves of hosts and
+// S spines, every switch running the ASK program, optionally shared by
+// several tenants under weighted AA allocation.
+type FatTreeOptions struct {
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	Config       core.Config
+	// HostLink configures host↔leaf links, FabricLink the leaf↔spine links.
+	HostLink   netsim.LinkConfig
+	FabricLink netsim.LinkConfig
+	Cores      int
+	Seed       int64
+	// Switch sizes every switch's state tables. Spines run the same
+	// hardware profile as leaves: a spine sees every host's flows, so
+	// MaxFlows must cover the whole fabric, not one leaf's worth.
+	Switch switchd.Options
+	// Tenants, when non-empty, partitions the keyspace and each switch's AA
+	// rows between the listed tenants proportionally to weight. Task IDs must
+	// then carry a listed tenant (core.MakeTaskID); admission control rejects
+	// a tenant's over-quota regions with tenancy.OverloadError.
+	Tenants []tenancy.TenantSpec
+	// Telemetry, when enabled, builds a cluster-level telemetry.Set carrying
+	// the tenancy allocator's per-tenant gauges (quota/in-use/borrowed rows,
+	// admission outcomes, labeled `tenant`). Switches and daemons keep their
+	// private registries either way — their unlabeled instrument names would
+	// collide across the fabric.
+	Telemetry telemetry.Config
+}
+
+// FatTreeCluster is a spine/leaf deployment with hierarchical
+// re-aggregation: a task's tuples are absorbed first at the sender's leaf,
+// its cross-leaf residue gets a second chance at the task's spine, and the
+// receiver merges the remaining residue plus the entries fetched from every
+// aggregation point. Each tuple is absorbed at exactly one switch, so the
+// partial aggregates compose without double counting.
+type FatTreeCluster struct {
+	Sim    *sim.Simulation
+	Net    *netsim.FatTree
+	Leaves []*switchd.Switch
+	Spines []*switchd.Switch
+	// Tenancy is the admission/partition manager; nil without Tenants.
+	Tenancy *tenancy.Manager
+	// Tel is the cluster observability set (nil unless Options.Telemetry
+	// is enabled); it carries the per-tenant allocation gauges.
+	Tel *telemetry.Set
+
+	opts    FatTreeOptions
+	daemons map[core.HostID]*hostd.Daemon
+	cpus    map[core.HostID]*cpumodel.Host
+	allocs  map[core.TaskID]fatAlloc
+	// tenantTasks lists each tenant's live tasks in admission order, for the
+	// telemetry-driven hotness callback (slice, not map: iterated).
+	tenantTasks map[core.TenantID][]core.TaskID
+}
+
+// fatAlloc records where a task's regions live, for teardown and release.
+type fatAlloc struct {
+	points []core.HostID
+	rows   int
+	tenant core.TenantID
+}
+
+// HostAt returns the host ID of slot i on leaf l.
+func (o FatTreeOptions) HostAt(l, i int) core.HostID {
+	return core.HostID(l*o.HostsPerLeaf + i)
+}
+
+// NewFatTreeCluster builds the deployment. Host IDs are assigned leaf-major:
+// leaf l holds IDs [l·HostsPerLeaf, (l+1)·HostsPerLeaf).
+func NewFatTreeCluster(opts FatTreeOptions) (*FatTreeCluster, error) {
+	if opts.Spines <= 0 || opts.Leaves <= 0 || opts.HostsPerLeaf <= 0 {
+		return nil, fmt.Errorf("ask: need positive Spines, Leaves and HostsPerLeaf")
+	}
+	if opts.Config.NumAAs == 0 {
+		opts.Config = core.DefaultConfig()
+	}
+	if opts.Config.Failover {
+		// The failover protocol is single-switch: probes are terminated by
+		// the first switch on the path and replay reconciliation cannot
+		// attribute tuples across tiers.
+		return nil, fmt.Errorf("ask: fat-tree deployment requires Config.Failover off")
+	}
+	if opts.HostLink.BandwidthBps == 0 {
+		opts.HostLink = netsim.DefaultLinkConfig()
+	}
+	if opts.FabricLink.BandwidthBps == 0 {
+		opts.FabricLink = netsim.DefaultLinkConfig()
+	}
+	if opts.Cores == 0 {
+		opts.Cores = cpumodel.DefaultCores
+	}
+	if opts.Switch.MaxFlows == 0 {
+		opts.Switch = switchd.DefaultOptions()
+	}
+	s := sim.New(opts.Seed)
+	ft := netsim.NewFatTree(s, opts.Spines, opts.Leaves, opts.HostLink, opts.FabricLink)
+	ft.SetCodec(wire.NewCodec(opts.Config.KPartBytes))
+	fc := &FatTreeCluster{
+		Sim:         s,
+		Net:         ft,
+		opts:        opts,
+		daemons:     make(map[core.HostID]*hostd.Daemon),
+		cpus:        make(map[core.HostID]*cpumodel.Host),
+		allocs:      make(map[core.TaskID]fatAlloc),
+		tenantTasks: make(map[core.TenantID][]core.TaskID),
+	}
+	if len(opts.Tenants) > 0 {
+		mgr, err := tenancy.NewManager(opts.Tenants, opts.Config)
+		if err != nil {
+			return nil, err
+		}
+		mgr.SetHotness(fc.tenantHotness)
+		fc.Tenancy = mgr
+	}
+	fc.Tel = telemetry.NewSet(s, opts.Telemetry)
+	if fc.Tenancy != nil && fc.Tel != nil {
+		fc.Tenancy.Instrument(fc.Tel.Registry)
+	}
+	for l := 0; l < opts.Leaves; l++ {
+		// Zero telemetry sink: like the multi-rack deployment, every switch
+		// keeps a private registry (shared label sets would collide).
+		lo := opts.Switch
+		lo.Addr = netsim.LeafAddr(l)
+		sw, err := switchd.New(s, ft.Leaf(l), opts.Config, lo)
+		if err != nil {
+			return nil, fmt.Errorf("ask: leaf %d: %w", l, err)
+		}
+		fc.Leaves = append(fc.Leaves, sw)
+	}
+	for sp := 0; sp < opts.Spines; sp++ {
+		so := opts.Switch
+		so.Addr = netsim.SpineAddr(sp)
+		// Spines aggregate the leaves' conflict residuals, whose sequence
+		// numbers skip: the compact parity seen would alias, so spines run
+		// the sequence-tagged variant (see switchd.Options).
+		so.SeqTaggedSeen = true
+		sw, err := switchd.New(s, ft.Spine(sp), opts.Config, so)
+		if err != nil {
+			return nil, fmt.Errorf("ask: spine %d: %w", sp, err)
+		}
+		fc.Spines = append(fc.Spines, sw)
+	}
+	for l := 0; l < opts.Leaves; l++ {
+		for i := 0; i < opts.HostsPerLeaf; i++ {
+			id := opts.HostAt(l, i)
+			cpu := cpumodel.NewHost(s, opts.Cores)
+			d, err := hostd.New(s, leafFabric{ft, l}, cpu, opts.Config, id, fabricController{fc, l}, telemetry.Sink{})
+			if err != nil {
+				return nil, err
+			}
+			fc.daemons[id] = d
+			fc.cpus[id] = cpu
+			if err := fc.assignTenantChannels(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fc, nil
+}
+
+// assignTenantChannels dedicates a contiguous data-channel band to each
+// tenant, sized by weight with the same cumulative cut as the keyspace
+// partitions, so one tenant's backlog never queues behind another's.
+// Tenants whose cut rounds to zero channels keep the legacy global hash.
+func (fc *FatTreeCluster) assignTenantChannels(d *hostd.Daemon) error {
+	if fc.Tenancy == nil {
+		return nil
+	}
+	total := fc.opts.Config.DataChannels
+	sum := 0
+	for _, t := range fc.opts.Tenants {
+		sum += t.Weight
+	}
+	cum := 0
+	for _, t := range fc.opts.Tenants {
+		lo := total * cum / sum
+		cum += t.Weight
+		hi := total * cum / sum
+		if hi > lo {
+			if err := d.SetTenantChannels(t.ID, lo, hi-lo); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tenantHotness is the borrowing policy's telemetry probe: the fraction of a
+// tenant's switch-bound tuples that hit an aggregator conflict (a hot
+// working set keeps losing the row race, which is exactly the pressure the
+// §3.4 shadow machinery measures), taken across the tenant's live regions.
+func (fc *FatTreeCluster) tenantHotness(tn core.TenantID) float64 {
+	var in, conflicted int64
+	for _, task := range fc.tenantTasks[tn] {
+		for _, addr := range fc.allocs[task].points {
+			st := fc.switchAt(addr).TaskStatsOf(task)
+			in += st.TuplesIn
+			conflicted += st.TuplesConflicted
+		}
+	}
+	if in == 0 {
+		return 0
+	}
+	return float64(conflicted) / float64(in)
+}
+
+// switchAt resolves a fabric address to its switch.
+func (fc *FatTreeCluster) switchAt(addr core.HostID) *switchd.Switch {
+	if sp, ok := netsim.SpineIndex(addr, len(fc.Spines)); ok {
+		return fc.Spines[sp]
+	}
+	if l, ok := netsim.LeafIndex(addr, len(fc.Leaves)); ok {
+		return fc.Leaves[l]
+	}
+	panic(fmt.Sprintf("ask: no switch at fabric address %#x", addr))
+}
+
+// leafFabric narrows the fat-tree to one leaf's host attach point.
+type leafFabric struct {
+	ft   *netsim.FatTree
+	leaf int
+}
+
+func (lf leafFabric) AttachHost(id core.HostID, h netsim.HostHandler) {
+	lf.ft.AttachHostLeaf(lf.leaf, id, h)
+}
+func (lf leafFabric) HostSend(f *netsim.Frame)           { lf.ft.HostSend(f) }
+func (lf leafFabric) Uplink(id core.HostID) *netsim.Link { return lf.ft.Uplink(id) }
+
+// fabricController is one host's control plane on the fat-tree: flows
+// register at the host's own leaf and at every spine (any of which may
+// carry the flow's fabric-crossing packets), and task regions are placed at
+// every aggregation point on the task's tree.
+type fabricController struct {
+	fc   *FatTreeCluster
+	leaf int
+}
+
+func (c fabricController) RegisterFlow(fk core.FlowKey) (uint32, error) {
+	if _, err := c.fc.Leaves[c.leaf].RegisterFlow(fk); err != nil {
+		return 0, err
+	}
+	for sp, sw := range c.fc.Spines {
+		if _, err := sw.RegisterFlow(fk); err != nil {
+			return 0, fmt.Errorf("ask: registering flow at spine %d: %w", sp, err)
+		}
+	}
+	return c.fc.Leaves[c.leaf].Epoch(), nil
+}
+
+func (c fabricController) RegisterFlowAt(fk core.FlowKey, start uint32) (uint32, error) {
+	if _, err := c.fc.Leaves[c.leaf].RegisterFlowAt(fk, start); err != nil {
+		return 0, err
+	}
+	for sp, sw := range c.fc.Spines {
+		if _, err := sw.RegisterFlowAt(fk, start); err != nil {
+			return 0, fmt.Errorf("ask: registering flow at spine %d: %w", sp, err)
+		}
+	}
+	return c.fc.Leaves[c.leaf].Epoch(), nil
+}
+
+func (c fabricController) AllocRegion(spec core.TaskSpec) (hostd.AllocInfo, error) {
+	return c.fc.allocRegion(c.leaf, spec)
+}
+
+func (c fabricController) FreeRegion(task core.TaskID) error {
+	return c.fc.freeRegion(task)
+}
+
+// allocRegion admits the task against its tenant's quota and places one
+// region per aggregation point: each distinct sender leaf (ascending), plus
+// the task's spine when any sender sits on a different leaf than the
+// receiver. The returned AllocInfo carries the tenant's keyspace partition
+// and the fetch points in allocation order.
+func (fc *FatTreeCluster) allocRegion(recvLeaf int, spec core.TaskSpec) (hostd.AllocInfo, error) {
+	var part keyspace.Partition
+	tenant := spec.ID.Tenant()
+	rows := spec.Rows
+	if rows == 0 {
+		// Pin the default size here rather than letting each switch pick its
+		// own (switchd's default depends on that switch's free rows, which
+		// differ across the tree): a quarter of the tenant's quota, or of the
+		// pool without tenancy, even so shadow copies split it.
+		if fc.Tenancy != nil && tenant != 0 {
+			rows = fc.Tenancy.Quota(tenant) / 4
+		} else {
+			rows = fc.opts.Config.AARows / 4
+		}
+		rows &^= 1
+		if rows < 2 {
+			rows = 2
+		}
+	}
+	if fc.Tenancy != nil {
+		if tenant == 0 {
+			return hostd.AllocInfo{}, fmt.Errorf("ask: task %d has no tenant on a tenant-partitioned fabric (use core.MakeTaskID)", spec.ID)
+		}
+		p, err := fc.Tenancy.Partition(tenant)
+		if err != nil {
+			return hostd.AllocInfo{}, err
+		}
+		part = p
+		// Admission control: the quota models one switch's rows — a task
+		// occupies the same row count at every switch on its tree, and
+		// partitions are identical across switches.
+		if err := fc.Tenancy.Admit(tenant, rows); err != nil {
+			return hostd.AllocInfo{}, err
+		}
+	}
+	leafSet := make(map[int]bool)
+	for _, s := range spec.Senders {
+		leafSet[fc.Net.LeafOf(s)] = true
+	}
+	senderLeaves := make([]int, 0, len(leafSet))
+	for l := range leafSet {
+		senderLeaves = append(senderLeaves, l)
+	}
+	sort.Ints(senderLeaves)
+	cross := false
+	points := make([]core.HostID, 0, len(senderLeaves)+1)
+	for _, l := range senderLeaves {
+		points = append(points, netsim.LeafAddr(l))
+		if l != recvLeaf {
+			cross = true
+		}
+	}
+	if cross {
+		points = append(points, netsim.SpineAddr(fc.Net.SpineFor(spec.ID)))
+	}
+	var done []core.HostID
+	for _, addr := range points {
+		if _, err := fc.switchAt(addr).AllocRegionPartition(spec.ID, spec.Receiver, spec.Op, rows, part); err != nil {
+			for _, a := range done {
+				// Unwind is best-effort; the switches just allocated cannot
+				// refuse to free.
+				_ = fc.switchAt(a).FreeRegion(spec.ID)
+			}
+			if fc.Tenancy != nil {
+				fc.Tenancy.Release(tenant, rows)
+			}
+			return hostd.AllocInfo{}, err
+		}
+		done = append(done, addr)
+	}
+	fc.allocs[spec.ID] = fatAlloc{points: points, rows: rows, tenant: tenant}
+	if fc.Tenancy != nil {
+		fc.tenantTasks[tenant] = append(fc.tenantTasks[tenant], spec.ID)
+	}
+	return hostd.AllocInfo{Partition: part, FetchFrom: points}, nil
+}
+
+// freeRegion releases a task's regions at every aggregation point and
+// returns its rows to the tenant quota.
+func (fc *FatTreeCluster) freeRegion(task core.TaskID) error {
+	a, ok := fc.allocs[task]
+	if !ok {
+		return fmt.Errorf("ask: task %d has no allocation", task)
+	}
+	delete(fc.allocs, task)
+	for _, addr := range a.points {
+		if err := fc.switchAt(addr).FreeRegion(task); err != nil {
+			return err
+		}
+	}
+	if fc.Tenancy != nil {
+		fc.Tenancy.Release(a.tenant, a.rows)
+		live := fc.tenantTasks[a.tenant][:0]
+		for _, t := range fc.tenantTasks[a.tenant] {
+			if t != task {
+				live = append(live, t)
+			}
+		}
+		fc.tenantTasks[a.tenant] = live
+	}
+	return nil
+}
+
+// Daemon returns a host's daemon.
+func (fc *FatTreeCluster) Daemon(h core.HostID) *hostd.Daemon { return fc.daemons[h] }
+
+// CPU returns a host's CPU model.
+func (fc *FatTreeCluster) CPU(h core.HostID) *cpumodel.Host { return fc.cpus[h] }
+
+// Config returns the deployment configuration.
+func (fc *FatTreeCluster) Config() core.Config { return fc.opts.Config }
+
+// TaskSwitchStats sums the switch-side counters of a task over every
+// aggregation point on its tree (or, after teardown, over all switches).
+func (fc *FatTreeCluster) TaskSwitchStats(task core.TaskID) switchd.TaskStats {
+	var sum switchd.TaskStats
+	add := func(sw *switchd.Switch) {
+		st := sw.TaskStatsOf(task)
+		sum.TuplesIn += st.TuplesIn
+		sum.TuplesAggregated += st.TuplesAggregated
+		sum.TuplesConflicted += st.TuplesConflicted
+		sum.DataPackets += st.DataPackets
+		sum.AckedPackets += st.AckedPackets
+		sum.ForwardedPackets += st.ForwardedPackets
+	}
+	for _, sw := range fc.Leaves {
+		add(sw)
+	}
+	for _, sw := range fc.Spines {
+		add(sw)
+	}
+	return sum
+}
+
+// StartTask submits a task and its sender streams without running the
+// simulation, so several tasks (e.g. one per tenant) can run concurrently;
+// call Sim.Run(0) and then Get.
+func (fc *FatTreeCluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*FatTreePendingTask, error) {
+	has := func(h core.HostID) bool { _, ok := streams[h]; return ok }
+	submit := func(d *hostd.Daemon, h core.HostID) { d.SubmitSend(spec.ID, streams[h]) }
+	return fc.startTask(spec, has, submit)
+}
+
+// StartTaskTimed is StartTask for timed sender streams: tuples enter each
+// sending daemon at their recorded arrival offsets on the sim clock (see
+// Cluster.AggregateTimed).
+func (fc *FatTreeCluster) StartTaskTimed(spec core.TaskSpec, streams map[core.HostID]core.TimedStream) (*FatTreePendingTask, error) {
+	has := func(h core.HostID) bool { _, ok := streams[h]; return ok }
+	submit := func(d *hostd.Daemon, h core.HostID) { d.SubmitSendTimed(spec.ID, streams[h]) }
+	return fc.startTask(spec, has, submit)
+}
+
+func (fc *FatTreeCluster) startTask(spec core.TaskSpec, hasStream func(core.HostID) bool, submit func(*hostd.Daemon, core.HostID)) (*FatTreePendingTask, error) {
+	recv, ok := fc.daemons[spec.Receiver]
+	if !ok {
+		return nil, fmt.Errorf("ask: receiver host %d not in cluster", spec.Receiver)
+	}
+	if len(spec.Senders) == 0 {
+		return nil, fmt.Errorf("ask: task %d has no senders", spec.ID)
+	}
+	for _, s := range spec.Senders {
+		if _, ok := fc.daemons[s]; !ok {
+			return nil, fmt.Errorf("ask: sender host %d not in cluster", s)
+		}
+		if !hasStream(s) {
+			return nil, fmt.Errorf("ask: no stream for sender host %d", s)
+		}
+	}
+	pt := &FatTreePendingTask{fc: fc, spec: spec, start: fc.Sim.Now()}
+	fc.Sim.Spawn(fmt.Sprintf("ft-driver-task%d", spec.ID), func(p *sim.Proc) {
+		h, err := recv.Submit(p, spec)
+		if err != nil {
+			pt.err = err
+			return
+		}
+		senders := append([]core.HostID(nil), spec.Senders...)
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+		for _, s := range senders {
+			submit(fc.daemons[s], s)
+		}
+		res := h.Wait(p)
+		pt.result = &TaskResult{
+			Result:  res,
+			Elapsed: p.Now() - pt.start,
+			Recv:    h.Stats(),
+			Switch:  fc.TaskSwitchStats(spec.ID),
+		}
+	})
+	return pt, nil
+}
+
+// FatTreePendingTask is a task started on the fat-tree whose result becomes
+// available after the simulation runs.
+type FatTreePendingTask struct {
+	fc     *FatTreeCluster
+	spec   core.TaskSpec
+	start  sim.Time
+	result *TaskResult
+	err    error
+}
+
+// Get returns the task outcome; it errors if the task has not completed.
+func (pt *FatTreePendingTask) Get() (*TaskResult, error) {
+	if pt.err != nil {
+		return nil, pt.err
+	}
+	if pt.result == nil {
+		return nil, fmt.Errorf("ask: task %d did not complete (run the simulation to quiescence)", pt.spec.ID)
+	}
+	return pt.result, nil
+}
+
+// Aggregate runs one task to completion on the fat-tree.
+func (fc *FatTreeCluster) Aggregate(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*TaskResult, error) {
+	pt, err := fc.StartTask(spec, streams)
+	if err != nil {
+		return nil, err
+	}
+	fc.Sim.Run(0)
+	return pt.Get()
+}

@@ -1,0 +1,286 @@
+package ask
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tenancy"
+	"repro/internal/workload"
+)
+
+func ftOptions(seed int64) FatTreeOptions {
+	return FatTreeOptions{Spines: 2, Leaves: 3, HostsPerLeaf: 3, Seed: seed}
+}
+
+func TestFatTreeExactAcrossLeaves(t *testing.T) {
+	opts := ftOptions(1)
+	fc, err := NewFatTreeCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver := opts.HostAt(0, 0)
+	senders := []core.HostID{opts.HostAt(0, 1), opts.HostAt(1, 0), opts.HostAt(2, 2)}
+	streams := make(map[core.HostID]core.Stream)
+	want := make(core.Result)
+	for i, s := range senders {
+		w := workload.Uniform(1024, 8000, int64(10+i))
+		streams[s] = w.Stream()
+		want.Merge(w.Reference(core.OpSum), core.OpSum)
+	}
+	res, err := fc.Aggregate(core.TaskSpec{
+		ID: 1, Receiver: receiver, Senders: senders, Op: core.OpSum,
+	}, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Equal(want) {
+		t.Fatalf("fat-tree aggregation wrong: %s", res.Result.Diff(want, 8))
+	}
+	// Unlike the multi-rack forwarding core, every sender's leaf aggregates:
+	// the fabric as a whole should absorb the bulk of all 24000 tuples.
+	if res.Switch.TuplesAggregated < 20000 {
+		t.Fatalf("fabric absorbed only %d of 24000 tuples", res.Switch.TuplesAggregated)
+	}
+}
+
+func TestFatTreeSpineReaggregatesCrossLeafResidue(t *testing.T) {
+	opts := ftOptions(2)
+	fc, err := NewFatTreeCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver := opts.HostAt(0, 0)
+	senders := []core.HostID{opts.HostAt(1, 0), opts.HostAt(2, 0)}
+	streams := make(map[core.HostID]core.Stream)
+	for i, s := range senders {
+		// Many distinct keys against a tiny region: the sender leaves
+		// conflict heavily and push residue across the fabric.
+		streams[s] = workload.Uniform(4096, 20000, int64(20+i)).Stream()
+	}
+	spec := core.TaskSpec{ID: 5, Receiver: receiver, Senders: senders, Op: core.OpSum, Rows: 64}
+	res, err := fc.Aggregate(spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine := fc.Spines[fc.Net.SpineFor(spec.ID)].TaskStatsOf(spec.ID)
+	if spine.TuplesAggregated == 0 {
+		t.Fatal("spine absorbed nothing; hierarchical re-aggregation is not happening")
+	}
+	// Each tuple is absorbed at exactly one tier (or the host): leaf + spine
+	// + host residue must account for every sent tuple exactly once.
+	var leafAgg int64
+	for _, sw := range fc.Leaves {
+		leafAgg += sw.TaskStatsOf(spec.ID).TuplesAggregated
+	}
+	total := leafAgg + spine.TuplesAggregated + res.Recv.ResidueTuples
+	if total != 40000 {
+		t.Fatalf("conservation violated: leaf %d + spine %d + host %d = %d, want 40000",
+			leafAgg, spine.TuplesAggregated, res.Recv.ResidueTuples, total)
+	}
+}
+
+func TestFatTreeSingleLeafTaskNeedsNoSpineRegion(t *testing.T) {
+	opts := ftOptions(3)
+	fc, err := NewFatTreeCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver := opts.HostAt(1, 0)
+	sender := opts.HostAt(1, 1)
+	w := workload.Uniform(512, 6000, 7)
+	res, err := fc.Aggregate(core.TaskSpec{ID: 2, Receiver: receiver, Senders: []core.HostID{sender}, Op: core.OpSum},
+		map[core.HostID]core.Stream{sender: w.Stream()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Equal(w.Reference(core.OpSum)) {
+		t.Fatal("wrong result")
+	}
+	for sp, sw := range fc.Spines {
+		if sw.RegionOf(2) != nil {
+			t.Fatalf("spine %d holds a region for a single-leaf task", sp)
+		}
+	}
+}
+
+func fatTreeTenantOpts(seed int64, weights ...int) FatTreeOptions {
+	opts := FatTreeOptions{Spines: 2, Leaves: 2, HostsPerLeaf: 4, Seed: seed}
+	for i, w := range weights {
+		opts.Tenants = append(opts.Tenants, tenancy.TenantSpec{ID: core.TenantID(i + 1), Weight: w})
+	}
+	return opts
+}
+
+// runTenantTasks runs one cross-leaf task per tenant concurrently and
+// returns each tenant's result alongside its host-computed reference.
+func runTenantTasks(t *testing.T, fc *FatTreeCluster, opts FatTreeOptions) map[core.TenantID]*TaskResult {
+	t.Helper()
+	pending := make(map[core.TenantID]*FatTreePendingTask)
+	for i, ts := range opts.Tenants {
+		receiver := opts.HostAt(0, i%opts.HostsPerLeaf)
+		senders := []core.HostID{opts.HostAt(1, i%opts.HostsPerLeaf)}
+		w := workload.Uniform(512, 5000, int64(40+i))
+		pt, err := fc.StartTask(core.TaskSpec{
+			ID: core.MakeTaskID(ts.ID, uint32(100+i)), Receiver: receiver, Senders: senders, Op: core.OpSum,
+		}, map[core.HostID]core.Stream{senders[0]: w.Stream()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending[ts.ID] = pt
+	}
+	fc.Sim.Run(0)
+	out := make(map[core.TenantID]*TaskResult)
+	for i, ts := range opts.Tenants {
+		res, err := pending[ts.ID].Get()
+		if err != nil {
+			t.Fatalf("tenant %d: %v", ts.ID, err)
+		}
+		want := workload.Uniform(512, 5000, int64(40+i)).Reference(core.OpSum)
+		if !res.Result.Equal(want) {
+			t.Fatalf("tenant %d result wrong: %s", ts.ID, res.Result.Diff(want, 8))
+		}
+		out[ts.ID] = res
+	}
+	return out
+}
+
+func TestFatTreeTenantsConcurrentExact(t *testing.T) {
+	opts := fatTreeTenantOpts(11, 1, 2, 1, 4)
+	fc, err := NewFatTreeCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runTenantTasks(t, fc, opts)
+	for tn, res := range results {
+		if res.Switch.TuplesAggregated == 0 {
+			t.Fatalf("tenant %d got no in-network aggregation", tn)
+		}
+	}
+	if got := fc.Tenancy.Snapshot(); len(got) != 4 {
+		t.Fatalf("snapshot has %d tenants", len(got))
+	}
+	for _, u := range fc.Tenancy.Snapshot() {
+		if u.InUse != 0 {
+			t.Fatalf("tenant %d still holds %d rows after teardown", u.Tenant, u.InUse)
+		}
+	}
+}
+
+// fingerprintResults flattens per-tenant outcomes into a canonical string so
+// two runs can be compared byte for byte.
+func fingerprintResults(results map[core.TenantID]*TaskResult) string {
+	tns := make([]core.TenantID, 0, len(results))
+	for tn := range results {
+		tns = append(tns, tn)
+	}
+	sort.Slice(tns, func(i, j int) bool { return tns[i] < tns[j] })
+	s := ""
+	for _, tn := range tns {
+		r := results[tn]
+		keys := make([]string, 0, len(r.Result))
+		for k := range r.Result {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s += fmt.Sprintf("tenant=%d elapsed=%d recv=%+v switch=%+v nkeys=%d\n",
+			tn, r.Elapsed, r.Recv, r.Switch, len(keys))
+		for _, k := range keys {
+			s += fmt.Sprintf("%q=%d;", k, r.Result[k])
+		}
+		s += "\n"
+	}
+	return s
+}
+
+func TestFatTreeFourTenantRunIsByteIdentical(t *testing.T) {
+	run := func() string {
+		opts := fatTreeTenantOpts(17, 1, 1, 2, 4)
+		fc, err := NewFatTreeCluster(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprintResults(runTenantTasks(t, fc, opts))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identically-seeded 4-tenant runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+func TestFatTreeOverQuotaRejectsTyped(t *testing.T) {
+	opts := fatTreeTenantOpts(5, 1, 7)
+	fc, err := NewFatTreeCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quota := fc.Tenancy.Quota(1)
+	receiver := opts.HostAt(0, 0)
+	sender := opts.HostAt(1, 0)
+	w := workload.Uniform(64, 100, 3)
+	_, err = fc.Aggregate(core.TaskSpec{
+		ID: core.MakeTaskID(1, 1), Receiver: receiver, Senders: []core.HostID{sender},
+		Op: core.OpSum, Rows: quota*2 + 2,
+	}, map[core.HostID]core.Stream{sender: w.Stream()})
+	var ov *tenancy.OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("want tenancy.OverloadError, got %v", err)
+	}
+	if ov.Tenant != 1 || ov.Quota != quota {
+		t.Fatalf("overload names tenant %d quota %d, want 1/%d", ov.Tenant, ov.Quota, quota)
+	}
+	// The rejection left nothing allocated: the same task fits in quota.
+	res, err := fc.Aggregate(core.TaskSpec{
+		ID: core.MakeTaskID(1, 2), Receiver: receiver, Senders: []core.HostID{sender},
+		Op: core.OpSum, Rows: quota &^ 1,
+	}, map[core.HostID]core.Stream{sender: w.Stream()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Equal(w.Reference(core.OpSum)) {
+		t.Fatal("post-rejection task computed a wrong result")
+	}
+}
+
+func TestFatTreeHotTenantBorrowsAtAdmission(t *testing.T) {
+	opts := fatTreeTenantOpts(9, 1, 1)
+	fc, err := NewFatTreeCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quota := fc.Tenancy.Quota(1)
+	spec := func(seq uint32, rows int) core.TaskSpec {
+		return core.TaskSpec{
+			ID: core.MakeTaskID(1, seq), Receiver: opts.HostAt(0, 0),
+			Senders: []core.HostID{opts.HostAt(1, 0)}, Op: core.OpSum, Rows: rows,
+		}
+	}
+	// Fill the tenant's quota, then ask for more while cold: typed rejection.
+	if _, err := fc.allocRegion(0, spec(1, quota&^1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = fc.allocRegion(0, spec(2, 10))
+	var ov *tenancy.OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("cold over-quota alloc: want OverloadError, got %v", err)
+	}
+	// A hot tenant (shadow conflict ratio past the threshold) borrows the
+	// idle rows instead. The stubbed probe stands in for the telemetry-fed
+	// conflict ratio the cluster wires up by default.
+	fc.Tenancy.SetHotness(func(core.TenantID) float64 { return 1.0 })
+	if _, err := fc.allocRegion(0, spec(2, 10)); err != nil {
+		t.Fatalf("hot over-quota alloc failed: %v", err)
+	}
+	if got := fc.Tenancy.Borrowed(1); got != 10 {
+		t.Fatalf("Borrowed = %d, want 10", got)
+	}
+	// Releasing the borrower's regions returns the rows.
+	if err := fc.freeRegion(core.MakeTaskID(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.Tenancy.Borrowed(1); got != 0 {
+		t.Fatalf("Borrowed after free = %d, want 0", got)
+	}
+}

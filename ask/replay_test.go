@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/workload"
 	"repro/internal/workload/scenario"
 )
@@ -92,6 +93,107 @@ func TestScenarioCorpusReplayMatchesDirect(t *testing.T) {
 					time.Duration(direct.Elapsed), last)
 			}
 		})
+	}
+}
+
+// TestScenarioCorpusFatTreeTenantRoundTrip extends the record/replay lock to
+// the multi-tenant fabric: two corpus scenarios, one per tenant, run
+// concurrently through a 2-tenant fat-tree — once straight from the
+// generators, once from the encoded-then-decoded v2 traces. The partitioned,
+// admission-controlled fabric must be indistinguishable between the two:
+// same per-tenant aggregates, same virtual completion times, same per-task
+// switch counters.
+func TestScenarioCorpusFatTreeTenantRoundTrip(t *testing.T) {
+	const senders = 2
+	scenarios := map[core.TenantID]string{1: "flash-crowd", 2: "mixed-diurnal-growth"}
+
+	// load returns a tenant's per-sender streams twice: straight from the
+	// generator, and through a trace encode/decode round trip.
+	load := func(name string) (direct, replay [][]core.TimedKV) {
+		s, err := scenario.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s = s.WithTuples(replayTuples)
+		direct = workload.SplitTimedRoundRobin(core.CollectTimed(s.TimedStream()), senders)
+		var buf bytes.Buffer
+		if _, err := workload.WriteTimedTrace(&buf, s.Header(), s.TimedStream()); err != nil {
+			t.Fatal(err)
+		}
+		hdr, tkvs, err := workload.ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Scenario != name {
+			t.Fatalf("trace header names %q, want %q", hdr.Scenario, name)
+		}
+		return direct, workload.SplitTimedRoundRobin(tkvs, senders)
+	}
+
+	run := func(parts map[core.TenantID][][]core.TimedKV) map[core.TenantID]*TaskResult {
+		opts := FatTreeOptions{
+			Spines: 2, Leaves: 3, HostsPerLeaf: 2, Seed: 23,
+			Tenants: []tenancy.TenantSpec{{ID: 1, Weight: 1}, {ID: 2, Weight: 1}},
+		}
+		fc, err := NewFatTreeCluster(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending := make(map[core.TenantID]*FatTreePendingTask)
+		wants := make(map[core.TenantID]core.Result)
+		for i, tn := range []core.TenantID{1, 2} {
+			spec := core.TaskSpec{
+				ID: core.MakeTaskID(tn, 1), Receiver: opts.HostAt(0, i), Op: core.OpSum,
+			}
+			streams := make(map[core.HostID]core.TimedStream, senders)
+			want := make(core.Result)
+			for j, part := range parts[tn] {
+				h := opts.HostAt(1+j, i) // tenants side by side on the sender leaves
+				spec.Senders = append(spec.Senders, h)
+				streams[h] = core.SliceTimedStream(part)
+				for _, tkv := range part {
+					want.MergeKV(tkv.KV, core.OpSum)
+				}
+			}
+			pt, err := fc.StartTaskTimed(spec, streams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pending[tn], wants[tn] = pt, want
+		}
+		fc.Sim.Run(0)
+		out := make(map[core.TenantID]*TaskResult)
+		for tn, pt := range pending {
+			res, err := pt.Get()
+			if err != nil {
+				t.Fatalf("tenant %d: %v", tn, err)
+			}
+			if !res.Result.Equal(wants[tn]) {
+				t.Fatalf("tenant %d aggregation wrong: %s", tn, res.Result.Diff(wants[tn], 8))
+			}
+			out[tn] = res
+		}
+		return out
+	}
+
+	directParts := make(map[core.TenantID][][]core.TimedKV)
+	replayParts := make(map[core.TenantID][][]core.TimedKV)
+	for tn, name := range scenarios {
+		directParts[tn], replayParts[tn] = load(name)
+	}
+	direct := run(directParts)
+	replay := run(replayParts)
+	for tn := range scenarios {
+		d, r := direct[tn], replay[tn]
+		if !r.Result.Equal(d.Result) {
+			t.Fatalf("tenant %d: replay result diverged: %s", tn, r.Result.Diff(d.Result, 8))
+		}
+		if r.Elapsed != d.Elapsed {
+			t.Fatalf("tenant %d: replay elapsed %v, direct %v", tn, r.Elapsed, d.Elapsed)
+		}
+		if r.Switch != d.Switch {
+			t.Fatalf("tenant %d: fabric counters diverged:\nreplay %+v\ndirect %+v", tn, r.Switch, d.Switch)
+		}
 	}
 }
 

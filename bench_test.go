@@ -106,3 +106,8 @@ func BenchmarkMultiRack(b *testing.B) { benchExperiment(b, "multirack") }
 // timestamps on the sim clock (pacing, lull flushes, bursts), reporting AA
 // hit rate, shadow promotions, and goodput fraction per shape.
 func BenchmarkScenarios(b *testing.B) { benchExperiment(b, "scenarios") }
+
+// BenchmarkTenancy runs the multi-tenant fat-tree sweeps: weighted goodput
+// fairness under admission control, and shared-pool AA utilization versus
+// the single-tenant baseline.
+func BenchmarkTenancy(b *testing.B) { benchExperiment(b, "tenancy") }

@@ -66,6 +66,11 @@ func main() {
 		promOut  = flag.String("prom", "", "write a Prometheus text snapshot to this file ('-' = stdout; implies -telemetry)")
 		jsonOut  = flag.String("json", "", "write a JSON telemetry snapshot (metrics, series, trace events) to this file ('-' = stdout; implies -telemetry)")
 
+		topology = flag.String("topology", "rack", "deployment: rack (single switch) or fattree (spine/leaf fabric)")
+		spines   = flag.Int("spines", 2, "fat-tree spine switches (topology=fattree)")
+		leaves   = flag.Int("leaves", 3, "fat-tree leaf switches; -hosts is then hosts per leaf (topology=fattree)")
+		tenants  = flag.Int("tenants", 0, "tenants sharing the fat-tree, one task each, equal weights (0 = untenanted; topology=fattree)")
+
 		soak        = flag.Bool("soak", false, "run the chaos soak harness instead of a single task")
 		soakRuns    = flag.Int("soak.runs", 1, "consecutive soak seeds to run (soak.seed, soak.seed+1, ...)")
 		soakSeed    = flag.Int64("soak.seed", 1, "soak seed (drives workload, schedule, and fault RNG)")
@@ -101,6 +106,21 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	switch *topology {
+	case "rack":
+	case "fattree":
+		runFatTree(fatTreeFlags{
+			Spines: *spines, Leaves: *leaves, HostsPerLeaf: *hosts,
+			Tenants: *tenants, Tuples: *tuples, Distinct: *distinct,
+			Skew: *skew, Rows: *rows, Seed: *seed, Verify: *verify,
+			Telemetry: *telem,
+		})
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "asksim: unknown -topology %q (rack or fattree)\n", *topology)
+		os.Exit(1)
 	}
 
 	if *senders >= *hosts {

@@ -47,7 +47,7 @@ var Analyzer = &framework.Analyzer{
 // pooledPkgs are the last path elements of the packages on the pooled
 // fast path, where a leaked acquisition defeats the free list.
 var pooledPkgs = map[string]bool{
-	"netsim": true, "switchd": true, "hostd": true,
+	"netsim": true, "switchd": true, "hostd": true, "tenancy": true,
 }
 
 func run(pass *framework.Pass) (any, error) {

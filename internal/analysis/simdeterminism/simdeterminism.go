@@ -52,7 +52,7 @@ var Analyzer = &framework.Analyzer{
 // simulation's virtual clock and must be reproducible.
 var deterministicPkgs = map[string]bool{
 	"sim": true, "netsim": true, "switchd": true, "hostd": true,
-	"window": true, "chaos": true, "experiments": true,
+	"window": true, "chaos": true, "experiments": true, "tenancy": true,
 	// The workload generators: traces regenerate byte-identically from a
 	// seed, so wall-clock and global-rand reads are just as forbidden as in
 	// the simulation packages.

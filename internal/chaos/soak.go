@@ -396,22 +396,31 @@ func RunSchedule(cfg SoakConfig, sched Schedule, scale time.Duration) Outcome {
 	return out
 }
 
-// Shrink minimizes a failing schedule: first the empty schedule (the base
-// config alone may fail), then the shortest failing prefix, then repeated
-// single-event elision until every remaining event is load-bearing. It
-// returns the minimal schedule and the number of replays spent.
+// Shrink minimizes a failing schedule against the rack soak's replay.
 func Shrink(cfg SoakConfig, sched Schedule, scale time.Duration) (Schedule, int) {
-	runs := 0
-	fails := func(s Schedule) bool {
-		runs++
+	return ShrinkWith(func(s Schedule) bool {
 		return !RunSchedule(cfg, s, scale).OK()
+	}, sched)
+}
+
+// ShrinkWith minimizes a failing schedule against an arbitrary replay
+// predicate (the rack soak and the tenant soak share it): first the empty
+// schedule (the base config alone may fail), then the shortest failing
+// prefix, then repeated single-event elision until every remaining event is
+// load-bearing. It returns the minimal schedule and the number of replays
+// spent. fails must be deterministic for the minimization to mean anything.
+func ShrinkWith(fails func(Schedule) bool, sched Schedule) (Schedule, int) {
+	runs := 0
+	check := func(s Schedule) bool {
+		runs++
+		return fails(s)
 	}
-	if fails(nil) {
+	if check(nil) {
 		return Schedule{}, runs
 	}
 	cur := sched
 	for k := 1; k < len(sched); k++ {
-		if fails(sched[:k]) {
+		if check(sched[:k]) {
 			cur = sched[:k]
 			break
 		}
@@ -420,7 +429,7 @@ func Shrink(cfg SoakConfig, sched Schedule, scale time.Duration) (Schedule, int)
 		changed = false
 		for i := 0; i < len(cur); i++ {
 			cand := append(append(Schedule{}, cur[:i]...), cur[i+1:]...)
-			if fails(cand) {
+			if check(cand) {
 				cur = cand
 				changed = true
 				break

@@ -1,0 +1,341 @@
+package chaos
+
+// Tenant-isolation soak: on a multi-tenant fat-tree, kill one tenant's
+// traffic mid-stream (black-holing its sender's links past the bounded
+// retry budget) and check that the blast radius stops at the tenant
+// boundary — every other tenant's concurrent task must still finish with
+// exact conservation against its analytic ground truth, while the victim
+// either bridges the hole or aborts cleanly (no silent partial result).
+//
+// The run shares the rack soak's machinery: the same Schedule/Event types,
+// the same millis-of-scale timeline, and the same shrinker (ShrinkWith)
+// when a violation needs minimizing.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tenancy"
+	"repro/internal/workload"
+)
+
+// TenantSoakConfig parameterizes one tenant-isolation soak. Everything is
+// derived from Seed; equal configs replay identically.
+type TenantSoakConfig struct {
+	// Seed drives the workloads and the schedule draw.
+	Seed int64
+	// Tenants is the number of concurrent tenants (default 3), each with
+	// weight 1 and one cross-leaf task.
+	Tenants int
+	// Victim is the tenant whose sender gets black-holed (default 1).
+	Victim core.TenantID
+	// Events is the number of black-hole windows to draw (default 3).
+	Events int
+	// Tuples per tenant (default 20 000) over Keys distinct keys
+	// (default 512).
+	Tuples int64
+	Keys   int
+	// Retries bounds per-packet retransmissions (default 4): a hole longer
+	// than the budget aborts the victim's stream instead of stalling the
+	// fabric forever.
+	Retries int
+}
+
+func (c TenantSoakConfig) withDefaults() TenantSoakConfig {
+	if c.Tenants == 0 {
+		c.Tenants = 3
+	}
+	if c.Victim == 0 {
+		c.Victim = 1
+	}
+	if c.Events == 0 {
+		c.Events = 3
+	}
+	if c.Tuples == 0 {
+		c.Tuples = 20_000
+	}
+	if c.Keys == 0 {
+		c.Keys = 512
+	}
+	if c.Retries == 0 {
+		c.Retries = 4
+	}
+	return c
+}
+
+// tenantSoakOptions is the fat-tree under test: one host pair (receiver on
+// leaf 0, sender on leaf 1) per tenant, equal weights, bounded retries.
+func tenantSoakOptions(cfg TenantSoakConfig) ask.FatTreeOptions {
+	c := core.DefaultConfig()
+	c.MaxRetries = cfg.Retries
+	opts := ask.FatTreeOptions{
+		Spines: 2, Leaves: 2, HostsPerLeaf: cfg.Tenants,
+		Config: c, Seed: cfg.Seed,
+	}
+	for i := 0; i < cfg.Tenants; i++ {
+		opts.Tenants = append(opts.Tenants, tenancy.TenantSpec{ID: core.TenantID(i + 1), Weight: 1})
+	}
+	return opts
+}
+
+// tenantTaskPlan is one tenant's task: spec, sender stream, and the
+// host-computed ground truth its conservation check uses.
+type tenantTaskPlan struct {
+	tenant core.TenantID
+	sender core.HostID
+	spec   core.TaskSpec
+	want   core.Result
+}
+
+func tenantSoakWorkload(cfg TenantSoakConfig, opts ask.FatTreeOptions) ([]tenantTaskPlan, map[core.TenantID]core.Stream) {
+	plans := make([]tenantTaskPlan, 0, cfg.Tenants)
+	streams := make(map[core.TenantID]core.Stream)
+	for i := 0; i < cfg.Tenants; i++ {
+		tn := core.TenantID(i + 1)
+		sender := opts.HostAt(1, i)
+		w := workload.Uniform(cfg.Keys, cfg.Tuples, cfg.Seed+int64(i))
+		streams[tn] = w.Stream()
+		plans = append(plans, tenantTaskPlan{
+			tenant: tn,
+			sender: sender,
+			spec: core.TaskSpec{
+				ID:       core.MakeTaskID(tn, uint32(i+1)),
+				Receiver: opts.HostAt(0, i),
+				Senders:  []core.HostID{sender},
+				Op:       core.OpSum,
+			},
+			want: w.Reference(core.OpSum),
+		})
+	}
+	return plans, streams
+}
+
+// GenerateTenantSchedule draws non-overlapping black-hole windows on the
+// victim's links from cfg.Seed, on the same millis-of-scale timeline as the
+// rack soak. Windows land in [100, 800) with durations in [100, 300), long
+// against the retry budget so mid-stream holes genuinely kill the flow.
+func GenerateTenantSchedule(cfg TenantSoakConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sched Schedule
+	var windows [][2]int64
+	for attempts := 0; len(sched) < cfg.Events && attempts < cfg.Events*64; attempts++ {
+		start := 100 + rng.Int63n(700)
+		dur := 100 + rng.Int63n(200)
+		if overlapsAny(windows, start, start+dur) {
+			continue
+		}
+		windows = append(windows, [2]int64{start, start + dur})
+		sched = append(sched, Event{Kind: EvLinkBlackhole, StartMil: start, DurMil: dur})
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].StartMil < sched[j].StartMil })
+	return sched
+}
+
+// TenantOutcome is the verdict of one tenant-soak replay.
+type TenantOutcome struct {
+	// Violation is empty when isolation held, else a one-line description.
+	Violation string
+	// VictimAborted reports whether the victim's stream hit the bounded
+	// retry budget (false when the holes were short enough to bridge).
+	VictimAborted bool
+	// Elapsed is the slowest surviving tenant's task duration.
+	Elapsed time.Duration
+}
+
+// OK reports whether the isolation invariants held.
+func (o TenantOutcome) OK() bool { return o.Violation == "" }
+
+// RunTenantSchedule replays one black-hole script against a fresh
+// multi-tenant fat-tree and checks the isolation invariants. Deterministic:
+// equal (cfg, sched, scale) triples produce equal outcomes.
+func RunTenantSchedule(cfg TenantSoakConfig, sched Schedule, scale time.Duration) TenantOutcome {
+	cfg = cfg.withDefaults()
+	opts := tenantSoakOptions(cfg)
+	fc, err := ask.NewFatTreeCluster(opts)
+	if err != nil {
+		return TenantOutcome{Violation: fmt.Sprintf("cluster build failed: %v", err)}
+	}
+	plans, streams := tenantSoakWorkload(cfg, opts)
+
+	victimSender := core.HostID(0)
+	for _, pl := range plans {
+		if pl.tenant == cfg.Victim {
+			victimSender = pl.sender
+		}
+	}
+	at := func(mil int64) sim.Time { return sim.Time(0).Add(scale * time.Duration(mil) / 1000) }
+	for _, ev := range sched {
+		if ev.Kind != EvLinkBlackhole {
+			continue
+		}
+		fc.Sim.At(at(ev.StartMil), func() {
+			fc.Net.Uplink(victimSender).SetBlackhole(true)
+			fc.Net.Downlink(victimSender).SetBlackhole(true)
+		})
+		fc.Sim.At(at(ev.StartMil+ev.DurMil), func() {
+			fc.Net.Uplink(victimSender).SetBlackhole(false)
+			fc.Net.Downlink(victimSender).SetBlackhole(false)
+		})
+	}
+
+	pending := make(map[core.TenantID]*ask.FatTreePendingTask)
+	for _, pl := range plans {
+		pt, err := fc.StartTask(pl.spec, map[core.HostID]core.Stream{pl.sender: streams[pl.tenant]})
+		if err != nil {
+			return TenantOutcome{Violation: fmt.Sprintf("tenant %d submission failed: %v", pl.tenant, err)}
+		}
+		pending[pl.tenant] = pt
+	}
+	// Cap virtual time like the rack soak: a livelocked fabric must return.
+	deadline := sim.Time(0).Add(25 * scale)
+	end := fc.Sim.Run(deadline)
+
+	var out TenantOutcome
+	aborts := func(h core.HostID) int64 {
+		var n int64
+		for _, cs := range fc.Daemon(h).ChannelStats() {
+			n += cs.Aborts
+		}
+		return n
+	}
+	for _, pl := range plans {
+		res, err := pending[pl.tenant].Get()
+		if pl.tenant == cfg.Victim {
+			switch {
+			case err == nil:
+				// The holes were bridged; a completed victim must still be
+				// exact — a partial result would be silent data loss.
+				if !res.Result.Equal(pl.want) {
+					out.Violation = fmt.Sprintf("victim tenant %d completed with a wrong result: %s",
+						pl.tenant, res.Result.Diff(pl.want, 5))
+					return out
+				}
+			case aborts(pl.sender) > 0:
+				out.VictimAborted = true
+			case end >= deadline:
+				out.Violation = fmt.Sprintf("victim tenant %d livelocked to the virtual-time cap", pl.tenant)
+				return out
+			default:
+				out.Violation = fmt.Sprintf("victim tenant %d incomplete without a transport abort: %v", pl.tenant, err)
+				return out
+			}
+			continue
+		}
+		// Isolation: every other tenant is untouched — task complete, result
+		// exactly the ground truth, no transport aborts on its hosts.
+		if err != nil {
+			out.Violation = fmt.Sprintf("tenant %d (not the victim) did not complete: %v", pl.tenant, err)
+			return out
+		}
+		if !res.Result.Equal(pl.want) {
+			out.Violation = fmt.Sprintf("tenant %d (not the victim) conservation violated: %s",
+				pl.tenant, res.Result.Diff(pl.want, 5))
+			return out
+		}
+		if n := aborts(pl.sender) + aborts(pl.spec.Receiver); n != 0 {
+			out.Violation = fmt.Sprintf("tenant %d (not the victim) saw %d transport aborts", pl.tenant, n)
+			return out
+		}
+		if d := time.Duration(res.Elapsed); d > out.Elapsed {
+			out.Elapsed = d
+		}
+	}
+	return out
+}
+
+// tenantGoldenScale runs the multi-tenant workload once fault-free and
+// returns the slowest tenant's duration — the schedule's timing scale.
+func tenantGoldenScale(cfg TenantSoakConfig) (time.Duration, error) {
+	opts := tenantSoakOptions(cfg)
+	fc, err := ask.NewFatTreeCluster(opts)
+	if err != nil {
+		return 0, err
+	}
+	plans, streams := tenantSoakWorkload(cfg, opts)
+	pending := make(map[core.TenantID]*ask.FatTreePendingTask)
+	for _, pl := range plans {
+		pt, err := fc.StartTask(pl.spec, map[core.HostID]core.Stream{pl.sender: streams[pl.tenant]})
+		if err != nil {
+			return 0, fmt.Errorf("chaos: golden tenant run failed to submit: %w", err)
+		}
+		pending[pl.tenant] = pt
+	}
+	fc.Sim.Run(0)
+	var scale time.Duration
+	for _, pl := range plans {
+		res, err := pending[pl.tenant].Get()
+		if err != nil {
+			return 0, fmt.Errorf("chaos: golden tenant run failed: %w", err)
+		}
+		if !res.Result.Equal(pl.want) {
+			return 0, fmt.Errorf("chaos: golden tenant run violates conservation: %s", res.Result.Diff(pl.want, 5))
+		}
+		if d := time.Duration(res.Elapsed); d > scale {
+			scale = d
+		}
+	}
+	return scale, nil
+}
+
+// TenantReport is the full record of one tenant-isolation soak.
+type TenantReport struct {
+	Cfg      TenantSoakConfig
+	Scale    time.Duration
+	Schedule Schedule
+	Outcome  TenantOutcome
+	// Shrunk is the minimal isolation-violating schedule (nil on pass).
+	Shrunk Schedule
+	// Runs is the total number of schedule replays, shrinking included.
+	Runs int
+}
+
+// Passed reports whether isolation held on the full schedule.
+func (r TenantReport) Passed() bool { return r.Outcome.OK() }
+
+func (r TenantReport) String() string {
+	var b strings.Builder
+	if r.Passed() {
+		verdict := "victim bridged the holes"
+		if r.Outcome.VictimAborted {
+			verdict = "victim aborted cleanly"
+		}
+		fmt.Fprintf(&b, "tenant soak seed=%d PASS: %d black-hole windows over %v, %s, others exact (slowest %v)\n",
+			r.Cfg.Seed, len(r.Schedule), r.Scale, verdict, r.Outcome.Elapsed)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "tenant soak seed=%d FAIL: %s\n", r.Cfg.Seed, r.Outcome.Violation)
+	fmt.Fprintf(&b, "minimal failing schedule (%d of %d events, %d replays):\n",
+		len(r.Shrunk), len(r.Schedule), r.Runs)
+	fmt.Fprintf(&b, "%s\n", r.Shrunk)
+	return b.String()
+}
+
+// TenantSoak runs one full tenant-isolation soak for cfg: golden timing
+// run, schedule generation, replay, and — on an isolation violation —
+// shrinking via the shared ShrinkWith minimizer.
+func TenantSoak(cfg TenantSoakConfig) (TenantReport, error) {
+	cfg = cfg.withDefaults()
+	scale, err := tenantGoldenScale(cfg)
+	if err != nil {
+		return TenantReport{}, err
+	}
+	sched := GenerateTenantSchedule(cfg)
+	rep := TenantReport{Cfg: cfg, Scale: scale, Schedule: sched}
+	rep.Outcome = RunTenantSchedule(cfg, sched, scale)
+	rep.Runs = 1
+	if !rep.Outcome.OK() {
+		shrunk, runs := ShrinkWith(func(s Schedule) bool {
+			return !RunTenantSchedule(cfg, s, scale).OK()
+		}, sched)
+		rep.Shrunk = shrunk
+		rep.Runs += runs
+	}
+	return rep, nil
+}

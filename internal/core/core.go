@@ -31,6 +31,21 @@ type HostID uint16
 // tenant in the high bits (§7, Multi-Tenancy).
 type TaskID uint32
 
+// TenantID identifies one tenant of a shared fabric. Tenant 0 is the
+// "untenanted" legacy namespace: single-job deployments never set it, and
+// every zero-tenant code path is byte-identical to the pre-tenancy system.
+type TenantID uint8
+
+// MakeTaskID packs a tenant and a per-tenant task sequence number into one
+// TaskID (tenant in the high byte, per the §7 convention already used by the
+// flow tables).
+func MakeTaskID(tenant TenantID, seq uint32) TaskID {
+	return TaskID(uint32(tenant)<<24 | seq&0x00ffffff)
+}
+
+// Tenant extracts the owning tenant from a task ID.
+func (t TaskID) Tenant() TenantID { return TenantID(t >> 24) }
+
 // ChannelID identifies a data channel of a host daemon. The pair
 // (HostID, ChannelID) names a persistent flow whose reliability state
 // (seen/PktState) lives on the switch for the lifetime of the service.

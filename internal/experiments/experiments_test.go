@@ -307,10 +307,13 @@ func TestAblations(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 19 {
+	if len(All()) != 20 {
 		t.Fatalf("registry has %d experiments", len(All()))
 	}
 	if _, err := ByName("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("tenancy"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ByName("scenarios"); err != nil {

@@ -139,6 +139,12 @@ func All() []Runner {
 			Full:  one(func() (*stats.Table, error) { return Chaos(DefaultChaos()) }),
 		},
 		{
+			Name:  "tenancy",
+			Desc:  "multi-tenant fabric: weighted goodput fairness + AA pool utilization",
+			Quick: func() ([]*stats.Table, error) { return Tenancy(QuickTenancy()) },
+			Full:  func() ([]*stats.Table, error) { return Tenancy(DefaultTenancy()) },
+		},
+		{
 			Name:  "corruption",
 			Desc:  "link corruption sweep: CRC32C quarantine cost vs goodput",
 			Quick: one(func() (*stats.Table, error) { return Corruption(QuickCorruption()) }),

@@ -1,0 +1,425 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/tenancy"
+	"repro/internal/workload"
+)
+
+// TenancyConfig parameterizes the multi-tenant fabric study: concurrent
+// backlogged tenants share one spine/leaf fabric's AA pool under weighted
+// allocation, and we measure how fairly the in-network aggregation capacity
+// tracks the weights, and how much more work the pool does than under the
+// paper's one-job-owns-the-switch model.
+//
+// Fairness is measured the way the allocator actually shares the pool:
+// admission control over fixed-size tasks. Every task is identical
+// (RowsPerTask rows, one sender, the same hot-set shape), so per-task
+// goodput is statistically equal and a tenant's aggregate goodput is set by
+// how many tasks its quota admits — which is what the weights apportion.
+// Tenants submit one task beyond their quota to exercise the typed OVERLOAD
+// rejection.
+type TenancyConfig struct {
+	Spines int
+	// Leaves includes the receiver leaf: all receivers sit on leaf 0 and
+	// tasks' senders round-robin over leaves 1..Leaves-1 (needs ≥ 2).
+	Leaves int
+	// TuplesPerSender is each sender's stream length.
+	TuplesPerSender int64
+	// TaskKeys is each fairness task's hot-set size, small enough to fit the
+	// narrowest tenant's partition band so every admitted task aggregates at
+	// full absorption and goodput is set purely by admitted capacity.
+	TaskKeys int
+	// Pace is the inter-arrival gap of each fairness sender's timed stream.
+	// Senders are paced below the wire capacity of the narrowest partition
+	// band (a narrow band fills fewer packet slots, §3.2.3, so a backlogged
+	// narrow sender is wire-limited): the stream's rate, not its band width,
+	// then sets per-task goodput, and a tenant's aggregate goodput is purely
+	// its admitted capacity.
+	Pace time.Duration
+	// KeysPerRow sets each utilization tenant's hot set to KeysPerRow × its
+	// region rows: more keys than rows, so absorption is limited by the AA
+	// rows rather than the offered load.
+	KeysPerRow int
+	// RowsPerTask is the fixed region size of every fairness task; tenant
+	// quotas are divided into tasks of this size.
+	RowsPerTask int
+	// RowFrac sets each tenant's region to quota/RowFrac rows in the
+	// utilization sweep, keeping total pinned rows constant across tenant
+	// counts.
+	RowFrac int
+	Seed    int64
+}
+
+// DefaultTenancy is the benchmark-scale preset.
+func DefaultTenancy() TenancyConfig {
+	return TenancyConfig{Spines: 2, Leaves: 3, TuplesPerSender: 100_000, TaskKeys: 256, Pace: 250 * time.Nanosecond, KeysPerRow: 4, RowsPerTask: 2048, RowFrac: 8, Seed: 1}
+}
+
+// QuickTenancy is the test-scale preset.
+func QuickTenancy() TenancyConfig {
+	return TenancyConfig{Spines: 2, Leaves: 3, TuplesPerSender: 20_000, TaskKeys: 256, Pace: 250 * time.Nanosecond, KeysPerRow: 4, RowsPerTask: 2048, RowFrac: 8, Seed: 1}
+}
+
+// tenantRun is one tenant's outcome in a concurrent multi-tenant run.
+type tenantRun struct {
+	weight   int
+	rows     int
+	absorbed int64 // tuples the fabric aggregated for this tenant
+	offered  int64
+	elapsed  time.Duration
+}
+
+// goodput is the rate at which the fabric aggregated on the tenant's behalf
+// — the share of the contended AA capacity the tenant actually received.
+func (r tenantRun) goodput() float64 {
+	return float64(r.absorbed) / r.elapsed.Seconds()
+}
+
+// runTenants drives one concurrent run: len(weights) tenants, each with a
+// receiver on leaf 0 and weight-many senders on every other leaf, all
+// interleaved on the sim clock. Every result is verified exact before the
+// stats are trusted.
+func runTenants(cfg TenancyConfig, weights []int) ([]tenantRun, error) {
+	k := len(weights)
+	wsum := 0
+	for _, w := range weights {
+		wsum += w
+	}
+	hostsPerLeaf := k
+	if wsum > hostsPerLeaf {
+		hostsPerLeaf = wsum
+	}
+	opts := ask.FatTreeOptions{
+		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: hostsPerLeaf,
+		Seed: cfg.Seed,
+	}
+	for i, w := range weights {
+		opts.Tenants = append(opts.Tenants, tenancy.TenantSpec{ID: core.TenantID(i + 1), Weight: w})
+	}
+	fc, err := ask.NewFatTreeCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		spec core.TaskSpec
+		want core.Result
+		pt   *ask.FatTreePendingTask
+	}
+	jobs := make([]job, k)
+	slot := 0 // next sender slot on each sender leaf (layout identical per leaf)
+	for i, w := range weights {
+		tn := core.TenantID(i + 1)
+		rows := fc.Tenancy.Quota(tn) / cfg.RowFrac
+		rows &^= 1
+		spec := core.TaskSpec{
+			ID: core.MakeTaskID(tn, uint32(i+1)), Receiver: opts.HostAt(0, i),
+			Op: core.OpSum, Rows: rows,
+		}
+		streams := make(map[core.HostID]core.Stream)
+		want := make(core.Result)
+		distinct := cfg.KeysPerRow * rows
+		for l := 1; l < cfg.Leaves; l++ {
+			for s := 0; s < w; s++ {
+				h := opts.HostAt(l, slot+s)
+				spec.Senders = append(spec.Senders, h)
+				wl := workload.Uniform(distinct, cfg.TuplesPerSender, cfg.Seed+int64(i*cfg.Leaves*wsum+l*wsum+s))
+				streams[h] = wl.Stream()
+				want.Merge(wl.Reference(core.OpSum), core.OpSum)
+			}
+		}
+		slot += w
+		pt, err := fc.StartTask(spec, streams)
+		if err != nil {
+			return nil, fmt.Errorf("tenancy: tenant %d (weight %d): %w", tn, w, err)
+		}
+		jobs[i] = job{spec: spec, want: want, pt: pt}
+	}
+	fc.Sim.Run(0)
+
+	runs := make([]tenantRun, k)
+	for i, j := range jobs {
+		res, err := j.pt.Get()
+		if err != nil {
+			return nil, fmt.Errorf("tenancy: tenant %d: %w", i+1, err)
+		}
+		if !res.Result.Equal(j.want) {
+			return nil, fmt.Errorf("tenancy: tenant %d: wrong result: %s", i+1, res.Result.Diff(j.want, 5))
+		}
+		st := fc.TaskSwitchStats(j.spec.ID)
+		runs[i] = tenantRun{
+			weight:   weights[i],
+			rows:     j.spec.Rows,
+			absorbed: st.TuplesAggregated,
+			offered:  cfg.TuplesPerSender * int64(len(j.spec.Senders)),
+			elapsed:  time.Duration(res.Elapsed),
+		}
+	}
+	return runs, nil
+}
+
+// tenantFairRun aggregates one tenant's admitted tasks in the fairness run.
+type tenantFairRun struct {
+	weight   int
+	admitted int
+	rejected int
+	goodputV float64 // summed per-task absorbed tuple rate
+}
+
+func (r tenantFairRun) goodput() float64 { return r.goodputV }
+
+// runTenantTasks fills every tenant's quota with identical fixed-size tasks
+// (admission decides how many fit), submits one more to confirm the typed
+// OVERLOAD rejection, and runs all admitted tasks concurrently.
+func runTenantTasks(cfg TenancyConfig, weights []int) ([]tenantFairRun, error) {
+	k := len(weights)
+	type taskPlan struct {
+		tenant int // index into weights
+		spec   core.TaskSpec
+		want   core.Result
+		pt     *ask.FatTreePendingTask
+	}
+
+	// First pass sizes the cluster: admitted counts follow from the quotas,
+	// which depend only on weights and the config.
+	probe, err := tenancy.NewManager(tenantSpecs(weights), core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	admitted := make([]int, k)
+	for i := range weights {
+		admitted[i] = probe.Quota(core.TenantID(i+1)) / cfg.RowsPerTask
+		total += admitted[i]
+	}
+	senderLeaves := cfg.Leaves - 1
+	if senderLeaves < 1 {
+		return nil, fmt.Errorf("tenancy: fairness needs Leaves >= 2, got %d", cfg.Leaves)
+	}
+	perLeaf := (total + senderLeaves - 1) / senderLeaves
+	hostsPerLeaf := total // receiver slots on leaf 0
+	if perLeaf > hostsPerLeaf {
+		hostsPerLeaf = perLeaf
+	}
+
+	opts := ask.FatTreeOptions{
+		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: hostsPerLeaf,
+		Seed: cfg.Seed, Tenants: tenantSpecs(weights),
+	}
+	fc, err := ask.NewFatTreeCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var plans []*taskPlan
+	over := make([]*ask.FatTreePendingTask, k)
+	runs := make([]tenantFairRun, k)
+	t := 0
+	leafSlot := make([]int, cfg.Leaves)
+	for i, w := range weights {
+		runs[i] = tenantFairRun{weight: w, admitted: admitted[i]}
+		for n := 0; n < admitted[i]; n++ {
+			leaf := 1 + t%senderLeaves
+			sender := opts.HostAt(leaf, leafSlot[leaf])
+			leafSlot[leaf]++
+			spec := core.TaskSpec{
+				ID: core.MakeTaskID(core.TenantID(i+1), uint32(n+1)), Receiver: opts.HostAt(0, t),
+				Op: core.OpSum, Rows: cfg.RowsPerTask, Senders: []core.HostID{sender},
+			}
+			wl := workload.Uniform(cfg.TaskKeys, cfg.TuplesPerSender, cfg.Seed+int64(t))
+			pt, err := fc.StartTaskTimed(spec, map[core.HostID]core.TimedStream{sender: paced(wl.Stream(), cfg.Pace)})
+			if err != nil {
+				return nil, fmt.Errorf("tenancy: tenant %d task %d: %w", i+1, n+1, err)
+			}
+			plans = append(plans, &taskPlan{tenant: i, spec: spec, want: wl.Reference(core.OpSum), pt: pt})
+			t++
+		}
+		// One task past the quota: its admission runs on the sim clock after
+		// the tenant's real tasks have filled the quota (driver processes run
+		// in submission order), so it must be rejected with the typed
+		// overload error, observable at Get below.
+		spec := core.TaskSpec{
+			ID: core.MakeTaskID(core.TenantID(i+1), uint32(admitted[i]+1)), Receiver: opts.HostAt(0, 0),
+			Op: core.OpSum, Rows: cfg.RowsPerTask, Senders: []core.HostID{opts.HostAt(1, 0)},
+		}
+		pt, err := fc.StartTaskTimed(spec, map[core.HostID]core.TimedStream{opts.HostAt(1, 0): core.SliceStream(nil).Timed()})
+		if err != nil {
+			return nil, fmt.Errorf("tenancy: tenant %d over-quota probe: %w", i+1, err)
+		}
+		over[i] = pt
+	}
+	fc.Sim.Run(0)
+
+	for i, pt := range over {
+		if _, err := pt.Get(); err == nil {
+			return nil, fmt.Errorf("tenancy: tenant %d admitted past its quota", i+1)
+		} else {
+			var oe *tenancy.OverloadError
+			if !errors.As(err, &oe) {
+				return nil, fmt.Errorf("tenancy: tenant %d over-quota rejection is not typed: %w", i+1, err)
+			}
+			runs[i].rejected++
+		}
+	}
+
+	for _, p := range plans {
+		res, err := p.pt.Get()
+		if err != nil {
+			return nil, fmt.Errorf("tenancy: task %d: %w", p.spec.ID, err)
+		}
+		if !res.Result.Equal(p.want) {
+			return nil, fmt.Errorf("tenancy: task %d: wrong result: %s", p.spec.ID, res.Result.Diff(p.want, 5))
+		}
+		st := fc.TaskSwitchStats(p.spec.ID)
+		runs[p.tenant].goodputV += float64(st.TuplesAggregated) / time.Duration(res.Elapsed).Seconds()
+	}
+	return runs, nil
+}
+
+// paced lifts a stream into a timed one with fixed inter-arrival gaps.
+func paced(s core.Stream, gap time.Duration) core.TimedStream {
+	var i int64
+	return func() (core.TimedKV, bool) {
+		kv, ok := s()
+		if !ok {
+			return core.TimedKV{}, false
+		}
+		tkv := core.TimedKV{KV: kv, At: time.Duration(i) * gap}
+		i++
+		return tkv, true
+	}
+}
+
+func tenantSpecs(weights []int) []tenancy.TenantSpec {
+	specs := make([]tenancy.TenantSpec, len(weights))
+	for i, w := range weights {
+		specs[i] = tenancy.TenantSpec{ID: core.TenantID(i + 1), Weight: w}
+	}
+	return specs
+}
+
+// FairnessDev returns the largest relative deviation of any tenant's
+// goodput share from its weight share (0.05 = 5%).
+func FairnessDev(runs []tenantFairRun) float64 {
+	var wsum int
+	var gsum float64
+	for _, r := range runs {
+		wsum += r.weight
+		gsum += r.goodput()
+	}
+	var dev float64
+	for _, r := range runs {
+		want := float64(r.weight) / float64(wsum)
+		got := r.goodput() / gsum
+		if d := abs(got-want) / want; d > dev {
+			dev = d
+		}
+	}
+	return dev
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TenancyFairness sweeps weight vectors over backlogged tenants and checks
+// weighted max-min fairness: each tenant's share of the fabric's aggregation
+// goodput should track its weight share, with over-quota submissions
+// rejected by typed admission control.
+func TenancyFairness(cfg TenancyConfig) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Tenancy: weighted fairness of in-network aggregation goodput",
+		Note: fmt.Sprintf("%d spines × %d leaves; quotas filled with identical %d-row, %d-key tasks (%d tuples/sender), +1 over-quota submission each",
+			cfg.Spines, cfg.Leaves, cfg.RowsPerTask, cfg.TaskKeys, cfg.TuplesPerSender),
+		Header: []string{"weights", "admitted (rejected)", "per-tenant goodput (Mtuples/s)", "goodput shares", "weight shares", "max dev %"},
+	}
+	for _, weights := range [][]int{{1, 1}, {1, 1, 1, 1}, {1, 3}, {1, 1, 2, 4}} {
+		runs, err := runTenantTasks(cfg, weights)
+		if err != nil {
+			return nil, err
+		}
+		var gsum float64
+		wsum := 0
+		for _, r := range runs {
+			wsum += r.weight
+			gsum += r.goodput()
+		}
+		var ad, gp, gs, ws []string
+		for _, r := range runs {
+			ad = append(ad, fmt.Sprintf("%d(%d)", r.admitted, r.rejected))
+			gp = append(gp, fmt.Sprintf("%.2f", r.goodput()/1e6))
+			gs = append(gs, fmt.Sprintf("%.1f%%", 100*r.goodput()/gsum))
+			ws = append(ws, fmt.Sprintf("%.1f%%", 100*float64(r.weight)/float64(wsum)))
+		}
+		t.AddRow(joinInts(weights), strings.Join(ad, " "), strings.Join(gp, " "), strings.Join(gs, " "),
+			strings.Join(ws, " "), 100*FairnessDev(runs))
+	}
+	return t, nil
+}
+
+// TenancyUtilization contrasts the paper's one-job-owns-the-switch model
+// with a shared pool: tenants' hot sets are disjoint by construction (the
+// keyspace is partitioned), so concurrent tenants multiply the useful work
+// the same AA pool performs while pinning no more rows than the single job.
+func TenancyUtilization(cfg TenancyConfig) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Tenancy: AA pool utilization vs concurrent tenants (disjoint hot sets)",
+		Note: fmt.Sprintf("%d spines × %d leaves; equal weights; regions = quota/%d so total pinned rows stay constant",
+			cfg.Spines, cfg.Leaves, cfg.RowFrac),
+		Header: []string{"tenants", "pinned rows", "aggregate absorbed (Mtuples/s)", "absorbed % of offered"},
+	}
+	for _, k := range []int{1, 2, 4} {
+		weights := make([]int, k)
+		for i := range weights {
+			weights[i] = 1
+		}
+		runs, err := runTenants(cfg, weights)
+		if err != nil {
+			return nil, err
+		}
+		var rows int
+		var absorbed, offered int64
+		var last time.Duration
+		for _, r := range runs {
+			rows += r.rows
+			absorbed += r.absorbed
+			offered += r.offered
+			if r.elapsed > last {
+				last = r.elapsed
+			}
+		}
+		t.AddRow(k, rows, float64(absorbed)/last.Seconds()/1e6, 100*float64(absorbed)/float64(offered))
+	}
+	return t, nil
+}
+
+// Tenancy runs both halves of the sweep (registry entry "tenancy").
+func Tenancy(cfg TenancyConfig) ([]*stats.Table, error) {
+	fair, err := TenancyFairness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	util, err := TenancyUtilization(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{fair, util}, nil
+}
+
+func joinInts(ws []int) string {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = fmt.Sprint(w)
+	}
+	return strings.Join(parts, ":")
+}

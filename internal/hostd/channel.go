@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpumodel"
+	"repro/internal/keyspace"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/window"
@@ -19,6 +20,10 @@ type sendTask struct {
 	receiver core.HostID
 	stream   core.Stream
 	timed    core.TimedStream
+	// part is the task's keyspace band from the receiver's notification
+	// (zero = whole keyspace): the packetizer routes only this band's keys
+	// into switch slots.
+	part     keyspace.Partition
 	done     *sim.Signal
 	finished bool
 	// err records a transport abort (MaxRetries exhausted); the stream was
@@ -188,6 +193,7 @@ func (ch *dataChannel) txLoop(p *sim.Proc) {
 		} else {
 			pz = newPacketizer(ch.d.layout, task.stream)
 		}
+		pz.part = task.part
 		for {
 			pkt, tuples, ok := pz.next()
 			if !ok {

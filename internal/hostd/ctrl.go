@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpumodel"
+	"repro/internal/keyspace"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/window"
@@ -20,11 +21,14 @@ type ctrlMsg struct {
 }
 
 // taskNotify announces a new aggregation task to a sender daemon (§3.1
-// step ④): task ID, receiver address, and application context.
+// step ④): task ID, receiver address, and application context. Partition
+// is the task's keyspace band (zero = whole keyspace) — senders must pack
+// only keys the task's switch region actually aggregates.
 type taskNotify struct {
-	Task     core.TaskID
-	Receiver core.HostID
-	Op       core.Op
+	Task      core.TaskID
+	Receiver  core.HostID
+	Op        core.Op
+	Partition keyspace.Partition
 }
 
 // taskRelease tells a sender daemon that the receiver's result for a task is

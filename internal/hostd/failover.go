@@ -263,12 +263,14 @@ func (d *Daemon) recoverProc(p *sim.Proc, gen uint32) {
 			return
 		}
 		p.Sleep(cpumodel.ControlRPCLatency)
-		if err := d.ctrl.AllocRegion(id, d.host, t.spec.Op, t.spec.Rows); err != nil {
+		info, err := d.ctrl.AllocRegion(t.spec)
+		if err != nil {
 			// No switch capacity for the re-attach: the task finishes on the
 			// host-only path (its pre-crash absorbed tuples come via replay).
 			t.noRegion = true
 			continue
 		}
+		t.alloc = info
 		t.regionEpoch = d.epoch
 	}
 	for {
@@ -323,7 +325,7 @@ func (t *recvTask) drainRevoked(p *sim.Proc) {
 	}
 	var all []wire.FetchEntry
 	for c := 0; c < copies; c++ {
-		entries := t.d.fetchEntries(p, t.spec.ID, c, false)
+		entries := t.d.fetchEntries(p, t.spec.ID, c, false, t.aggPoints()[0])
 		if t.d.epoch != e {
 			// The switch rebooted mid-drain: the region (and its tuples) are
 			// gone from SRAM; the replay protocol recovers them instead.

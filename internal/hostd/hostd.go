@@ -39,8 +39,29 @@ type Controller interface {
 	// (detection lag), and the sender must know which incarnation will be
 	// absorbing its packets to replay correctly after the next reboot.
 	RegisterFlowAt(fk core.FlowKey, start uint32) (uint32, error)
-	AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, rows int) error
+	// AllocRegion reserves switch memory for a task and describes the
+	// resulting allocation. Single-switch controllers return the zero
+	// AllocInfo: full keyspace, fetch from the first-hop switch.
+	AllocRegion(spec core.TaskSpec) (AllocInfo, error)
 	FreeRegion(task core.TaskID) error
+}
+
+// chRange is a tenant's dedicated slice of the daemon's data channels.
+type chRange struct{ lo, n int }
+
+// AllocInfo describes a task's switch allocation to the receiver daemon.
+// The zero value reproduces the single-switch behaviour exactly.
+type AllocInfo struct {
+	// Partition is the task's keyspace band (multi-tenant fabrics); senders
+	// pack only keys of this band into switch slots, the rest take the
+	// long-key bypass. Zero = the whole keyspace.
+	Partition keyspace.Partition
+	// FetchFrom lists the aggregation points holding pieces of the task's
+	// switch state — fabric addresses the receiver must fetch (and clear)
+	// at teardown, e.g. the sender leaves plus the spine on a fat-tree.
+	// Nil/empty = the legacy first-hop switch (requests addressed to the
+	// receiver itself, consumed by the switch on the path).
+	FetchFrom []core.HostID
 }
 
 // Stats counts daemon-level activity. It is a point-in-time view over
@@ -86,6 +107,10 @@ type Daemon struct {
 	sendReady map[core.TaskID]*sendTask // submitted locally, awaiting notify
 	notified  map[core.TaskID]taskNotify
 
+	// tenantCh maps a tenant to its dedicated data-channel range
+	// (SetTenantChannels); nil means the legacy global task→channel hash.
+	tenantCh map[core.TenantID]chRange
+
 	fetchReqs  map[uint32]*fetchReq
 	nextFetch  uint32
 	taskSerial uint32
@@ -129,25 +154,25 @@ func New(s *sim.Simulation, net netsim.HostFabric, cpu *cpumodel.Host, cfg core.
 		return nil, err
 	}
 	d := &Daemon{
-		sim:         s,
-		net:         net,
-		cpu:         cpu,
-		cfg:         cfg,
-		layout:      layout,
-		host:        host,
-		ctrl:        ctrl,
-		flowDedup:   make(map[core.FlowKey]*window.HostDedup),
-		recvTasks:   make(map[core.TaskID]*recvTask),
-		sendReady:   make(map[core.TaskID]*sendTask),
-		notified:    make(map[core.TaskID]taskNotify),
-		fetchReqs:   make(map[uint32]*fetchReq),
-		codec:       wire.NewCodec(cfg.KPartBytes).WithSkipVerify(cfg.DisableChecksumVerify),
-		failover:    cfg.Failover,
-		epoch:       1,
-		probeSig:    sim.NewSignal(s),
-		activitySig: sim.NewSignal(s),
+		sim:          s,
+		net:          net,
+		cpu:          cpu,
+		cfg:          cfg,
+		layout:       layout,
+		host:         host,
+		ctrl:         ctrl,
+		flowDedup:    make(map[core.FlowKey]*window.HostDedup),
+		recvTasks:    make(map[core.TaskID]*recvTask),
+		sendReady:    make(map[core.TaskID]*sendTask),
+		notified:     make(map[core.TaskID]taskNotify),
+		fetchReqs:    make(map[uint32]*fetchReq),
+		codec:        wire.NewCodec(cfg.KPartBytes).WithSkipVerify(cfg.DisableChecksumVerify),
+		failover:     cfg.Failover,
+		epoch:        1,
+		probeSig:     sim.NewSignal(s),
+		activitySig:  sim.NewSignal(s),
 		chRecoverSig: sim.NewSignal(s),
-		activeSends: make(map[core.TaskID]*sendTask),
+		activeSends:  make(map[core.TaskID]*sendTask),
 	}
 	d.tel = tel
 	d.initMetrics(tel)

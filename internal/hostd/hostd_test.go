@@ -31,9 +31,9 @@ func (c ctrlAdapter) RegisterFlowAt(fk core.FlowKey, start uint32) (uint32, erro
 	}
 	return c.sw.Epoch(), nil
 }
-func (c ctrlAdapter) AllocRegion(task core.TaskID, recv core.HostID, op core.Op, rows int) error {
-	_, err := c.sw.AllocRegion(task, recv, op, rows)
-	return err
+func (c ctrlAdapter) AllocRegion(spec core.TaskSpec) (hostd.AllocInfo, error) {
+	_, err := c.sw.AllocRegion(spec.ID, spec.Receiver, spec.Op, spec.Rows)
+	return hostd.AllocInfo{}, err
 }
 func (c ctrlAdapter) FreeRegion(task core.TaskID) error { return c.sw.FreeRegion(task) }
 

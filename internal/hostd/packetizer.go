@@ -34,6 +34,10 @@ type packetizer struct {
 	// data buffered: next must emit what it has even though no bucket set
 	// is full.
 	flush bool
+	// part restricts placement to a tenant's keyspace band: keys outside it
+	// (or of a class the band does not cover) take the long-key bypass. The
+	// zero value routes over the whole keyspace, exactly as before.
+	part keyspace.Partition
 	// buckets[u] queues tuples for logical unit u: units 0..shortSlots-1
 	// are short slots, then one per medium group.
 	buckets  [][]core.KV
@@ -109,7 +113,7 @@ func (pz *packetizer) pull() {
 			}
 			continue
 		}
-		class, firstSlot, _ := pz.layout.Locate(kv.Key)
+		class, firstSlot, _ := pz.layout.LocateIn(pz.part, kv.Key)
 		var unit int
 		switch class {
 		case keyspace.Short:

@@ -40,6 +40,9 @@ type pktID struct {
 type recvTask struct {
 	d    *Daemon
 	spec core.TaskSpec
+	// alloc describes the switch allocation (partition + aggregation
+	// points); the zero value is the single-switch legacy shape.
+	alloc AllocInfo
 
 	result core.Result // the task's shared-memory segment
 	// finned records, per sender, the generation (sender epoch) of its
@@ -166,10 +169,12 @@ func (d *Daemon) Submit(p *sim.Proc, spec core.TaskSpec) (*RecvHandle, error) {
 	d.recvTasks[spec.ID] = t
 	if !t.noRegion {
 		p.Sleep(cpumodel.ControlRPCLatency)
-		if err := d.ctrl.AllocRegion(spec.ID, d.host, spec.Op, spec.Rows); err != nil {
+		info, err := d.ctrl.AllocRegion(spec)
+		if err != nil {
 			delete(d.recvTasks, spec.ID)
 			return nil, err
 		}
+		t.alloc = info
 		t.regionEpoch = d.epoch
 	}
 	if d.failover {
@@ -177,7 +182,7 @@ func (d *Daemon) Submit(p *sim.Proc, spec core.TaskSpec) (*RecvHandle, error) {
 	}
 	// Notify sender daemons (reliably, over the control channel); local
 	// senders are notified directly.
-	n := taskNotify{Task: spec.ID, Receiver: d.host, Op: spec.Op}
+	n := taskNotify{Task: spec.ID, Receiver: d.host, Op: spec.Op, Partition: t.alloc.Partition}
 	for _, s := range spec.Senders {
 		if s == d.host {
 			d.onNotify(n)
@@ -224,8 +229,13 @@ func (d *Daemon) onNotify(n taskNotify) {
 }
 
 // activateSend assigns the task to a data channel by hash(ID) (§3.1).
+// Multi-tenant daemons with channel ranges installed (SetTenantChannels)
+// hash within the owning tenant's range instead, so one tenant's backlog
+// never queues behind another's; daemons without ranges keep the exact
+// legacy assignment.
 func (d *Daemon) activateSend(st *sendTask, n taskNotify) {
 	st.receiver = n.Receiver
+	st.part = n.Partition
 	if d.failover {
 		if _, dup := d.activeSends[st.id]; !dup {
 			d.activeSends[st.id] = st
@@ -233,7 +243,26 @@ func (d *Daemon) activateSend(st *sendTask, n taskNotify) {
 		}
 	}
 	ch := d.channels[int(st.id)%len(d.channels)]
+	if r, ok := d.tenantCh[st.id.Tenant()]; ok {
+		ch = d.channels[r.lo+int(st.id)%r.n]
+	}
 	ch.enqueue(st)
+}
+
+// SetTenantChannels dedicates the contiguous data-channel range [lo, lo+n)
+// to a tenant's send tasks. Installing any range switches task→channel
+// assignment to per-tenant hashing for the tenants covered; tenants without
+// a range (and daemons where this is never called) use the legacy global
+// hash. Call at cluster construction time, before tasks flow.
+func (d *Daemon) SetTenantChannels(tenant core.TenantID, lo, n int) error {
+	if lo < 0 || n <= 0 || lo+n > len(d.channels) {
+		return fmt.Errorf("hostd: tenant %d channel range [%d,%d) outside 0..%d", tenant, lo, lo+n, len(d.channels))
+	}
+	if d.tenantCh == nil {
+		d.tenantCh = make(map[core.TenantID]chRange)
+	}
+	d.tenantCh[tenant] = chRange{lo: lo, n: n}
+	return nil
 }
 
 // processInbound handles one flow packet on a channel's receive thread.
@@ -348,13 +377,30 @@ func (t *recvTask) teardown(p *sim.Proc) {
 		}
 		var all []wire.FetchEntry
 		stale := false
-		for c := 0; c < copies; c++ {
-			entries := t.d.fetchEntries(p, t.spec.ID, c, false)
-			if t.d.epoch != e {
-				stale = true
+		for pi, point := range t.aggPoints() {
+			for c := 0; c < copies; c++ {
+				entries := t.d.fetchEntries(p, t.spec.ID, c, false, point)
+				if t.d.epoch != e {
+					stale = true
+					break
+				}
+				if pi > 0 {
+					// mergeEntries groups medium entries by (group, row), but
+					// rows fetched from different aggregation points are
+					// unrelated coordinate spaces: a same-row collision across
+					// points would look like an overfull group. Row is only a
+					// grouping key host-side, so offsetting per point keeps
+					// the spaces apart; point 0 stays untouched (identical to
+					// the single-switch path).
+					for i := range entries {
+						entries[i].Row += pi * fetchRowStride
+					}
+				}
+				all = append(all, entries...)
+			}
+			if stale {
 				break
 			}
-			all = append(all, entries...)
 		}
 		if stale {
 			continue
@@ -397,11 +443,29 @@ func (t *recvTask) teardown(p *sim.Proc) {
 	t.done.Fire()
 }
 
+// aggPoints lists the task's aggregation points: the fabric addresses to
+// fetch/clear/swap at, defaulting to the legacy first-hop switch (requests
+// addressed to this host, consumed by the switch on the path).
+func (t *recvTask) aggPoints() []core.HostID {
+	if len(t.alloc.FetchFrom) > 0 {
+		return t.alloc.FetchFrom
+	}
+	return []core.HostID{t.d.host}
+}
+
 // maybeSwap triggers a shadow-copy swap when enough packets have reached
 // the receiver since the last one (§3.4: forwarded packets indicate
 // aggregator conflicts, i.e. pressure on the active copy).
+//
+// Tasks spread over several aggregation points (hierarchical fat-tree
+// re-aggregation) never swap: one swap packet flips one switch's copy
+// indicator, and flipping the points one by one would let a sender's packet
+// meet different active copies at different tiers — the §3.4 quiescence
+// argument only covers the single-switch deployment. Their hot-set relief
+// comes from the cross-tenant borrowing policy instead (internal/tenancy).
 func (t *recvTask) maybeSwap() {
 	if !t.d.cfg.ShadowCopy || t.d.cfg.SwapThreshold == 0 || t.noRegion ||
+		len(t.alloc.FetchFrom) > 1 ||
 		t.swapping || t.tearingDown || t.pktsSinceSwap < t.d.cfg.SwapThreshold {
 		return
 	}
@@ -424,12 +488,16 @@ func (t *recvTask) runSwap(p *sim.Proc) {
 		Flow: core.FlowKey{Host: t.d.host, Channel: t.d.ctrlCh.flow.Channel},
 		Seq:  seq,
 	}
+	// A single non-legacy aggregation point (e.g. a one-leaf task on a
+	// fat-tree) swaps that switch by address; the legacy path stays
+	// self-addressed and is consumed by the switch on the path.
+	dst := t.aggPoints()[0]
 	for window.SeqLess(t.lastSwapAck, seq) {
-		t.d.sendOwned(t.d.host, pkt.ClonePooled(), 0)
+		t.d.sendOwned(dst, pkt.ClonePooled(), 0)
 		p.WaitTimeout(t.swapAckSig, t.d.cfg.RetransmitTimeout)
 	}
 	t.activeCopy ^= 1
-	entries := t.d.fetchEntries(p, t.spec.ID, old, true)
+	entries := t.d.fetchEntries(p, t.spec.ID, old, true, dst)
 	t.mergeEntries(p, entries)
 	t.met.swaps.Inc()
 	t.d.tr.Emit(telemetry.CompHostd, "swap_complete", int64(t.spec.ID), int64(seq), int64(len(entries)))
@@ -534,6 +602,11 @@ func combine(op core.Op, a, b int64) int64 {
 // comfortably exceed one reply chunk's round trip.
 const fetchRetry = 500 * time.Microsecond
 
+// fetchRowStride separates the copy-relative row spaces of distinct
+// aggregation points when their entries are merged together; it only needs
+// to exceed any region's CopyRows.
+const fetchRowStride = 1 << 20
+
 // fetchReq tracks one in-flight fetch (or clear) request.
 type fetchReq struct {
 	id       uint32
@@ -557,10 +630,13 @@ func (fr *fetchReq) addChunk(pkt *wire.Packet) {
 // epoch-crossed snapshots anyway.
 func (fr *fetchReq) complete() bool { return fr.total >= 0 && len(fr.chunks) >= fr.total }
 
-// fetchEntries reliably reads one copy of a task's region (§3.4 Read): an
-// idempotent snapshot fetch retransmitted until all chunks arrive, followed
-// (optionally) by an idempotent clear retransmitted until acknowledged.
-func (d *Daemon) fetchEntries(p *sim.Proc, task core.TaskID, copy int, clear bool) []wire.FetchEntry {
+// fetchEntries reliably reads one copy of a task's region (§3.4 Read) at
+// aggregation point dst: an idempotent snapshot fetch retransmitted until
+// all chunks arrive, followed (optionally) by an idempotent clear
+// retransmitted until acknowledged. dst == d.host is the legacy
+// single-switch shape (the request is consumed by the switch on the path);
+// any other address names a leaf or spine on a multi-switch fabric.
+func (d *Daemon) fetchEntries(p *sim.Proc, task core.TaskID, copy int, clear bool, dst core.HostID) []wire.FetchEntry {
 	d.nextFetch++
 	fr := &fetchReq{id: d.nextFetch, chunks: make(map[uint16][]wire.FetchEntry), total: -1, progress: sim.NewSignal(d.sim)}
 	d.fetchReqs[fr.id] = fr
@@ -571,10 +647,10 @@ func (d *Daemon) fetchEntries(p *sim.Proc, task core.TaskID, copy int, clear boo
 		Seq:       fr.id,
 		FetchCopy: copy,
 	}
-	d.sendOwned(d.host, req.ClonePooled(), 0)
+	d.sendOwned(dst, req.ClonePooled(), 0)
 	for !fr.complete() {
 		if !p.WaitTimeout(fr.progress, fetchRetry) && !fr.complete() {
-			d.sendOwned(d.host, req.ClonePooled(), 0)
+			d.sendOwned(dst, req.ClonePooled(), 0)
 		}
 	}
 	delete(d.fetchReqs, fr.id)
@@ -590,10 +666,10 @@ func (d *Daemon) fetchEntries(p *sim.Proc, task core.TaskID, copy int, clear boo
 		creq := req.Clone()
 		creq.Seq = cr.id
 		creq.FetchClear = true
-		d.sendOwned(d.host, creq.ClonePooled(), 0)
+		d.sendOwned(dst, creq.ClonePooled(), 0)
 		for !cr.cleared {
 			if !p.WaitTimeout(cr.progress, fetchRetry) && !cr.cleared {
-				d.sendOwned(d.host, creq.ClonePooled(), 0)
+				d.sendOwned(dst, creq.ClonePooled(), 0)
 			}
 		}
 		delete(d.fetchReqs, cr.id)

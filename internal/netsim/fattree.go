@@ -1,0 +1,312 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Fabric switch addresses. Leaves and spines are addressable endpoints on a
+// fat-tree (fetch/swap requests name the aggregation point they read), so
+// they get HostIDs from a reserved high range that real hosts must not use.
+const (
+	leafAddrBase  core.HostID = 0xF000
+	spineAddrBase core.HostID = 0xF800
+)
+
+// LeafAddr returns the fabric address of leaf l.
+func LeafAddr(l int) core.HostID { return leafAddrBase + core.HostID(l) }
+
+// SpineAddr returns the fabric address of spine s.
+func SpineAddr(s int) core.HostID { return spineAddrBase + core.HostID(s) }
+
+// LeafIndex reports whether addr names a leaf among `leaves` and which.
+func LeafIndex(addr core.HostID, leaves int) (int, bool) {
+	if addr >= leafAddrBase && addr < leafAddrBase+core.HostID(leaves) {
+		return int(addr - leafAddrBase), true
+	}
+	return 0, false
+}
+
+// SpineIndex reports whether addr names a spine among `spines` and which.
+func SpineIndex(addr core.HostID, spines int) (int, bool) {
+	if addr >= spineAddrBase && addr < spineAddrBase+core.HostID(spines) {
+		return int(addr - spineAddrBase), true
+	}
+	return 0, false
+}
+
+// FatTree is the spine/leaf fabric: L leaves of hosts, S spines, and a full
+// bipartite mesh of leaf↔spine links. Both tiers run ASK programs, which is
+// what distinguishes it from TwoTier's forwarding core: a leaf aggregates
+// traffic entering from its own hosts, and residue crossing the fabric gets
+// a second aggregation chance at the spine before reaching the receiver
+// (hierarchical re-aggregation). Traffic arriving at a leaf FROM a spine
+// follows §7's state-bounding rule — addressed to the leaf itself it enters
+// the leaf's program (fetch/swap of that leaf's regions); addressed to a
+// host it bypasses the program and is delivered directly.
+//
+// Every frame of a task crosses the fabric through one spine, chosen by
+// Task ID (SpineFor), so a task's packet order is preserved end to end and
+// its spine-side region lives on exactly one spine.
+type FatTree struct {
+	sim *sim.Simulation
+	// SwitchLatency applies per switch traversal (leaf or spine).
+	SwitchLatency time.Duration
+	leaves        []*leafPort
+	spines        []*spinePort
+	hostLeaf      map[core.HostID]int
+	hostPorts     map[core.HostID]*port
+	hostLink      LinkConfig
+	fabricLink    LinkConfig
+	codec         wire.Codec
+}
+
+// leafPort is one leaf switch: the SwitchFabric its ASK program attaches to.
+type leafPort struct {
+	ft      *FatTree
+	leaf    int
+	handler SwitchHandler
+	// up[s] is this leaf's link to spine s.
+	up []*Link
+	// Arg-carrying event adapters, bound once per port so the per-frame
+	// switch-latency hops allocate no closures.
+	ingressAny   func(any)
+	fromSpineAny func(any)
+}
+
+// spinePort is one spine switch.
+type spinePort struct {
+	ft      *FatTree
+	spine   int
+	handler SwitchHandler
+	// down[l] is this spine's link to leaf l.
+	down       []*Link
+	ingressAny func(any)
+}
+
+// NewFatTree builds the fabric. hostLink configures host↔leaf links,
+// fabricLink the leaf↔spine links (typically fatter).
+func NewFatTree(s *sim.Simulation, spines, leaves int, hostLink, fabricLink LinkConfig) *FatTree {
+	if spines <= 0 || leaves <= 0 {
+		panic("netsim: need at least one spine and one leaf")
+	}
+	if leaves > int(spineAddrBase-leafAddrBase) || spines > int(0x10000-int(spineAddrBase)) {
+		panic("netsim: fat-tree exceeds the fabric address space")
+	}
+	ft := &FatTree{
+		sim:           s,
+		SwitchLatency: 800 * time.Nanosecond,
+		hostLeaf:      make(map[core.HostID]int),
+		hostPorts:     make(map[core.HostID]*port),
+		hostLink:      hostLink,
+		fabricLink:    fabricLink,
+	}
+	for l := 0; l < leaves; l++ {
+		lp := &leafPort{ft: ft, leaf: l}
+		lp.ingressAny = func(a any) { lp.ingress(a.(*Frame)) }
+		lp.fromSpineAny = func(a any) { lp.fromSpine(a.(*Frame)) }
+		ft.leaves = append(ft.leaves, lp)
+	}
+	for sp := 0; sp < spines; sp++ {
+		spp := &spinePort{ft: ft, spine: sp}
+		spp.ingressAny = func(a any) { spp.ingress(a.(*Frame)) }
+		ft.spines = append(ft.spines, spp)
+	}
+	// Full bipartite mesh: one directed link per (leaf, spine) per direction.
+	for _, lp := range ft.leaves {
+		lp.up = make([]*Link, spines)
+		for sp := 0; sp < spines; sp++ {
+			spp := ft.spines[sp]
+			lp.up[sp] = newLink(s, fabricLink, func(f *Frame) {
+				s.AfterCall(ft.SwitchLatency, spp.ingressAny, f)
+			})
+		}
+	}
+	for _, spp := range ft.spines {
+		spp.down = make([]*Link, leaves)
+		for l := 0; l < leaves; l++ {
+			lp := ft.leaves[l]
+			spp.down[l] = newLink(s, fabricLink, func(f *Frame) {
+				s.AfterCall(ft.SwitchLatency, lp.fromSpineAny, f)
+			})
+		}
+	}
+	return ft
+}
+
+// SetCodec installs the byte codec used by the corruption fault path on
+// every link in the fabric (host↔leaf and leaf↔spine, attached and future).
+func (ft *FatTree) SetCodec(c wire.Codec) {
+	ft.codec = c
+	for _, lp := range ft.leaves {
+		for _, l := range lp.up {
+			l.codec = c
+		}
+	}
+	for _, spp := range ft.spines {
+		for _, l := range spp.down {
+			l.codec = c
+		}
+	}
+	// Assigning the same codec to every port commutes; no event is
+	// scheduled here, so this iteration's order cannot escape.
+	//askcheck:allow(simdeterminism)
+	for _, p := range ft.hostPorts {
+		p.up.codec, p.down.codec = c, c
+	}
+}
+
+// Leaves returns the leaf count.
+func (ft *FatTree) Leaves() int { return len(ft.leaves) }
+
+// Spines returns the spine count.
+func (ft *FatTree) Spines() int { return len(ft.spines) }
+
+// Leaf returns leaf l's switch attachment point (a SwitchFabric).
+func (ft *FatTree) Leaf(l int) SwitchFabric { return ft.leaves[l] }
+
+// Spine returns spine s's switch attachment point (a SwitchFabric).
+func (ft *FatTree) Spine(s int) SwitchFabric { return ft.spines[s] }
+
+// LeafOf returns the leaf a host is attached to.
+func (ft *FatTree) LeafOf(id core.HostID) int { return ft.hostLeaf[id] }
+
+// SpineFor returns the spine that carries (and, for cross-leaf tasks, holds
+// the re-aggregation region of) task t. The choice must be a pure function
+// of the task ID so every leaf routes a task's frames identically.
+func (ft *FatTree) SpineFor(t core.TaskID) int { return int(uint32(t)) % len(ft.spines) }
+
+// spineForFrame picks the uplink spine for a fabric-crossing frame.
+func (ft *FatTree) spineForFrame(f *Frame) int {
+	if f.Pkt == nil {
+		return 0 // raw (damaged) frame: any deterministic choice works
+	}
+	return ft.SpineFor(f.Pkt.Task)
+}
+
+// AttachHostLeaf connects a host to leaf l.
+func (ft *FatTree) AttachHostLeaf(l int, id core.HostID, h HostHandler) {
+	if _, dup := ft.hostPorts[id]; dup {
+		panic(fmt.Sprintf("netsim: host %d attached twice", id))
+	}
+	if l < 0 || l >= len(ft.leaves) {
+		panic(fmt.Sprintf("netsim: leaf %d out of range", l))
+	}
+	if id >= leafAddrBase {
+		panic(fmt.Sprintf("netsim: host ID %#x collides with the fabric address range", id))
+	}
+	lp := ft.leaves[l]
+	p := &port{host: h}
+	p.up = newLink(ft.sim, ft.hostLink, func(f *Frame) {
+		ft.sim.AfterCall(ft.SwitchLatency, lp.ingressAny, f)
+	})
+	p.down = newLink(ft.sim, ft.hostLink, func(f *Frame) { p.host.HandleFrame(f) })
+	p.up.codec, p.down.codec = ft.codec, ft.codec
+	ft.hostPorts[id] = p
+	ft.hostLeaf[id] = l
+}
+
+// AttachHost implements HostFabric for single-leaf convenience (leaf 0).
+func (ft *FatTree) AttachHost(id core.HostID, h HostHandler) { ft.AttachHostLeaf(0, id, h) }
+
+// HostSend transmits a frame from its Src host toward its leaf.
+func (ft *FatTree) HostSend(f *Frame) {
+	p, ok := ft.hostPorts[f.Src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: send from unattached host %d", f.Src))
+	}
+	p.up.Send(f)
+}
+
+// Uplink returns a host's uplink (for backpressure and stats).
+func (ft *FatTree) Uplink(id core.HostID) *Link { return ft.hostPorts[id].up }
+
+// Downlink returns a host's downlink.
+func (ft *FatTree) Downlink(id core.HostID) *Link { return ft.hostPorts[id].down }
+
+// SpineUplink returns leaf l's link to spine s (for stats).
+func (ft *FatTree) SpineUplink(l, s int) *Link { return ft.leaves[l].up[s] }
+
+// ingress runs traffic entering from this leaf's own hosts through the
+// leaf's switch program.
+func (lp *leafPort) ingress(f *Frame) {
+	if lp.handler == nil {
+		panic(fmt.Sprintf("netsim: leaf %d has no switch attached", lp.leaf))
+	}
+	lp.handler.HandleIngress(f)
+}
+
+// fromSpine handles a frame arriving over a spine downlink: addressed to
+// this leaf it enters the program (a fetch/swap of this leaf's regions
+// relayed across the fabric); addressed to a host it bypasses the program
+// (§7 state bounding) and is delivered directly.
+func (lp *leafPort) fromSpine(f *Frame) {
+	if f.Dst == LeafAddr(lp.leaf) {
+		lp.ingress(f)
+		return
+	}
+	p, ok := lp.ft.hostPorts[f.Dst]
+	if !ok || lp.ft.hostLeaf[f.Dst] != lp.leaf {
+		panic(fmt.Sprintf("netsim: leaf %d asked to deliver to foreign host %d", lp.leaf, f.Dst))
+	}
+	p.down.Send(f)
+}
+
+// AttachSwitch implements SwitchFabric for the leaf.
+func (lp *leafPort) AttachSwitch(h SwitchHandler) { lp.handler = h }
+
+// SwitchSend implements SwitchFabric: the leaf's program emits a frame,
+// which goes to a local host directly, to a named fabric switch, or across
+// the task's spine toward a remote leaf.
+func (lp *leafPort) SwitchSend(f *Frame) {
+	ft := lp.ft
+	if l, ok := ft.hostLeaf[f.Dst]; ok {
+		if l == lp.leaf {
+			ft.hostPorts[f.Dst].down.Send(f)
+			return
+		}
+		lp.up[ft.spineForFrame(f)].Send(f)
+		return
+	}
+	if s, ok := SpineIndex(f.Dst, len(ft.spines)); ok {
+		lp.up[s].Send(f)
+		return
+	}
+	if _, ok := LeafIndex(f.Dst, len(ft.leaves)); ok {
+		// Another leaf: relay over the task's spine, which forwards it down.
+		lp.up[ft.spineForFrame(f)].Send(f)
+		return
+	}
+	panic(fmt.Sprintf("netsim: leaf %d sending to unattached destination %d", lp.leaf, f.Dst))
+}
+
+// ingress runs a frame through the spine's switch program.
+func (sp *spinePort) ingress(f *Frame) {
+	if sp.handler == nil {
+		panic(fmt.Sprintf("netsim: spine %d has no switch attached", sp.spine))
+	}
+	sp.handler.HandleIngress(f)
+}
+
+// AttachSwitch implements SwitchFabric for the spine.
+func (sp *spinePort) AttachSwitch(h SwitchHandler) { sp.handler = h }
+
+// SwitchSend implements SwitchFabric: the spine's program emits a frame
+// down toward its destination host's leaf (or a leaf itself, for relayed
+// fetch/swap requests).
+func (sp *spinePort) SwitchSend(f *Frame) {
+	ft := sp.ft
+	if l, ok := ft.hostLeaf[f.Dst]; ok {
+		sp.down[l].Send(f)
+		return
+	}
+	if l, ok := LeafIndex(f.Dst, len(ft.leaves)); ok {
+		sp.down[l].Send(f)
+		return
+	}
+	panic(fmt.Sprintf("netsim: spine %d sending to unattached destination %d", sp.spine, f.Dst))
+}

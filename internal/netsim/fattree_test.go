@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// fwdSwitch is a trivial switch program that forwards every frame.
+type fwdSwitch struct{ fab SwitchFabric }
+
+func (fs *fwdSwitch) HandleIngress(f *Frame) { fs.fab.SwitchSend(f) }
+
+// sinkSwitch records frames that entered a switch program.
+type sinkSwitch struct {
+	got []*Frame
+	fab SwitchFabric
+}
+
+func (ss *sinkSwitch) HandleIngress(f *Frame) { ss.got = append(ss.got, f) }
+
+type sinkHost struct{ got []*Frame }
+
+func (sh *sinkHost) HandleFrame(f *Frame) { sh.got = append(sh.got, f) }
+
+func dataFrame(src, dst core.HostID, task core.TaskID) *Frame {
+	return &Frame{
+		Src: src, Dst: dst,
+		Pkt:       &wire.Packet{Type: wire.TypeData, Task: task},
+		WireBytes: 128,
+		Owned:     true,
+	}
+}
+
+func buildFatTree(t *testing.T, spines, leaves, hostsPerLeaf int) (*sim.Simulation, *FatTree, map[core.HostID]*sinkHost) {
+	t.Helper()
+	s := sim.New(1)
+	ft := NewFatTree(s, spines, leaves, DefaultLinkConfig(), DefaultLinkConfig())
+	for l := 0; l < leaves; l++ {
+		ft.Leaf(l).AttachSwitch(&fwdSwitch{ft.Leaf(l)})
+	}
+	for sp := 0; sp < spines; sp++ {
+		ft.Spine(sp).AttachSwitch(&fwdSwitch{ft.Spine(sp)})
+	}
+	hosts := make(map[core.HostID]*sinkHost)
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < hostsPerLeaf; i++ {
+			id := core.HostID(l*hostsPerLeaf + i)
+			h := &sinkHost{}
+			ft.AttachHostLeaf(l, id, h)
+			hosts[id] = h
+		}
+	}
+	return s, ft, hosts
+}
+
+func TestFatTreeCrossLeafTraversesOneSpine(t *testing.T) {
+	s, ft, hosts := buildFatTree(t, 2, 3, 2)
+	// Host 0 (leaf 0) → host 5 (leaf 2): must cross the task's spine.
+	ft.HostSend(dataFrame(0, 5, 7))
+	s.Run(0)
+	if len(hosts[5].got) != 1 {
+		t.Fatalf("host 5 got %d frames, want 1", len(hosts[5].got))
+	}
+	want := ft.SpineFor(7)
+	for sp := 0; sp < ft.Spines(); sp++ {
+		tx := ft.SpineUplink(0, sp).Stats().TxFrames
+		if sp == want && tx != 1 {
+			t.Fatalf("spine %d carried %d frames, want 1", sp, tx)
+		}
+		if sp != want && tx != 0 {
+			t.Fatalf("spine %d carried %d frames, want 0", sp, tx)
+		}
+	}
+}
+
+func TestFatTreeLocalDeliveryStaysOnLeaf(t *testing.T) {
+	s, ft, hosts := buildFatTree(t, 2, 2, 2)
+	ft.HostSend(dataFrame(0, 1, 3)) // both on leaf 0
+	s.Run(0)
+	if len(hosts[1].got) != 1 {
+		t.Fatalf("host 1 got %d frames, want 1", len(hosts[1].got))
+	}
+	for sp := 0; sp < ft.Spines(); sp++ {
+		if tx := ft.SpineUplink(0, sp).Stats().TxFrames; tx != 0 {
+			t.Fatalf("local delivery crossed spine %d (%d frames)", sp, tx)
+		}
+	}
+}
+
+func TestFatTreeLeafAddressedFrameEntersRemoteLeafProgram(t *testing.T) {
+	s := sim.New(1)
+	ft := NewFatTree(s, 2, 2, DefaultLinkConfig(), DefaultLinkConfig())
+	ft.Leaf(0).AttachSwitch(&fwdSwitch{ft.Leaf(0)})
+	sink := &sinkSwitch{}
+	ft.Leaf(1).AttachSwitch(sink)
+	for sp := 0; sp < 2; sp++ {
+		ft.Spine(sp).AttachSwitch(&fwdSwitch{ft.Spine(sp)})
+	}
+	h := &sinkHost{}
+	ft.AttachHostLeaf(0, 0, h)
+	// A fetch-style request from host 0 addressed to leaf 1: relayed by
+	// leaf 0 over the task's spine, then into leaf 1's program.
+	f := dataFrame(0, LeafAddr(1), 9)
+	f.Pkt.Type = wire.TypeFetch
+	ft.HostSend(f)
+	s.Run(0)
+	if len(sink.got) != 1 {
+		t.Fatalf("leaf 1 program saw %d frames, want 1", len(sink.got))
+	}
+	if sink.got[0].Dst != LeafAddr(1) {
+		t.Fatalf("leaf 1 saw frame for %d", sink.got[0].Dst)
+	}
+}
+
+func TestFatTreeSpineForIsStablePerTask(t *testing.T) {
+	s := sim.New(1)
+	ft := NewFatTree(s, 3, 2, DefaultLinkConfig(), DefaultLinkConfig())
+	seen := map[int]bool{}
+	for task := core.TaskID(0); task < 12; task++ {
+		sp := ft.SpineFor(task)
+		if sp < 0 || sp >= 3 {
+			t.Fatalf("task %d mapped to spine %d", task, sp)
+		}
+		if sp != ft.SpineFor(task) {
+			t.Fatal("SpineFor not stable")
+		}
+		seen[sp] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("12 tasks hit only %d of 3 spines", len(seen))
+	}
+}
+
+func TestFatTreeAddressHelpers(t *testing.T) {
+	if l, ok := LeafIndex(LeafAddr(2), 4); !ok || l != 2 {
+		t.Fatalf("LeafIndex(LeafAddr(2)) = %d, %v", l, ok)
+	}
+	if _, ok := LeafIndex(LeafAddr(4), 4); ok {
+		t.Fatal("leaf 4 of 4 must not resolve")
+	}
+	if sp, ok := SpineIndex(SpineAddr(1), 2); !ok || sp != 1 {
+		t.Fatalf("SpineIndex(SpineAddr(1)) = %d, %v", sp, ok)
+	}
+	if _, ok := SpineIndex(LeafAddr(0), 8); ok {
+		t.Fatal("a leaf address must not resolve as a spine")
+	}
+	if _, ok := LeafIndex(3, 4); ok {
+		t.Fatal("a host ID must not resolve as a leaf")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/keyspace"
 )
 
 // The switch controller: the control-plane interface host daemons use for
@@ -31,13 +32,20 @@ func (sw *Switch) RegisterFlow(fk core.FlowKey) (int, error) {
 // totalRows == 0 requests the largest free contiguous block. With the
 // shadow-copy mechanism enabled the region is split into two copies.
 func (sw *Switch) AllocRegion(task core.TaskID, receiver core.HostID, op core.Op, totalRows int) (*Region, error) {
+	return sw.AllocRegionPartition(task, receiver, op, totalRows, keyspace.Partition{})
+}
+
+// AllocRegionPartition is AllocRegion restricted to a tenant's keyspace
+// band: the region aggregates only slots inside part (multi-tenant
+// fabrics). The zero partition is exactly AllocRegion.
+func (sw *Switch) AllocRegionPartition(task core.TaskID, receiver core.HostID, op core.Op, totalRows int, part keyspace.Partition) (*Region, error) {
 	if r, dup := sw.regions[task]; dup {
 		// Idempotent re-allocation: a receiver recovering from a switch
 		// reboot can race its own pre-reboot RPC (the original allocation
 		// lands on the new incarnation just before the retry). If the live
 		// region already belongs to this task with the same shape, it IS the
 		// requested region — hand it back instead of failing the recovery.
-		if r.Receiver == receiver && r.Op == op && !r.Revoked {
+		if r.Receiver == receiver && r.Op == op && r.Partition == part && !r.Revoked {
 			return r, nil
 		}
 		return nil, fmt.Errorf("switchd: task %d already has a region", task)
@@ -82,6 +90,7 @@ func (sw *Switch) AllocRegion(task core.TaskID, receiver core.HostID, op core.Op
 		TotalRows: totalRows,
 		CopyRows:  copyRows,
 		Copies:    copies,
+		Partition: part,
 		idx:       idx,
 	}
 	// Reset the region's data-plane state from the control plane.

@@ -46,8 +46,19 @@ func (sw *Switch) HandleIngress(f *netsim.Frame) {
 	case wire.TypeData, wire.TypeLongKey, wire.TypeFin, wire.TypeReplay:
 		sw.processFlowPacket(f)
 	case wire.TypeSwap:
+		if sw.opts.Addr != 0 && f.Dst != sw.opts.Addr {
+			// Leaf/spine role: the swap is for another aggregation point on
+			// the path (e.g. the receiver swapping its spine region through
+			// this leaf) — pass it along instead of consuming it.
+			sw.forward(f)
+			return
+		}
 		sw.processSwap(f)
 	case wire.TypeFetch:
+		if sw.opts.Addr != 0 && f.Dst != sw.opts.Addr {
+			sw.forward(f)
+			return
+		}
 		sw.processFetch(f)
 	case wire.TypeProbe:
 		sw.processProbe(f)
@@ -124,15 +135,28 @@ func (sw *Switch) processFlowPacket(f *netsim.Frame) {
 			return cur, cur
 		}))
 	}
-	odd := (pkt.Seq/w)&1 == 1
-	observed := sw.raSeen.RMW(ps, fi*sw.cfg.Window+int(pkt.Seq%w), func(cur uint64) (uint64, uint64) {
-		next, obs := window.SeenUpdate(cur, odd)
-		if obs {
-			return next, 1
-		}
-		return next, 0
-	}) == 1
-
+	seenSlot := fi*sw.cfg.Window + int(pkt.Seq%w)
+	var observed bool
+	if sw.opts.SeqTaggedSeen {
+		// Residual streams skip sequence numbers, so the parity seen would
+		// alias; match the full tag instead (window.SeenTagUpdate).
+		observed = sw.raSeen.RMW(ps, seenSlot, func(cur uint64) (uint64, uint64) {
+			next, obs := window.SeenTagUpdate(cur, pkt.Seq)
+			if obs {
+				return next, 1
+			}
+			return next, 0
+		}) == 1
+	} else {
+		odd := (pkt.Seq/w)&1 == 1
+		observed = sw.raSeen.RMW(ps, seenSlot, func(cur uint64) (uint64, uint64) {
+			next, obs := window.SeenUpdate(cur, odd)
+			if obs {
+				return next, 1
+			}
+			return next, 0
+		}) == 1
+	}
 
 	// Stages 2..9: vectorized aggregation for fresh data packets. Replay
 	// packets run the reliability stages but are never aggregated — their
@@ -187,9 +211,17 @@ func (sw *Switch) aggregate(ps *pisaPass, pkt *wire.Packet, region *Region, copy
 		rowBase = region.Lo
 	}
 
-	// Short slots: one AA each.
+	// Short slots: one AA each. A partitioned region (multi-tenant) only
+	// owns its band of slots; the zero partition scans the whole packet
+	// exactly as the single-tenant switch always has.
 	shortSlots := sw.layout.ShortSlots()
-	for i := 0; i < shortSlots && i < len(pkt.Slots); i++ {
+	sLo, sHi := 0, shortSlots
+	gLo, gHi := 0, sw.cfg.MediumGroups
+	if !region.Partition.IsZero() {
+		sLo, sHi = region.Partition.ShortLo, region.Partition.ShortLo+region.Partition.ShortWidth
+		gLo, gHi = region.Partition.GroupLo, region.Partition.GroupLo+region.Partition.GroupWidth
+	}
+	for i := sLo; i < sHi && i < len(pkt.Slots); i++ {
 		if !pkt.Bitmap.Test(i) {
 			continue
 		}
@@ -206,7 +238,7 @@ func (sw *Switch) aggregate(ps *pisaPass, pkt *wire.Packet, region *Region, copy
 	// Medium groups: m adjacent AAs with a unified row index. The value
 	// rides in the last member; earlier members carry (segment, 0).
 	m := sw.cfg.MediumSegs
-	for g := 0; g < sw.cfg.MediumGroups; g++ {
+	for g := gLo; g < gHi; g++ {
 		first := shortSlots + g*m
 		if first >= len(pkt.Slots) {
 			break

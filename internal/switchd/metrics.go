@@ -108,14 +108,20 @@ func (sw *Switch) taskEntryOf(task core.TaskID) *taskEntry {
 	if te = sw.tasks[task]; te != nil {
 		return te
 	}
-	l := telemetry.L("task", strconv.FormatUint(uint64(task), 10))
+	labels := []telemetry.Label{telemetry.L("task", strconv.FormatUint(uint64(task), 10))}
+	if tn := task.Tenant(); tn != 0 {
+		// Multi-tenant fabrics slice every per-task series by tenant too;
+		// untenanted tasks keep the exact single-label identity they always
+		// had (metric-name goldens stay byte-identical).
+		labels = append(labels, telemetry.L("tenant", strconv.FormatUint(uint64(tn), 10)))
+	}
 	te = &taskEntry{
-		tuplesIn:         sw.reg.Counter("switchd.tuples_in", l),
-		tuplesAggregated: sw.reg.Counter("switchd.tuples_aggregated", l),
-		tuplesConflicted: sw.reg.Counter("switchd.tuples_conflicted", l),
-		dataPackets:      sw.reg.Counter("switchd.data_pkts", l),
-		ackedPackets:     sw.reg.Counter("switchd.acked_pkts", l),
-		forwardedPackets: sw.reg.Counter("switchd.forwarded_data_pkts", l),
+		tuplesIn:         sw.reg.Counter("switchd.tuples_in", labels...),
+		tuplesAggregated: sw.reg.Counter("switchd.tuples_aggregated", labels...),
+		tuplesConflicted: sw.reg.Counter("switchd.tuples_conflicted", labels...),
+		dataPackets:      sw.reg.Counter("switchd.data_pkts", labels...),
+		ackedPackets:     sw.reg.Counter("switchd.acked_pkts", labels...),
+		forwardedPackets: sw.reg.Counter("switchd.forwarded_data_pkts", labels...),
 	}
 	sw.tasks[task] = te
 	return te

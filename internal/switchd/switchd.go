@@ -53,6 +53,20 @@ type Options struct {
 	// the switch a private registry so Stats views still work, with
 	// tracing disabled.
 	Telemetry telemetry.Sink
+	// Addr is the switch's own fabric address for multi-switch topologies
+	// (leaf/spine roles). Zero keeps the single-switch behaviour: the
+	// switch terminates every Fetch/Swap it sees, whatever the frame's
+	// destination. Non-zero, it terminates only requests addressed to it
+	// and forwards the rest toward their destination — which is what lets
+	// a receiver read a spine's region through its leaf.
+	Addr core.HostID
+	// SeqTaggedSeen switches the receive window from the 1-bit compact
+	// parity seen (§3.3, Eq. 8) to a 33-bit sequence-tagged seen. The
+	// compact design assumes the switch observes every sequence number of
+	// a flow; a re-aggregation tier (a fat-tree spine) sees only the
+	// leaves' conflict residuals, where sequence gaps alias the parity
+	// trick into false duplicates. First-hop switches leave this off.
+	SeqTaggedSeen bool
 }
 
 // DefaultOptions supports the paper's deployment scale: a 64-server rack
@@ -78,7 +92,7 @@ type Switch struct {
 	raSwapSeq  *pisa.RegisterArray   // per region: 32-bit swap sequence (askcheck:stage=0)
 	raClearSeq *pisa.RegisterArray   // per region: 32-bit clear sequence (askcheck:stage=0)
 	raCopyInd  *pisa.RegisterArray   // per region: 1-bit copy indicator (askcheck:stage=1)
-	raSeen     *pisa.RegisterArray   // per flow × W: 1-bit compact seen (askcheck:stage=1)
+	raSeen     *pisa.RegisterArray   // per flow × W: compact or seq-tagged seen (askcheck:stage=1)
 	raPktState *pisa.RegisterArray   // per flow × W: NumAAs-bit bitmap (askcheck:stage=2+)
 	raAAs      []*pisa.RegisterArray // four per stage from stage 2 (askcheck:stage=2+)
 
@@ -126,7 +140,14 @@ type Region struct {
 	// controller (failover.go RevokeRegion); its memory stays readable
 	// until the receiver drains and frees it.
 	Revoked bool
-	idx     int // index into copy_indicator/swap_seq
+	// Partition restricts aggregation to a tenant's keyspace band
+	// (multi-tenant fabrics). The zero value is the whole keyspace and
+	// selects the exact single-tenant loops. Regions are always
+	// row-disjoint (one global row allocator), so fetches and clears over
+	// [Lo, Lo+TotalRows) stay safe whatever the column band: columns
+	// outside the partition are simply never written in those rows.
+	Partition keyspace.Partition
+	idx       int // index into copy_indicator/swap_seq
 }
 
 // New builds the ASK switch program for cfg and attaches it to the network.
@@ -188,7 +209,12 @@ func (sw *Switch) layoutPipeline(pc pisa.Config) error {
 	sw.raSwapSeq = add(0, "swap_seq", sw.opts.MaxRegions, 32)
 	sw.raClearSeq = add(0, "clear_seq", sw.opts.MaxRegions, 32)
 	sw.raCopyInd = add(1, "copy_indicator", sw.opts.MaxRegions, 1)
-	sw.raSeen = add(1, "seen", sw.opts.MaxFlows*w, 1)
+	seenWidth := 1
+	if sw.opts.SeqTaggedSeen {
+		// Gap-tolerant seen for re-aggregation tiers: 32-bit tag + valid.
+		seenWidth = 33
+	}
+	sw.raSeen = add(1, "seen", sw.opts.MaxFlows*w, seenWidth)
 	// AAs: four per stage starting at stage 2.
 	aaStage0 := 2
 	for i := 0; i < sw.cfg.NumAAs; i++ {

@@ -91,6 +91,53 @@ func (c *CompactSeen) Observe(seq uint32) (observed bool) {
 // Bits returns the backing storage size in bits.
 func (c *CompactSeen) Bits() int { return c.w }
 
+// seenTagValid marks a TagSeen slot as written; it keeps sequence 0
+// distinguishable from a never-touched slot.
+const seenTagValid = uint64(1) << 32
+
+// SeenTagUpdate is the per-slot update of the gap-tolerant seen used by
+// non-first-hop switch tiers (hierarchical re-aggregation). The compact
+// parity seen of Eq. 8 assumes the switch observes every sequence number of
+// a flow, so segment parities alternate slot by slot; a spine fed only by
+// the leaves' conflict residuals sees arbitrary gaps, and a slot whose next
+// touch lands an even number of windows later would alias as a duplicate.
+// TagSeen instead stores the full sequence number (plus a valid bit) in the
+// slot: observed iff the stored tag equals this packet's. The stale guard
+// makes the tag unambiguous — a packet that reaches the seen stage satisfies
+// maxSeq − seq < W, so at most one live sequence maps to each slot.
+//
+// The cost is 33 bits per slot instead of 1: the memory-compactness of §3.3
+// is a first-hop optimization that the re-aggregation tier gives back.
+func SeenTagUpdate(cur uint64, seq uint32) (next uint64, observed bool) {
+	tag := uint64(seq) | seenTagValid
+	return tag, cur == tag
+}
+
+// TagSeen is the host-side reference realization of the gap-tolerant seen
+// (the switch realizes the identical logic in a 33-bit register array).
+type TagSeen struct {
+	w    int
+	tags []uint64
+}
+
+// NewTagSeen returns a gap-tolerant seen of window size w (a power of two).
+func NewTagSeen(w int) *TagSeen {
+	if w <= 0 || w&(w-1) != 0 {
+		panic("window: size must be a positive power of two")
+	}
+	return &TagSeen{w: w, tags: make([]uint64, w)}
+}
+
+// Observe records seq and reports whether it had been observed before.
+func (t *TagSeen) Observe(seq uint32) (observed bool) {
+	r := int(seq) & (t.w - 1)
+	t.tags[r], observed = SeenTagUpdate(t.tags[r], seq)
+	return observed
+}
+
+// Bits returns the backing storage size in bits.
+func (t *TagSeen) Bits() int { return 33 * t.w }
+
 // NaiveSeen is the straightforward 2W-bit receive window of Eq. 5–7: a
 // circularly used bit array where each packet records its own appearance and
 // clears the bit one window ahead for a future packet. It costs twice the

@@ -283,3 +283,68 @@ func TestPktStateValidation(t *testing.T) {
 	}()
 	NewPktState(0)
 }
+
+func TestCompactSeenAliasesOnGappedStreams(t *testing.T) {
+	// The compact seen's known limitation (and why re-aggregation tiers use
+	// TagSeen): when a slot's next touch lands an even number of windows
+	// later, the parity trick misreads a fresh packet as a duplicate.
+	w := 8
+	compact, tagged := NewCompactSeen(w), NewTagSeen(w)
+	if compact.Observe(2) || tagged.Observe(2) {
+		t.Fatal("first appearance of seq 2 misread")
+	}
+	// seq w+2 never arrives (fully absorbed upstream); seq 2w+2 is fresh.
+	if !compact.Observe(uint32(2*w + 2)) {
+		t.Fatal("expected the compact seen to alias seq 2w+2 (documents the limitation)")
+	}
+	if tagged.Observe(uint32(2*w + 2)) {
+		t.Fatal("TagSeen misread fresh seq 2w+2 as duplicate")
+	}
+}
+
+func TestTagSeenEquivalentToOracleOnGappedStreams(t *testing.T) {
+	// TagSeen must classify correctly under windowed arrivals with arbitrary
+	// gaps: keep only a random subset of sequence numbers, as a spine that
+	// sees only the residual packets of its leaves would.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		w := 1 << (3 + rng.Intn(4))
+		start := rng.Uint32()
+		if trial%5 == 0 {
+			start = 0xffffff00 // wraparound coverage
+		}
+		keep := make(map[uint32]bool)
+		arrivals := windowedArrivalSeq(rng, w, 800, start)
+		for _, seq := range arrivals {
+			if _, decided := keep[seq]; !decided {
+				keep[seq] = rng.Intn(4) != 0
+			}
+		}
+		tagged := NewTagSeen(w)
+		seenSet := make(map[uint32]bool)
+		for i, seq := range arrivals {
+			if !keep[seq] {
+				continue
+			}
+			want := seenSet[seq]
+			seenSet[seq] = true
+			if got := tagged.Observe(seq); got != want {
+				t.Fatalf("trial %d (w=%d): arrival %d seq=%d: tagged=%v oracle=%v",
+					trial, w, i, seq, got, want)
+			}
+		}
+	}
+}
+
+func TestTagSeenValidation(t *testing.T) {
+	for _, w := range []int{0, -1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTagSeen(%d) did not panic", w)
+				}
+			}()
+			NewTagSeen(w)
+		}()
+	}
+}
