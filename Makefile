@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test test-shuffle race bench bench-smoke bench-json lint telemetry-lint soak scenarios ci
+.PHONY: all vet build test test-shuffle race bench bench-smoke bench-json lint lint-json selfcheck telemetry-lint soak scenarios ci
 
 all: ci
 
@@ -14,6 +14,17 @@ vet:
 # "Static verification" section.
 lint:
 	$(GO) run ./cmd/askcheck ./...
+
+# Same diagnostics as `lint`, emitted as NDJSON (one JSON object per line:
+# file/line/col/analyzer/message) for CI annotation tooling to stream-parse.
+lint-json:
+	$(GO) run ./cmd/askcheck -json ./...
+
+# The analysis engine and driver pass their own analyzers: askcheck checks
+# askcheck. Guards against the embarrassing failure mode of a lint suite
+# that cannot survive its own rules.
+selfcheck:
+	$(GO) run ./cmd/askcheck ./internal/analysis/... ./cmd/askcheck
 
 # Historical alias: the metric-name checks formerly lived in the standalone
 # cmd/telemetrylint binary, now folded into askcheck's telemetrynames
@@ -72,4 +83,4 @@ scenarios:
 	$(GO) test -count=1 -run 'TestCorpusDeterminism|TestTraceRoundTripCorpus' ./internal/workload/scenario
 	$(GO) test -count=1 -run 'TestScenarioCorpus' ./ask
 
-ci: vet build lint test test-shuffle race soak scenarios
+ci: vet build lint selfcheck test test-shuffle race soak scenarios

@@ -105,7 +105,9 @@ func (c controllerAdapter) AllocRegion(spec core.TaskSpec) (hostd.AllocInfo, err
 func (c controllerAdapter) FreeRegion(task core.TaskID) error { return c.sw.FreeRegion(task) }
 
 // NewCluster builds a rack: one ASK switch and Hosts servers, each running
-// a host daemon with Config.DataChannels persistent channels.
+// a host daemon with Config.DataChannels persistent channels. It returns
+// an error only for invalid options (non-positive Hosts, a Config the
+// switch or daemons reject).
 func NewCluster(opts Options) (*Cluster, error) {
 	if opts.Hosts <= 0 {
 		return nil, fmt.Errorf("ask: Hosts must be positive")
@@ -204,7 +206,8 @@ type TaskResult struct {
 // mid-flight (e.g. to make room for a higher-priority tenant): the switch
 // stops aggregating for the task immediately, and after one control-RPC
 // latency the receiver daemon learns of the revocation, drains the absorbed
-// state, and continues host-only. Requires Config.Failover.
+// state, and continues host-only. Requires Config.Failover: it returns an
+// error when failover is disabled or the receiver daemon is unknown.
 func (c *Cluster) RevokeRegion(task core.TaskID, receiver core.HostID) error {
 	if !c.opts.Config.Failover {
 		return fmt.Errorf("ask: RevokeRegion requires Config.Failover")
@@ -223,7 +226,8 @@ func (c *Cluster) RevokeRegion(task core.TaskID, receiver core.HostID) error {
 // Aggregate runs one complete aggregation task to completion: the receiver
 // submits the task, each sender streams its tuples, and the merged result
 // is returned once every FIN is in and switch state is fetched. It blocks
-// until the virtual cluster quiesces.
+// until the virtual cluster quiesces. Setup errors are returned as from
+// StartTask, task-execution errors as from Get.
 func (c *Cluster) Aggregate(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*TaskResult, error) {
 	res, err := c.StartTask(spec, streams)
 	if err != nil {
@@ -238,6 +242,7 @@ func (c *Cluster) Aggregate(spec core.TaskSpec, streams map[core.HostID]core.Str
 // tuples enter the packetizer at their arrival offsets, partial packets
 // flush on lulls — so the task experiences the trace's temporal shape
 // (bursts, diurnal cycles, idle gaps) instead of back-to-back pressure.
+// Its error behaviour matches Aggregate.
 func (c *Cluster) AggregateTimed(spec core.TaskSpec, streams map[core.HostID]core.TimedStream) (*TaskResult, error) {
 	res, err := c.StartTaskTimed(spec, streams)
 	if err != nil {
@@ -260,14 +265,17 @@ type PendingTask struct {
 
 // StartTask submits a task and its sender streams without running the
 // simulation, so several tasks can run concurrently; call Sim.Run(0) (or
-// Aggregate another task) and then Get.
+// Aggregate another task) and then Get. It returns an error when the spec
+// names hosts outside the cluster or a sender has no stream; errors from
+// the task's execution surface later, from Get.
 func (c *Cluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*PendingTask, error) {
 	has := func(h core.HostID) bool { _, ok := streams[h]; return ok }
 	submit := func(d *hostd.Daemon, h core.HostID) { d.SubmitSend(spec.ID, streams[h]) }
 	return c.startTask(spec, has, submit)
 }
 
-// StartTaskTimed is StartTask for timed sender streams (see AggregateTimed).
+// StartTaskTimed is StartTask for timed sender streams (see
+// AggregateTimed); its error behaviour matches StartTask.
 func (c *Cluster) StartTaskTimed(spec core.TaskSpec, streams map[core.HostID]core.TimedStream) (*PendingTask, error) {
 	has := func(h core.HostID) bool { _, ok := streams[h]; return ok }
 	submit := func(d *hostd.Daemon, h core.HostID) { d.SubmitSendTimed(spec.ID, streams[h]) }

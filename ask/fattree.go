@@ -85,7 +85,9 @@ func (o FatTreeOptions) HostAt(l, i int) core.HostID {
 }
 
 // NewFatTreeCluster builds the deployment. Host IDs are assigned leaf-major:
-// leaf l holds IDs [l·HostsPerLeaf, (l+1)·HostsPerLeaf).
+// leaf l holds IDs [l·HostsPerLeaf, (l+1)·HostsPerLeaf). It returns an
+// error only for invalid options (non-positive topology dimensions, or a
+// tenant configuration the keyspace cannot be partitioned for).
 func NewFatTreeCluster(opts FatTreeOptions) (*FatTreeCluster, error) {
 	if opts.Spines <= 0 || opts.Leaves <= 0 || opts.HostsPerLeaf <= 0 {
 		return nil, fmt.Errorf("ask: need positive Spines, Leaves and HostsPerLeaf")
@@ -428,7 +430,11 @@ func (fc *FatTreeCluster) TaskSwitchStats(task core.TaskID) switchd.TaskStats {
 
 // StartTask submits a task and its sender streams without running the
 // simulation, so several tasks (e.g. one per tenant) can run concurrently;
-// call Sim.Run(0) and then Get.
+// call Sim.Run(0) and then Get. Setup failures — hosts outside the
+// cluster, senders without streams, and on tenant-partitioned fabrics
+// admission rejections (match with errors.As against
+// *tenancy.OverloadError) — are returned here; errors from the task's
+// execution surface later, from Get.
 func (fc *FatTreeCluster) StartTask(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*FatTreePendingTask, error) {
 	has := func(h core.HostID) bool { _, ok := streams[h]; return ok }
 	submit := func(d *hostd.Daemon, h core.HostID) { d.SubmitSend(spec.ID, streams[h]) }
@@ -437,7 +443,7 @@ func (fc *FatTreeCluster) StartTask(spec core.TaskSpec, streams map[core.HostID]
 
 // StartTaskTimed is StartTask for timed sender streams: tuples enter each
 // sending daemon at their recorded arrival offsets on the sim clock (see
-// Cluster.AggregateTimed).
+// Cluster.AggregateTimed). Its error behaviour matches StartTask.
 func (fc *FatTreeCluster) StartTaskTimed(spec core.TaskSpec, streams map[core.HostID]core.TimedStream) (*FatTreePendingTask, error) {
 	has := func(h core.HostID) bool { _, ok := streams[h]; return ok }
 	submit := func(d *hostd.Daemon, h core.HostID) { d.SubmitSendTimed(spec.ID, streams[h]) }
@@ -504,7 +510,10 @@ func (pt *FatTreePendingTask) Get() (*TaskResult, error) {
 	return pt.result, nil
 }
 
-// Aggregate runs one task to completion on the fat-tree.
+// Aggregate runs one task to completion on the fat-tree. Setup and
+// admission errors (including *tenancy.OverloadError, an errors.As
+// target) are returned as from StartTask, task-execution errors as from
+// Get.
 func (fc *FatTreeCluster) Aggregate(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*TaskResult, error) {
 	pt, err := fc.StartTask(spec, streams)
 	if err != nil {

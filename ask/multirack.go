@@ -51,7 +51,9 @@ func (o MultiRackOptions) HostAt(r, i int) core.HostID {
 }
 
 // NewMultiRackCluster builds the deployment. Host IDs are assigned
-// rack-major: rack r holds IDs [r·HostsPerRack, (r+1)·HostsPerRack).
+// rack-major: rack r holds IDs [r·HostsPerRack, (r+1)·HostsPerRack). It
+// returns an error only for invalid options (non-positive Racks or
+// HostsPerRack, or a Config the switches or daemons reject).
 func NewMultiRackCluster(opts MultiRackOptions) (*MultiRackCluster, error) {
 	if opts.Racks <= 0 || opts.HostsPerRack <= 0 {
 		return nil, fmt.Errorf("ask: need positive Racks and HostsPerRack")
@@ -134,7 +136,9 @@ func (mc *MultiRackCluster) ReceiverTOR(receiver core.HostID) *switchd.Switch {
 
 // Aggregate runs one task to completion, exactly as Cluster.Aggregate but
 // on the two-tier fabric: rack-local senders are aggregated at the
-// receiver's TOR, remote senders at the receiver host.
+// receiver's TOR, remote senders at the receiver host. It returns an
+// error when the spec names hosts outside the cluster or a sender has no
+// stream, and propagates task-execution errors unchanged.
 func (mc *MultiRackCluster) Aggregate(spec core.TaskSpec, streams map[core.HostID]core.Stream) (*TaskResult, error) {
 	recv, ok := mc.daemons[spec.Receiver]
 	if !ok {

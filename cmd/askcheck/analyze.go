@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis/framework"
+)
+
+// result is one full driver run: the loaded package count and the
+// surviving diagnostics in deterministic (directory, position) order.
+type result struct {
+	fset  *token.FileSet
+	pkgs  int
+	diags []framework.Diagnostic
+}
+
+// analyze expands patterns, loads every matched package, and runs the
+// analyzers over the packages on `jobs` workers.
+//
+// Loading is strictly serial — the recursive type-checker shares loader
+// state — and completes before any analyzer runs, so whole-universe
+// analyzers (shardsafety's annotation scan, poolrelease's cross-package
+// facts) see the full load universe no matter which package is analyzed
+// first. Analysis then fans out: packages are handed to workers in index
+// order and results are joined back by index, so the diagnostic order is
+// identical for any jobs value (each package's diagnostics are already
+// position-sorted by RunAnalyzers).
+func analyze(cwd string, patterns []string, analyzers []*framework.Analyzer, jobs int) (*result, error) {
+	dirs, err := framework.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := framework.NewLoader(cwd)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*framework.Package, len(dirs))
+	for i, dir := range dirs {
+		if pkgs[i], err = loader.LoadDir(dir); err != nil {
+			return nil, err
+		}
+	}
+
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(pkgs) {
+		jobs = len(pkgs)
+	}
+	perPkg := make([][]framework.Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pkgs) {
+					return
+				}
+				perPkg[i], errs[i] = framework.RunAnalyzers(pkgs[i], analyzers...)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &result{fset: loader.Fset, pkgs: len(pkgs)}
+	for i := range perPkg {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.diags = append(res.diags, perPkg[i]...)
+	}
+	return res, nil
+}
+
+// writeText renders diagnostics in the classic file:line:col form, with
+// paths relative to base when possible.
+func (r *result) writeText(w io.Writer, base string) error {
+	for _, d := range r.diags {
+		pos := r.fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeJSON renders diagnostics as NDJSON records for CI annotation.
+func (r *result) writeJSON(w io.Writer, base string) error {
+	return framework.WriteJSON(w, r.fset, base, r.diags)
+}

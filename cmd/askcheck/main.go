@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	askcheck [-run name,name] [packages]
+//	askcheck [-run name,name] [-json] [-jobs n] [packages]
 //
 // Packages follow go-tool patterns: "./..." (the default) walks every
-// package under the current module; a plain path names one directory.
+// package under the current module; a plain path names one directory. All
+// matched packages are loaded before any analyzer runs, giving the
+// interprocedural analyzers the whole load universe; analysis itself runs
+// on -jobs workers (default GOMAXPROCS) with deterministic output order.
 //
 // Analyzers:
 //
@@ -17,24 +20,32 @@
 //	simdeterminism  wall-clock, global rand, order-leaking map iteration
 //	clockwait       mutexes held across sim-clock waits / channel ops
 //	telemetrynames  metric-name shape + DESIGN.md inventory
-//	poolrelease     packet-pool acquisitions that are never released
+//	poolrelease     packet-pool acquisitions never released, through calls
+//	shardsafety     shard-root state crossing the partition outside mailboxes
+//	errtaxonomy     typed errors matched without errors.Is/As; undocumented
+//	                error-returning APIs in ask/
 //
-// A diagnostic can be suppressed with //askcheck:allow(<analyzer>) on the
-// offending line or the line above. Exit status: 0 clean, 1 diagnostics
-// reported, 2 operational failure.
+// With -json, diagnostics stream as NDJSON records
+// {file,line,col,analyzer,message} for CI annotation; the human summary
+// line is omitted. A diagnostic can be suppressed with
+// //askcheck:allow(<analyzer>[,<analyzer>...]) on the offending line or
+// the line above. Exit status: 0 clean, 1 diagnostics reported, 2
+// operational failure.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/analysis/clockwait"
+	"repro/internal/analysis/errtaxonomy"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/pisaaccess"
 	"repro/internal/analysis/poolrelease"
+	"repro/internal/analysis/shardsafety"
 	"repro/internal/analysis/simdeterminism"
 	"repro/internal/analysis/telemetrynames"
 )
@@ -45,13 +56,17 @@ var all = []*framework.Analyzer{
 	clockwait.Analyzer,
 	telemetrynames.Analyzer,
 	poolrelease.Analyzer,
+	shardsafety.Analyzer,
+	errtaxonomy.Analyzer,
 }
 
 func main() {
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as NDJSON records")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of concurrent analysis workers")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: askcheck [-run name,name] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: askcheck [-run name,name] [-json] [-jobs n] [packages]\n\nanalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -77,42 +92,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	dirs, err := framework.ExpandPatterns(cwd, patterns)
+	res, err := analyze(cwd, patterns, analyzers, *jobs)
 	if err != nil {
 		fatal(err)
 	}
-	loader, err := framework.NewLoader(cwd)
-	if err != nil {
-		fatal(err)
-	}
-
-	bad := 0
-	pkgs := 0
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
+	if *jsonOut {
+		if err := res.writeJSON(os.Stdout, cwd); err != nil {
 			fatal(err)
 		}
-		pkgs++
-		diags, err := framework.RunAnalyzers(pkg, analyzers...)
-		if err != nil {
+	} else {
+		if err := res.writeText(os.Stdout, cwd); err != nil {
 			fatal(err)
 		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			name := pos.Filename
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
-			bad++
-		}
 	}
-	if bad > 0 {
-		fmt.Printf("askcheck: %d problem(s) across %d package(s)\n", bad, pkgs)
+	if n := len(res.diags); n > 0 {
+		if !*jsonOut {
+			fmt.Printf("askcheck: %d problem(s) across %d package(s)\n", n, res.pkgs)
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("askcheck: %d package(s) clean (%s)\n", pkgs, analyzerNames(analyzers))
+	if !*jsonOut {
+		fmt.Printf("askcheck: %d package(s) clean (%s)\n", res.pkgs, analyzerNames(analyzers))
+	}
 }
 
 func selectAnalyzers(runList string) ([]*framework.Analyzer, error) {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var fixturePatterns = []string{"./testdata/src/hostd", "./testdata/src/toy"}
+
+func runFixture(t *testing.T, jobs int) (*result, string, string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analyze(cwd, fixturePatterns, all, jobs)
+	if err != nil {
+		t.Fatalf("analyze(jobs=%d): %v", jobs, err)
+	}
+	var text, ndjson bytes.Buffer
+	if err := res.writeText(&text, cwd); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.writeJSON(&ndjson, cwd); err != nil {
+		t.Fatal(err)
+	}
+	return res, text.String(), ndjson.String()
+}
+
+// TestAnalyzeDeterministicUnderConcurrency locks the satellite guarantee:
+// the parallel worker pool must produce byte-identical output to a serial
+// run, in both text and JSON modes.
+func TestAnalyzeDeterministicUnderConcurrency(t *testing.T) {
+	_, serialText, serialJSON := runFixture(t, 1)
+	for _, jobs := range []int{2, 8} {
+		_, text, ndjson := runFixture(t, jobs)
+		if text != serialText {
+			t.Errorf("jobs=%d text output differs from serial:\n--- serial ---\n%s--- jobs=%d ---\n%s",
+				jobs, serialText, jobs, text)
+		}
+		if ndjson != serialJSON {
+			t.Errorf("jobs=%d JSON output differs from serial:\n--- serial ---\n%s--- jobs=%d ---\n%s",
+				jobs, serialJSON, jobs, ndjson)
+		}
+	}
+}
+
+// TestAnalyzeGolden pins the exact driver output over the fixture tree —
+// file, position, analyzer, and message for every diagnostic, in order.
+// Regenerate with: go test ./cmd/askcheck -run TestAnalyzeGolden -update
+func TestAnalyzeGolden(t *testing.T) {
+	_, text, ndjson := runFixture(t, 4)
+	checkGolden(t, filepath.Join("testdata", "golden.txt"), text)
+	checkGolden(t, filepath.Join("testdata", "golden.json"), ndjson)
+}
+
+var update = os.Getenv("ASKCHECK_UPDATE_GOLDEN") != ""
+
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s (set ASKCHECK_UPDATE_GOLDEN=1 to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- want ---\n%s--- got ---\n%s", path, want, got)
+	}
+}

@@ -1,0 +1,19 @@
+// Package fixture seeds known diagnostics for the driver's determinism
+// golden test (the directory name "hostd" puts it on the poolrelease fast
+// path).
+package fixture
+
+import (
+	"io"
+
+	"repro/internal/wire"
+)
+
+// Leak drops a pooled packet on the floor.
+func Leak() {
+	pkt := wire.NewPacket()
+	pkt.Seq = 1
+}
+
+// AtEOF compares a sentinel by identity.
+func AtEOF(err error) bool { return err == io.EOF }

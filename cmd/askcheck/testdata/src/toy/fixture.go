@@ -1,0 +1,15 @@
+// Package toy seeds shardsafety diagnostics for the driver's determinism
+// golden test.
+package toy
+
+// Cell is a toy shard root.
+//
+//askcheck:shard
+type Cell struct{ N int }
+
+var cells []*Cell
+
+// Handle is a shard handler reaching across the partition.
+func (c *Cell) Handle() {
+	cells[0].N++
+}

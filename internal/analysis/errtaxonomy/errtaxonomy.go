@@ -1,0 +1,270 @@
+// Package errtaxonomy defines the analyzer enforcing the typed-error
+// discipline the tenancy layer introduced.
+//
+// The repository's error taxonomy has two kinds of typed errors: sentinel
+// values (wire.ErrChecksum, wire.ErrTruncated, stdlib io.EOF) and
+// structured types carrying context (*tenancy.OverloadError). Both survive
+// wrapping with %w only when matched through the errors package, so the
+// analyzer flags the patterns that break under wrapping:
+//
+//   - `err == ErrSentinel` / `err != ErrSentinel` — a direct comparison
+//     with a package-level error value; use errors.Is.
+//   - `err == e` where e has a concrete type implementing error — pointer
+//     identity is not error identity; use errors.Is or errors.As.
+//   - `err.(*SomeError)` — a type assertion from error to a concrete
+//     error type; use errors.As.
+//   - `switch err.(type)` cases naming concrete error types — same defect
+//     in switch form; use errors.As per type.
+//
+// Comparisons with nil, assertions to interface types, and errors.Is/As
+// themselves are all fine.
+//
+// Additionally, in the public entry package ask/ every EXPORTED
+// error-returning function or method (on an exported receiver) must
+// document its error behaviour: the doc comment must mention the word
+// "error" or name a typed error (an Err-prefixed identifier or *...Error
+// type). The operational check is lexical by design — it cannot prove the
+// doc is accurate, only that the API author stated an error contract at
+// all, which is the review hook the taxonomy needs.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the errtaxonomy analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "enforce errors.Is/errors.As matching for typed errors and error docs on the public API",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+var errorIface = errorType.Underlying().(*types.Interface)
+
+// docRE is the lexical error-contract check for ask/ doc comments.
+var docRE = regexp.MustCompile(`(?i:\berrors?\b)|\bErr[A-Z]`)
+
+func run(pass *framework.Pass) (any, error) {
+	checkDocs := lastElem(pass.Pkg.Path()) == "ask"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if checkDocs {
+				checkDoc(pass, fd)
+			}
+			if fd.Body != nil {
+				checkBody(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkBody(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			checkComparison(pass, n)
+		case *ast.TypeAssertExpr:
+			if n.Type == nil { // the guard of a type switch, handled below
+				return true
+			}
+			if !isErrorExpr(info, n.X) {
+				return true
+			}
+			if t := concreteErrorType(info.TypeOf(n.Type)); t != "" {
+				pass.Reportf(n.Pos(),
+					"type assertion from error to concrete %s; use errors.As so wrapped errors still match", t)
+			}
+		case *ast.TypeSwitchStmt:
+			checkTypeSwitch(pass, n)
+		}
+		return true
+	})
+}
+
+func checkComparison(pass *framework.Pass, n *ast.BinaryExpr) {
+	info := pass.TypesInfo
+	l, r := n.X, n.Y
+	if isNil(info, l) || isNil(info, r) {
+		return
+	}
+	if (sentinelOf(info, l) != nil && isErrorExpr(info, r)) ||
+		(sentinelOf(info, r) != nil && isErrorExpr(info, l)) {
+		s := sentinelOf(info, l)
+		if s == nil {
+			s = sentinelOf(info, r)
+		}
+		pass.Reportf(n.Pos(),
+			"comparison with sentinel error %s breaks under wrapping; use errors.Is", s.Name())
+		return
+	}
+	if isErrorExpr(info, l) {
+		if t := concreteErrorType(info.TypeOf(r)); t != "" {
+			pass.Reportf(n.Pos(),
+				"comparing error against concrete %s by identity; use errors.Is or errors.As", t)
+		}
+		return
+	}
+	if isErrorExpr(info, r) {
+		if t := concreteErrorType(info.TypeOf(l)); t != "" {
+			pass.Reportf(n.Pos(),
+				"comparing error against concrete %s by identity; use errors.Is or errors.As", t)
+		}
+	}
+}
+
+func checkTypeSwitch(pass *framework.Pass, n *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch assign := n.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := assign.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(assign.Rhs) == 1 {
+			if ta, ok := assign.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	}
+	if x == nil || !isErrorExpr(pass.TypesInfo, x) {
+		return
+	}
+	for _, stmt := range n.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, te := range cc.List {
+			if t := concreteErrorType(pass.TypesInfo.TypeOf(te)); t != "" {
+				pass.Reportf(te.Pos(),
+					"type switch on error with concrete case %s; use errors.As so wrapped errors still match", t)
+			}
+		}
+	}
+}
+
+func checkDoc(pass *framework.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || !returnsError(pass.TypesInfo, fd) {
+		return
+	}
+	if fd.Recv != nil && !exportedReceiver(fd) {
+		return
+	}
+	if fd.Doc != nil && docRE.MatchString(fd.Doc.Text()) {
+		return
+	}
+	what := "has no doc comment"
+	if fd.Doc != nil {
+		what = "does not mention its error behaviour"
+	}
+	pass.Reportf(fd.Pos(),
+		"exported error-returning API %s %s; document the typed errors it can return (errors.Is/errors.As targets)",
+		fd.Name.Name, what)
+}
+
+// isErrorExpr reports whether e's static type is exactly the error
+// interface.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && types.Identical(t, errorType)
+}
+
+// sentinelOf returns the package-level error-typed variable e refers to
+// (io.EOF, wire.ErrChecksum, ...), or nil.
+func sentinelOf(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Identical(v.Type(), errorType) {
+		return nil
+	}
+	return v
+}
+
+// concreteErrorType returns the display name of t when t is a concrete
+// (non-interface) type implementing error, else "".
+func concreteErrorType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	if types.IsInterface(t) {
+		return ""
+	}
+	if !types.Implements(t, errorIface) {
+		return ""
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func returnsError(info *types.Info, fd *ast.FuncDecl) bool {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+func exportedReceiver(fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,38 @@
+// Package ask mimics the repository's public entry package: the directory
+// name puts the exported-API error-documentation rule in scope.
+package ask
+
+import "errors"
+
+// ErrBusy is returned while a previous task is still draining.
+var ErrBusy = errors.New("ask: busy")
+
+// Documented starts a task. It returns ErrBusy while a previous task is
+// still running.
+func Documented() error { return nil }
+
+// Undocumented starts a task quietly.
+func Undocumented() error { return nil } // want `errtaxonomy: exported error-returning API Undocumented does not mention its error behaviour`
+
+func NoDoc() error { return nil } // want `errtaxonomy: exported error-returning API NoDoc has no doc comment`
+
+// helper is unexported: exempt.
+func helper() error { return nil }
+
+// Pure returns no error: exempt.
+func Pure() int { return 0 }
+
+// Thing is an exported handle.
+type Thing struct{}
+
+// Close shuts the thing down.
+func (t *Thing) Close() error { return nil } // want `errtaxonomy: exported error-returning API Close does not mention its error behaviour`
+
+// Open readies the thing; it reports ErrBusy when already open.
+func (t *Thing) Open() error { return nil }
+
+// thing is unexported, so its exported methods are not public API.
+type thing struct{}
+
+// Close shuts the thing down.
+func (t *thing) Close() error { return nil }

@@ -1,0 +1,106 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"testing"
+)
+
+// intReporter builds an analyzer that flags every integer literal >= 100.
+// Two instances with different names exercise per-analyzer suppression.
+func intReporter(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "flags three-digit integer literals (test helper)",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					lit, ok := n.(*ast.BasicLit)
+					if ok && lit.Kind == token.INT && len(lit.Value) >= 3 {
+						pass.Reportf(lit.Pos(), "%s", lit.Value)
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+const allowFixture = `package s
+
+func use(xs ...int) int { return len(xs) }
+
+var sink int
+
+func f() {
+	//askcheck:allow(alpha,beta)
+	use(101)
+
+	use(102) //askcheck:allow(alpha)
+
+	//askcheck:allow(alpha)
+	sink = use(
+		103,
+		104,
+	)
+
+	//askcheck:allow(alpha)
+	if use(105) > 0 {
+		use(106)
+	}
+
+	use(107)
+}
+`
+
+func TestAllowSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": sandboxMod,
+		"s/s.go": allowFixture,
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir + "/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, intReporter("alpha"), intReporter("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]string{}
+	for _, d := range diags {
+		got[d.Analyzer] = append(got[d.Analyzer], d.Message)
+	}
+	for _, vs := range got {
+		sort.Strings(vs)
+	}
+
+	want := map[string][]string{
+		// 101: multi-analyzer allow(alpha,beta) kills both.
+		// 102: same-line allow(alpha) kills alpha only.
+		// 103/104: allow above a multi-line assignment covers every
+		// continuation line — for alpha only.
+		// 105: allow above `if` covers the header...
+		// 106: ...but never the body.
+		"alpha": {"106", "107"},
+		"beta":  {"102", "103", "104", "105", "106", "107"},
+	}
+	for name, w := range want {
+		g := got[name]
+		if len(g) != len(w) {
+			t.Errorf("%s survivors = %v, want %v", name, g, w)
+			continue
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Errorf("%s survivors = %v, want %v", name, g, w)
+				break
+			}
+		}
+	}
+}

@@ -14,11 +14,14 @@
 // Suppression: a diagnostic is suppressed when the line it is reported on,
 // or the line immediately above it, carries a comment of the form
 //
-//	//askcheck:allow(<analyzer-name>)
+//	//askcheck:allow(<name>)        // one analyzer
+//	//askcheck:allow(<a>,<b>)       // several analyzers at once
 //
-// The escape hatch is deliberately narrow (one analyzer per annotation,
-// adjacent lines only) so that a suppression is visible right next to the
-// code it excuses.
+// An annotation on the line above a multi-line statement also covers the
+// statement's continuation lines (but never the body of a control
+// statement — an allow above an `if` excuses its header only). The escape
+// hatch stays deliberately narrow so that a suppression is visible right
+// next to the code it excuses.
 package framework
 
 import (
@@ -41,6 +44,11 @@ type Analyzer struct {
 	// pass.Report. The return value is reserved for inter-analyzer facts
 	// and is currently unused.
 	Run func(pass *Pass) (any, error)
+	// FactTypes declares the Fact types the analyzer exports (one zero
+	// value per type), mirroring analysis.Analyzer.FactTypes. Purely
+	// declarative here — the in-memory store needs no gob registration —
+	// but kept so the analyzers port to go/analysis unchanged.
+	FactTypes []Fact
 }
 
 // Pass carries one type-checked package through an Analyzer's Run,
@@ -55,7 +63,40 @@ type Pass struct {
 	// that consult repository-level context such as DESIGN.md).
 	Dir string
 
+	pkg   *Package
 	diags *[]Diagnostic
+}
+
+// loader returns the Loader behind the pass's package, nil for packages
+// not produced by a Loader.
+func (p *Pass) loader() *Loader {
+	if p.pkg == nil {
+		return nil
+	}
+	return p.pkg.loader
+}
+
+// engine returns the interprocedural engine shared across the load
+// universe, nil when the pass has no loader.
+func (p *Pass) engine() *engine {
+	l := p.loader()
+	if l == nil {
+		return nil
+	}
+	return l.engine()
+}
+
+// Universe returns every package the pass's loader has type-checked so
+// far, in import-path order — the scope the interprocedural engine (call
+// graph, facts) covers. Nil for passes without a loader. Drivers that want
+// whole-program context (e.g. shardsafety's annotation scan) must load all
+// packages before running analyzers.
+func (p *Pass) Universe() []*Package {
+	l := p.loader()
+	if l == nil {
+		return nil
+	}
+	return l.loadedPackages()
 }
 
 // Diagnostic is one finding at a source position.
@@ -79,10 +120,16 @@ func (p *Pass) Report(d Diagnostic) {
 var allowRE = regexp.MustCompile(`//askcheck:allow\(([a-zA-Z0-9_,\s]+)\)`)
 
 // allowLines returns, per filename, the set of lines whose diagnostics a
-// given analyzer suppresses: the annotation's own line and the line below.
+// given analyzer suppresses: the annotation's own line, the line below,
+// and — when the annotated line (or the line below it) starts a multi-line
+// statement — every continuation line of that statement. Control
+// statements (if/for/range/switch/select) extend suppression only through
+// their header, never into their body: an allow above an `if` excuses the
+// condition, not everything inside the braces.
 func allowLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
 	out := make(map[string]map[int]bool)
 	for _, f := range files {
+		var spans map[int]int // statement start line -> last covered line
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := allowRE.FindStringSubmatch(c.Text)
@@ -92,16 +139,66 @@ func allowLines(fset *token.FileSet, files []*ast.File, analyzer string) map[str
 				if !allowNames(m[1])[analyzer] {
 					continue
 				}
+				if spans == nil {
+					spans = stmtSpans(fset, f)
+				}
 				pos := fset.Position(c.Pos())
 				if out[pos.Filename] == nil {
 					out[pos.Filename] = make(map[int]bool)
 				}
-				out[pos.Filename][pos.Line] = true
-				out[pos.Filename][pos.Line+1] = true
+				lines := out[pos.Filename]
+				for _, start := range []int{pos.Line, pos.Line + 1} {
+					end := start
+					if e, ok := spans[start]; ok && e > end {
+						end = e
+					}
+					for ln := start; ln <= end; ln++ {
+						lines[ln] = true
+					}
+				}
 			}
 		}
 	}
 	return out
+}
+
+// stmtSpans maps, for one file, each line starting a statement (or
+// declaration) to the last line that statement's suppressible extent
+// reaches: its End for plain statements, the opening-brace line for
+// statements with a block body.
+func stmtSpans(fset *token.FileSet, f *ast.File) map[int]int {
+	spans := make(map[int]int)
+	record := func(from token.Pos, to token.Pos) {
+		start := fset.Position(from).Line
+		end := fset.Position(to).Line
+		if end > spans[start] {
+			spans[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.ForStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.RangeStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.SwitchStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.TypeSwitchStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.SelectStmt:
+			record(n.Pos(), n.Body.Lbrace)
+		case *ast.BlockStmt, *ast.LabeledStmt, *ast.CaseClause, *ast.CommClause:
+			// Structure, not a suppressible unit of its own.
+		case ast.Stmt:
+			record(n.Pos(), n.End())
+		case *ast.GenDecl:
+			record(n.Pos(), n.End())
+		}
+		return true
+	})
+	return spans
 }
 
 var splitRE = regexp.MustCompile(`[,\s]+`)
@@ -129,6 +226,7 @@ func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			Dir:       pkg.Dir,
+			pkg:       pkg,
 			diags:     &raw,
 		}
 		if _, err := a.Run(pass); err != nil {

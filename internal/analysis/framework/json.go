@@ -1,0 +1,51 @@
+package framework
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// JSONDiagnostic is the machine-readable record `askcheck -json` emits,
+// one JSON object per line (NDJSON) so CI can stream-parse diagnostics
+// into annotations without buffering the whole run.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONRecord converts one diagnostic to its JSON record. File paths are
+// made relative to base when possible (base "" keeps them absolute), with
+// forward slashes for portability.
+func JSONRecord(fset *token.FileSet, base string, d Diagnostic) JSONDiagnostic {
+	pos := fset.Position(d.Pos)
+	name := pos.Filename
+	if base != "" {
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return JSONDiagnostic{
+		File:     filepath.ToSlash(name),
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
+// WriteJSON encodes diagnostics as NDJSON to w.
+func WriteJSON(w io.Writer, fset *token.FileSet, base string, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		if err := enc.Encode(JSONRecord(fset, base, d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// jsonFixture registers two fake files in a FileSet and returns positions on
+// known lines.
+func jsonFixture(t *testing.T) (*token.FileSet, string, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	base := filepath.Join(string(filepath.Separator), "repo")
+	src := "line one\nline two\nline three\n"
+
+	inside := fset.AddFile(filepath.Join(base, "pkg", "a.go"), -1, len(src))
+	inside.SetLinesForContent([]byte(src))
+	outside := fset.AddFile(filepath.Join(string(filepath.Separator), "elsewhere", "b.go"), -1, len(src))
+	outside.SetLinesForContent([]byte(src))
+
+	diags := []Diagnostic{
+		{Pos: inside.Pos(9), Analyzer: "alpha", Message: `needs "quoting" & escapes`},
+		{Pos: outside.Pos(0), Analyzer: "beta", Message: "outside the base dir"},
+	}
+	return fset, base, diags
+}
+
+func TestJSONRecordRelativizesAndSlashes(t *testing.T) {
+	fset, base, diags := jsonFixture(t)
+
+	rec := JSONRecord(fset, base, diags[0])
+	if rec.File != "pkg/a.go" {
+		t.Errorf("File = %q, want %q (relative, forward slashes)", rec.File, "pkg/a.go")
+	}
+	if rec.Line != 2 || rec.Col != 1 {
+		t.Errorf("position = %d:%d, want 2:1", rec.Line, rec.Col)
+	}
+	if rec.Analyzer != "alpha" {
+		t.Errorf("Analyzer = %q", rec.Analyzer)
+	}
+
+	// A file outside base must stay absolute rather than sprouting "..".
+	out := JSONRecord(fset, base, diags[1])
+	if strings.HasPrefix(out.File, "..") {
+		t.Errorf("outside-base File = %q, must not be ..-relative", out.File)
+	}
+	if !strings.HasSuffix(out.File, "elsewhere/b.go") {
+		t.Errorf("outside-base File = %q, want absolute path to b.go", out.File)
+	}
+
+	// base "" keeps paths absolute.
+	abs := JSONRecord(fset, "", diags[0])
+	if !strings.HasSuffix(abs.File, "pkg/a.go") || abs.File == "pkg/a.go" {
+		t.Errorf("base-less File = %q, want absolute", abs.File)
+	}
+}
+
+func TestWriteJSONIsNDJSON(t *testing.T) {
+	fset, base, diags := jsonFixture(t)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fset, base, diags); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("NDJSON output must end with a newline")
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d lines for %d diagnostics", len(lines), len(diags))
+	}
+	for i, line := range lines {
+		var rec JSONDiagnostic
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not a standalone JSON object: %v\n%s", i, err, line)
+		}
+		if rec.Analyzer != diags[i].Analyzer {
+			t.Errorf("line %d analyzer = %q, want %q", i, rec.Analyzer, diags[i].Analyzer)
+		}
+	}
+	// Round-trip must preserve messages with quotes exactly.
+	var first JSONDiagnostic
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Message != diags[0].Message {
+		t.Errorf("message round-trip: %q != %q", first.Message, diags[0].Message)
+	}
+}

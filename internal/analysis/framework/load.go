@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -21,6 +22,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// loader links back to the Loader that produced the package, giving
+	// analyzers access to the interprocedural engine (call graph, escape
+	// summaries, fact store) over the whole load universe.
+	loader *Loader
 }
 
 // Loader parses and type-checks packages of one module without external
@@ -35,6 +41,13 @@ type Loader struct {
 
 	std  types.ImporterFrom
 	pkgs map[string]*loadEntry
+
+	// mu guards gen and eng; loads themselves stay single-threaded (the
+	// recursive type-checker is not), but analyzers read the engine from
+	// concurrent passes.
+	mu  sync.Mutex
+	gen int
+	eng *engine
 }
 
 type loadEntry struct {
@@ -158,7 +171,45 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 	l.pkgs[path] = e
 	pkg, err := l.loadUncached(dir, path)
 	e.pkg, e.err, e.loading = pkg, err, false
+	if pkg != nil {
+		pkg.loader = l
+	}
+	l.mu.Lock()
+	l.gen++
+	l.mu.Unlock()
 	return pkg, err
+}
+
+// generation counts completed loads; the engine uses it to notice a stale
+// call graph.
+func (l *Loader) generation() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// loadedPackages returns every successfully loaded package, sorted by
+// import path for deterministic engine construction.
+func (l *Loader) loadedPackages() []*Package {
+	var out []*Package
+	for _, e := range l.pkgs {
+		if e.pkg != nil && !e.loading {
+			out = append(out, e.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Engine returns the loader's interprocedural engine, creating it on first
+// use.
+func (l *Loader) engine() *engine {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.eng == nil {
+		l.eng = &engine{facts: make(map[factKey]Fact)}
+	}
+	return l.eng
 }
 
 func (l *Loader) loadUncached(dir, path string) (*Package, error) {

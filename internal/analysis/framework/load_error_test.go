@@ -1,0 +1,127 @@
+package framework
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module in a temp dir. Keys are
+// slash-relative paths, values file contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const sandboxMod = "module sandbox\n\ngo 1.22\n"
+
+// lineNumbered matches a file:line position inside an error string.
+var lineNumbered = regexp.MustCompile(`\.go:\d+`)
+
+func TestLoadTypeErrorIsLineNumbered(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": sandboxMod,
+		"p/p.go": "package p\n\nfunc F() int {\n\treturn \"not an int\"\n}\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir(filepath.Join(dir, "p"))
+	if err == nil {
+		t.Fatal("loading a package with a type error succeeded")
+	}
+	if !lineNumbered.MatchString(err.Error()) {
+		t.Errorf("type error is not line-numbered: %v", err)
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error does not identify the failing phase: %v", err)
+	}
+}
+
+func TestLoadMissingImportIsReported(t *testing.T) {
+	// A module-internal import path with no directory behind it — the shape
+	// of a vendored dependency the hermetic loader cannot resolve.
+	dir := writeModule(t, map[string]string{
+		"go.mod": sandboxMod,
+		"p/p.go": "package p\n\nimport \"sandbox/vendor/gone\"\n\nvar _ = gone.X\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir(filepath.Join(dir, "p"))
+	if err == nil {
+		t.Fatal("loading a package with an unresolvable import succeeded")
+	}
+	if !strings.Contains(err.Error(), "sandbox/vendor/gone") && !lineNumbered.MatchString(err.Error()) {
+		t.Errorf("error names neither the import nor a position: %v", err)
+	}
+}
+
+func TestLoadExternalImportIsReported(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": sandboxMod,
+		"p/p.go": "package p\n\nimport \"github.com/no/such/dep\"\n\nvar _ = dep.X\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir(filepath.Join(dir, "p"))
+	if err == nil {
+		t.Fatal("loading a package with an external dependency succeeded in the hermetic loader")
+	}
+}
+
+func TestLoadEmptyDirErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": sandboxMod})
+	if err := os.MkdirAll(filepath.Join(dir, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir(filepath.Join(dir, "empty"))
+	if err == nil {
+		t.Fatal("loading an empty directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "no buildable Go files") {
+		t.Errorf("unexpected error for empty dir: %v", err)
+	}
+}
+
+func TestLoadMissingDirErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": sandboxMod})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(filepath.Join(dir, "nowhere")); err == nil {
+		t.Fatal("loading a nonexistent directory succeeded")
+	}
+}
+
+func TestLoadOutsideModuleErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": sandboxMod})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(os.TempDir()); err == nil {
+		t.Fatal("loading a directory outside the module succeeded")
+	}
+}

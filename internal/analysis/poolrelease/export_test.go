@@ -1,0 +1,11 @@
+package poolrelease
+
+// SetInterprocedural flips the v2 call-composition gate for tests and
+// returns a restore function. Disabling it reproduces the exact v1
+// semantics ("passed to any call satisfies the obligation") so the
+// regression test can pin the blind spot v2 closes.
+func SetInterprocedural(v bool) (restore func()) {
+	old := interprocedural
+	interprocedural = v
+	return func() { interprocedural = old }
+}

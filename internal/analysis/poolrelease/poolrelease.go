@@ -1,48 +1,80 @@
 // Package poolrelease defines an analyzer that flags packet-pool
 // acquisitions that can never be released.
 //
-// The hot-path packages (netsim, switchd, hostd) draw wire.Packet objects
-// from a process-wide free list — wire.NewPacket and Packet.ClonePooled —
-// under an explicit ownership discipline (see wire/pool.go): every
-// acquisition must end in exactly one Packet.Release, either directly or
-// by handing the packet to something that releases it (an owned
-// netsim.Frame, Daemon.sendOwned, a return to the caller). A packet that
-// is acquired and then simply dropped is not a correctness bug — the GC
-// still reclaims it — but it silently re-introduces the per-packet
-// allocation churn the pool exists to eliminate, which is exactly the kind
-// of regression that survives every functional test.
+// The hot-path packages (netsim, switchd, hostd, tenancy) draw wire.Packet
+// objects from a process-wide free list — wire.NewPacket and
+// Packet.ClonePooled — under an explicit ownership discipline (see
+// wire/pool.go): every acquisition must end in exactly one Packet.Release,
+// either directly or by handing the packet to something that releases it
+// (an owned netsim.Frame, Daemon.sendOwned, a return to the caller). A
+// packet that is acquired and then simply dropped is not a correctness bug
+// — the GC still reclaims it — but it silently re-introduces the
+// per-packet allocation churn the pool exists to eliminate, which is
+// exactly the kind of regression that survives every functional test.
 //
-// The analyzer is intra-procedural and deliberately conservative: it
-// reports only DEFINITE leaks, where the acquired packet provably cannot
-// reach a Release:
+// Since v2 the analyzer is INTERPROCEDURAL: it composes the framework's
+// escape lattice along the static call graph into per-function release
+// facts ("this callee releases or retains its i-th parameter"), exported
+// through the pass fact store and imported at call sites anywhere in the
+// module. A tracked packet therefore satisfies its obligation only by:
 //
-//   - an acquisition whose result is discarded (expression statement or
-//     assignment to the blank identifier);
-//   - an acquisition bound to a local variable that is never subsequently
-//     released, passed to any call, returned, sent on a channel, assigned
-//     anywhere, or embedded in a composite literal. Field writes
-//     (pkt.Type = …) and read-only method calls (pkt.WireBytes(k)) do not
-//     count as hand-offs.
+//   - a Release call on the packet (or on a local alias of it);
+//   - an escape the caller can no longer see past: a return, a channel
+//     send, a store into a field/map/global/composite literal, capture by
+//     a closure, or an argument to a call the engine cannot resolve
+//     (interface dispatch, function values, external code);
+//   - being passed — as argument or receiver — to a statically-resolved
+//     callee whose release fact says the corresponding value is released
+//     or retained there (transitively, to a fixed point).
 //
-// Any escape — a call argument, a frame literal, a return — silences the
-// analyzer, so code that transfers ownership through helpers needs no
-// annotation. The rare intentional leak can carry
+// Version 1 stopped at "passed to any call satisfies", so a helper that
+// merely read the packet and dropped it hid the leak from the analyzer;
+// that blind spot is gone (see the v1-pin regression test). Diagnostics
+// still fire only on DEFINITE leaks; the rare intentional one can carry
 // //askcheck:allow(poolrelease).
 package poolrelease
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 
 	"repro/internal/analysis/framework"
 )
 
+// releaseFact is the per-function fact: whether each incoming value
+// (receiver, parameters) is released or retained by the function,
+// directly or through its callees.
+type releaseFact struct {
+	Recv   bool
+	Params []bool
+}
+
+// AFact marks releaseFact as a framework fact.
+func (*releaseFact) AFact() {}
+
+func (f *releaseFact) at(i int) bool {
+	if i == -1 {
+		return f.Recv
+	}
+	if i < 0 || i >= len(f.Params) {
+		return true // out-of-range (variadic edge cases): stay conservative
+	}
+	return f.Params[i]
+}
+
 // Analyzer is the poolrelease analyzer.
 var Analyzer = &framework.Analyzer{
-	Name: "poolrelease",
-	Doc:  "flag wire packet-pool acquisitions that are provably never released or handed off",
-	Run:  run,
+	Name:      "poolrelease",
+	Doc:       "flag wire packet-pool acquisitions that are provably never released or handed off",
+	Run:       run,
+	FactTypes: []framework.Fact{(*releaseFact)(nil)},
 }
+
+// interprocedural gates the v2 call-composition. Tests flip it to false to
+// pin the exact blind spot version 1 had (any call argument satisfied the
+// obligation, even when the callee dropped the packet).
+var interprocedural = true
 
 // pooledPkgs are the last path elements of the packages on the pooled
 // fast path, where a leaked acquisition defeats the free list.
@@ -85,17 +117,21 @@ func isAcquisition(pass *framework.Pass, call *ast.CallExpr) bool {
 }
 
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
-	// tracked maps a local variable's declaring identifier object to the
-	// acquisition position; satisfied records a release or hand-off.
-	type track struct {
-		pos       ast.Node
-		satisfied bool
+	type acquisition struct {
+		at ast.Node
+		ve *framework.ValueEscape
 	}
-	tracked := map[any]*track{}
+	seeds := make(map[types.Object]*framework.ValueEscape)
+	var acquired []acquisition
 
-	// Pass 1: find acquisitions.
+	// Pass 1: find acquisitions; discarded results leak unconditionally.
+	// Nested function literals are skipped: the escape walk treats them as
+	// capture boundaries, so obligations arising inside one cannot be
+	// tracked from the enclosing declaration.
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
 		case *ast.ExprStmt:
 			if call, ok := n.X.(*ast.CallExpr); ok && isAcquisition(pass, call) {
 				pass.Reportf(call.Pos(), "packet-pool acquisition result is discarded (never released)")
@@ -116,106 +152,119 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 				pass.Reportf(call.Pos(), "packet-pool acquisition assigned to _ (never released)")
 				return true
 			}
-			if obj := pass.TypesInfo.Defs[id]; obj != nil {
-				tracked[obj] = &track{pos: call}
-			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
-				// Re-assignment (pkt = x.ClonePooled()): treat like a fresh
-				// acquisition of the same variable.
-				tracked[obj] = &track{pos: call}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				// Re-assignment (pkt = x.ClonePooled()): a fresh obligation
+				// on the same variable.
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				ve := seeds[obj]
+				if ve == nil {
+					ve = framework.NewValueEscape()
+					seeds[obj] = ve
+				}
+				acquired = append(acquired, acquisition{at: call, ve: ve})
 			}
 		}
 		return true
 	})
-	if len(tracked) == 0 {
+	if len(acquired) == 0 {
 		return
 	}
 
-	// escMark walks an expression in VALUE position and marks every tracked
-	// variable whose value escapes through it. Selector reads (pkt.Seq) and
-	// method-call receivers (pkt.WireBytes(k)) are NOT value escapes — only
-	// the bare identifier, its address, call arguments, composite-literal
-	// elements, and type conversions hand the pointer onward.
-	var escMark func(e ast.Expr)
-	escMark = func(e ast.Expr) {
-		switch e := e.(type) {
-		case *ast.Ident:
-			if obj := pass.TypesInfo.Uses[e]; obj != nil {
-				if t, ok := tracked[obj]; ok {
-					t.satisfied = true
-				}
-			}
-		case *ast.ParenExpr:
-			escMark(e.X)
-		case *ast.UnaryExpr:
-			escMark(e.X)
-		case *ast.StarExpr:
-			escMark(e.X)
-		case *ast.CallExpr:
-			for _, a := range e.Args {
-				escMark(a)
-			}
-		case *ast.CompositeLit:
-			for _, el := range e.Elts {
-				escMark(el)
-			}
-		case *ast.KeyValueExpr:
-			escMark(e.Value)
-		case *ast.IndexExpr:
-			escMark(e.Index) // m[pkt] keys the packet into a map
+	// Pass 2: flow the acquisitions through the escape lattice, then judge
+	// each obligation, composing callee release facts at resolved calls.
+	node := pass.CallGraph().Node(funcObj(pass, fd))
+	if node == nil {
+		return // unresolvable declaration (should not happen for own pkg)
+	}
+	framework.EscapeValues(node, seeds)
+	for _, acq := range acquired {
+		ok, _ := satisfied(pass, acq.ve, make(map[*types.Func]bool))
+		if !ok {
+			pass.Reportf(acq.at.Pos(), "packet acquired from the pool is neither released nor handed off")
 		}
 	}
+}
 
-	// Pass 2: find satisfying uses — Release calls and escapes.
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			// pkt.Release() satisfies; any other method on pkt does not.
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				if id, ok := sel.X.(*ast.Ident); ok {
-					if obj := pass.TypesInfo.Uses[id]; obj != nil {
-						if t, ok := tracked[obj]; ok && sel.Sel.Name == "Release" {
-							t.satisfied = true
-						}
-					}
-				}
-			}
-			// A tracked packet handed to any call argument is a hand-off
-			// (sendOwned, frame literals, helper calls).
-			for _, arg := range n.Args {
-				escMark(arg)
-			}
-		case *ast.ReturnStmt:
-			for _, e := range n.Results {
-				escMark(e)
-			}
-		case *ast.SendStmt:
-			escMark(n.Value)
-		case *ast.AssignStmt:
-			// A tracked packet on the right-hand side escapes into another
-			// binding (frame field, map entry, alias); left-hand selector
-			// writes (pkt.Seq = n) are plain field initialization.
-			for i, e := range n.Rhs {
-				if call, ok := e.(*ast.CallExpr); ok && isAcquisition(pass, call) && i < len(n.Lhs) {
-					continue // the defining acquisition itself
-				}
-				escMark(e)
-			}
-			for _, e := range n.Lhs {
-				// frames[pkt] = x keys the packet into someone else's
-				// storage: conservatively an escape.
-				if ix, ok := e.(*ast.IndexExpr); ok {
-					escMark(ix.Index)
-				}
-			}
-		}
-		return true
-	})
-
-	for _, t := range tracked {
-		if !t.satisfied {
-			pass.Reportf(t.pos.Pos(), "packet acquired from the pool is neither released nor handed off")
-		}
+// satisfied reports whether a value summary discharges the ownership
+// obligation: an intraprocedural escape, a Release call, or a resolved
+// callee that releases/retains the corresponding value. The second result
+// marks a verdict that leaned on the optimistic cycle assumption — only a
+// FALSE verdict can be tainted (optimism never invents a consumption), so
+// tainted verdicts must not be cached as facts.
+func satisfied(pass *framework.Pass, ve *framework.ValueEscape, visiting map[*types.Func]bool) (ok, tainted bool) {
+	if ve.Flow != 0 {
+		return true, false
 	}
+	if ve.Methods["Release"] {
+		return true, false
+	}
+	for _, edge := range ve.Calls {
+		if !interprocedural {
+			// v1 semantics: any call the packet reaches satisfies.
+			if edge.Param >= 0 {
+				return true, false
+			}
+			continue
+		}
+		c, t := consumes(pass, edge.Callee, edge.Param, visiting)
+		if c {
+			return true, false
+		}
+		tainted = tainted || t
+	}
+	return false, tainted
+}
+
+// consumes reports whether fn releases or retains its idx-th value
+// (receiver for idx == -1), computing and caching the release fact on
+// first use. Functions without a body in the load universe are assumed to
+// consume (conservative: no false leak reports through external code).
+func consumes(pass *framework.Pass, fn *types.Func, idx int, visiting map[*types.Func]bool) (bool, bool) {
+	fact := new(releaseFact)
+	if pass.ImportObjectFact(fn, fact) {
+		return fact.at(idx), false
+	}
+	node := pass.CallGraph().Node(fn)
+	if node == nil {
+		return true, false
+	}
+	if visiting[fn] {
+		// Optimistically assume the cycle does not consume; anything it
+		// truly consumes is visible on another edge.
+		return false, true
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+
+	fe := pass.EscapeOf(node)
+	fact = &releaseFact{Params: make([]bool, len(fe.Params))}
+	cacheable := true
+	judge := func(ve *framework.ValueEscape) bool {
+		ok, t := satisfied(pass, ve, visiting)
+		if t && !ok {
+			cacheable = false
+		}
+		return ok
+	}
+	if fe.Recv != nil {
+		fact.Recv = judge(fe.Recv)
+	}
+	for i, ve := range fe.Params {
+		fact.Params[i] = judge(ve)
+	}
+	if cacheable {
+		pass.ExportObjectFact(fn, fact)
+	}
+	taintedIdx := !cacheable && !fact.at(idx)
+	return fact.at(idx), taintedIdx
+}
+
+func funcObj(pass *framework.Pass, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return fn
 }
 
 func lastElem(path string) string {

@@ -1,5 +1,7 @@
 // Package pool exercises the poolrelease analyzer inside a pooled-path
-// package (the directory name "hostd" puts it in scope).
+// package (the directory name "hostd" puts it in scope). Since v2 the
+// helpers must genuinely release or retain a packet for a hand-off to
+// count: the analyzer composes escape summaries through the call graph.
 package pool
 
 import "repro/internal/wire"
@@ -9,9 +11,29 @@ type frame struct {
 	Owned bool
 }
 
-func send(f *frame)             {}
-func sendOwned(p *wire.Packet)  {}
+var sink *wire.Packet
+
+func send(f *frame)                                {}
+func sendOwned(p *wire.Packet)                     { sink = p } // retains: global store
 func stash(m map[int]*wire.Packet, p *wire.Packet) { m[0] = p }
+
+// drop reads the packet and forgets it: NOT a hand-off (the v1 blind spot).
+func drop(p *wire.Packet) { _ = p.Seq }
+
+// dropDeep launders the drop through one more call level.
+func dropDeep(p *wire.Packet) { drop(p) }
+
+// releaseIndirect discharges the obligation in a callee.
+func releaseIndirect(p *wire.Packet) { p.Release() }
+
+// relay discharges it two levels down.
+func relay(p *wire.Packet) { releaseIndirect(p) }
+
+type notifier interface{ Notify(*wire.Packet) }
+
+// dynamic hands the packet to an interface method: unresolvable, so the
+// analyzer must stay conservative and accept it.
+func dynamic(n notifier, p *wire.Packet) { n.Notify(p) }
 
 func leakDiscarded() {
 	wire.NewPacket() // want `poolrelease: packet-pool acquisition result is discarded`
@@ -33,15 +55,50 @@ func leakClone(src *wire.Packet) {
 	q.Seq = 1
 }
 
+// leakViaCallee pins the v1 blind spot: the packet IS passed to a call,
+// but the callee provably drops it, so v2 reports the acquisition.
+func leakViaCallee() {
+	pkt := wire.NewPacket() // want `poolrelease: packet acquired from the pool is neither released nor handed off`
+	pkt.Type = wire.TypeAck
+	drop(pkt)
+}
+
+// leakViaDeepCallee: the drop hides one more call level down.
+func leakViaDeepCallee() {
+	pkt := wire.NewPacket() // want `poolrelease: packet acquired from the pool is neither released nor handed off`
+	dropDeep(pkt)
+}
+
 func okReleased() {
 	pkt := wire.NewPacket()
 	pkt.Type = wire.TypeAck
 	pkt.Release()
 }
 
+func okReleasedViaAlias() {
+	pkt := wire.NewPacket()
+	q := pkt
+	q.Release()
+}
+
 func okHandedToCall() {
 	pkt := wire.NewPacket()
 	sendOwned(pkt)
+}
+
+func okReleasedByCallee() {
+	pkt := wire.NewPacket()
+	releaseIndirect(pkt)
+}
+
+func okReleasedByRelay() {
+	pkt := wire.NewPacket()
+	relay(pkt)
+}
+
+func okDynamicHandoff(n notifier) {
+	pkt := wire.NewPacket()
+	dynamic(n, pkt)
 }
 
 func okFrameLiteral(src *wire.Packet) {
@@ -68,6 +125,12 @@ func okAssigned(dst *frame) {
 func okNestedAcquisition(src *wire.Packet) {
 	// Acquisitions nested in a hand-off context need no binding at all.
 	send(&frame{Pkt: src.ClonePooled(), Owned: true})
+}
+
+func okClosureRelease() {
+	pkt := wire.NewPacket()
+	defer func() { pkt.Release() }()
+	pkt.Seq = 9
 }
 
 func okAllowed() {

@@ -1,0 +1,18 @@
+// Package v1pin is the corpus for the regression test pinning the v1
+// blind spot: a packet handed to a callee that provably drops it. Version
+// 1 accepted any call argument as a hand-off; version 2 composes the
+// callee's release fact and reports the leak. The want comment asserts
+// the v2 behaviour; TestV1BlindSpotPinned re-runs the analyzer with
+// interprocedural composition disabled and asserts the leak vanishes.
+package v1pin
+
+import "repro/internal/wire"
+
+// forget reads a field and drops the packet: not a release, not a
+// retention.
+func forget(p *wire.Packet) { _ = p.Seq }
+
+func leakThroughForget() {
+	pkt := wire.NewPacket() // want `poolrelease: packet acquired from the pool is neither released nor handed off`
+	forget(pkt)
+}

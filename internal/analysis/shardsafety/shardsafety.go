@@ -1,0 +1,289 @@
+// Package shardsafety defines the analyzer certifying the shard partition
+// the parallel DES (ROADMAP item 1) depends on.
+//
+// The simulator's state is being partitioned into per-rack shards so event
+// handling can run on one goroutine per rack. That is only sound if no
+// handler running on shard A can reach shard B's mutable state except
+// through a declared hand-off point. This analyzer machine-checks exactly
+// that, driven by three source annotations:
+//
+//	//askcheck:shard     on a type declaration: the type is a shard state
+//	                     root (per-rack Simulation kernel, TOR port,
+//	                     switch daemon, host daemon).
+//	//askcheck:mailbox   on a function declaration: a declared cross-shard
+//	                     hand-off point. Its body is exempt, and the shard
+//	                     context does not propagate through it.
+//	//askcheck:shared    on a package-level var declaration: deliberately
+//	                     shared (immutable after setup, or internally
+//	                     synchronized); references from shard contexts are
+//	                     exempt.
+//
+// The SHARD CONTEXT of a root type R is the set of functions consisting of
+// R's methods plus everything statically reachable from them through the
+// framework call graph, stopping at //askcheck:mailbox functions. Dynamic
+// calls (interface dispatch, function values, closures) produce no edge —
+// they are exactly the boundaries the serial simulator already crosses
+// dynamically, and the parallel refactor must turn each into an explicit
+// mailbox before the analyzer can vouch for it.
+//
+// Inside a shard context the analyzer reports:
+//
+//   - any reference to a package-level variable declared in a package that
+//     declares a shard root, unless the var is //askcheck:shared — shard
+//     handlers must not touch rack-global state;
+//   - obtaining a value of a shard-root type by indexing a container, by
+//     receiving it from a channel, or by ranging over a container of roots
+//     — holding a foreign shard's root is how cross-shard mutation starts,
+//     so roots must not be fished out of shared structure outside a
+//     mailbox.
+//
+// Constructors and coordinator code are unaffected: they are not reachable
+// from any root's methods, so they may enumerate shards freely. The
+// agreement test locks the analyzer to the runtime: the construct it flags
+// in testdata/src/agreement is the same one `go run -race` reports when
+// two shards' handlers run concurrently.
+package shardsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the shardsafety analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "shardsafety",
+	Doc:  "flag shard-root state reachable from another shard's event handlers outside the declared mailbox API",
+	Run:  run,
+}
+
+const (
+	shardMarker   = "//askcheck:shard"
+	mailboxMarker = "//askcheck:mailbox"
+	sharedMarker  = "//askcheck:shared"
+)
+
+func hasMarker(groups []*ast.CommentGroup, marker string) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if strings.HasPrefix(c.Text, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// annotations is the universe-wide annotation index.
+type annotations struct {
+	roots     map[*types.TypeName]bool
+	mailboxes map[*types.Func]bool
+	shared    map[*types.Var]bool
+	shardPkgs map[*types.Package]bool
+}
+
+func collect(universe []*framework.Package) *annotations {
+	an := &annotations{
+		roots:     make(map[*types.TypeName]bool),
+		mailboxes: make(map[*types.Func]bool),
+		shared:    make(map[*types.Var]bool),
+		shardPkgs: make(map[*types.Package]bool),
+	}
+	for _, pkg := range universe {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch decl := decl.(type) {
+				case *ast.FuncDecl:
+					if hasMarker([]*ast.CommentGroup{decl.Doc}, mailboxMarker) {
+						if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+							an.mailboxes[fn] = true
+						}
+					}
+				case *ast.GenDecl:
+					for _, spec := range decl.Specs {
+						switch spec := spec.(type) {
+						case *ast.TypeSpec:
+							if hasMarker([]*ast.CommentGroup{decl.Doc, spec.Doc, spec.Comment}, shardMarker) {
+								if tn, ok := pkg.Info.Defs[spec.Name].(*types.TypeName); ok {
+									an.roots[tn] = true
+									an.shardPkgs[tn.Pkg()] = true
+								}
+							}
+						case *ast.ValueSpec:
+							if decl.Tok == token.VAR &&
+								hasMarker([]*ast.CommentGroup{decl.Doc, spec.Doc, spec.Comment}, sharedMarker) {
+								for _, name := range spec.Names {
+									if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+										an.shared[v] = true
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return an
+}
+
+// rootOf returns the annotated root TypeName behind t (through pointers
+// and aliases), or nil.
+func (an *annotations) rootOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if named, ok := t.(*types.Named); ok && an.roots[named.Obj()] {
+		return named.Obj()
+	}
+	return nil
+}
+
+// rootElemOf returns the root TypeName of t's element type when t is a
+// container (slice, array, map, channel) of shard roots.
+func (an *annotations) rootElemOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	switch t := types.Unalias(t).Underlying().(type) {
+	case *types.Slice:
+		return an.rootOf(t.Elem())
+	case *types.Array:
+		return an.rootOf(t.Elem())
+	case *types.Map:
+		return an.rootOf(t.Elem())
+	case *types.Chan:
+		return an.rootOf(t.Elem())
+	case *types.Pointer:
+		return an.rootElemOf(t.Elem()) // e.g. range over *[N]*Shard
+	}
+	return nil
+}
+
+// receiverRoot returns the root TypeName fn is a method of, or nil.
+func (an *annotations) receiverRoot(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return an.rootOf(sig.Recv().Type())
+}
+
+func run(pass *framework.Pass) (any, error) {
+	universe := pass.Universe()
+	if universe == nil {
+		return nil, nil // hand-constructed pass: no engine to build on
+	}
+	an := collect(universe)
+	if len(an.roots) == 0 {
+		return nil, nil
+	}
+	g := pass.CallGraph()
+
+	// Shard context: node -> sorted root names whose contexts include it.
+	// Mailbox functions are boundaries: context neither checks them nor
+	// propagates through them.
+	type rootEntry struct {
+		tn      *types.TypeName
+		methods []*framework.CallNode
+	}
+	byName := make(map[string]*rootEntry)
+	var names []string
+	for _, n := range g.Nodes() {
+		tn := an.receiverRoot(n.Fn)
+		if tn == nil {
+			continue
+		}
+		key := tn.Pkg().Path() + "." + tn.Name()
+		e := byName[key]
+		if e == nil {
+			e = &rootEntry{tn: tn}
+			byName[key] = e
+			names = append(names, key)
+		}
+		e.methods = append(e.methods, n)
+	}
+	sort.Strings(names)
+	stop := func(n *framework.CallNode) bool { return an.mailboxes[n.Fn] }
+	context := make(map[*framework.CallNode][]string)
+	for _, key := range names {
+		e := byName[key]
+		for n := range g.ReachableFrom(e.methods, stop) {
+			if an.mailboxes[n.Fn] {
+				continue
+			}
+			context[n] = append(context[n], e.tn.Name())
+		}
+	}
+	for _, labels := range context {
+		sort.Strings(labels)
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			node := g.Node(fn)
+			if node == nil {
+				continue
+			}
+			if labels := context[node]; len(labels) > 0 {
+				checkBody(pass, an, fd, strings.Join(labels, "+"))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkBody reports the shard-safety violations inside one shard-context
+// function body.
+func checkBody(pass *framework.Pass, an *annotations, fd *ast.FuncDecl, label string) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[n].(*types.Var)
+			if ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() &&
+				an.shardPkgs[v.Pkg()] && !an.shared[v] {
+				pass.Reportf(n.Pos(),
+					"shard context of %s touches package-level var %s; shard handlers own only their root (annotate the var //askcheck:shared or cross via //askcheck:mailbox)",
+					label, v.Name())
+			}
+		case *ast.IndexExpr:
+			if tn := an.rootOf(info.TypeOf(n)); tn != nil {
+				pass.Reportf(n.Pos(),
+					"shard context of %s obtains %s shard state by indexing a shared container; cross-shard access must go through an //askcheck:mailbox function",
+					label, tn.Name())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if tn := an.rootOf(info.TypeOf(n)); tn != nil {
+					pass.Reportf(n.Pos(),
+						"shard context of %s receives %s shard state over a channel; shards exchange messages, not state roots",
+						label, tn.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			if tn := an.rootElemOf(info.TypeOf(n.X)); tn != nil {
+				pass.Reportf(n.X.Pos(),
+					"shard context of %s ranges over a container of %s shard roots; cross-shard sweeps belong to the coordinator or an //askcheck:mailbox function",
+					label, tn.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,51 @@
+package shardsafety_test
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shardsafety"
+	agreement "repro/internal/analysis/shardsafety/testdata/src/agreement"
+)
+
+func TestShardSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", []string{"toyshard"}, shardsafety.Analyzer)
+}
+
+// TestAgreementAnalyzer: the analyzer flags the cross-shard mutation in
+// the agreement corpus (the want comments sit on the offending line).
+func TestAgreementAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", []string{"agreement"}, shardsafety.Analyzer)
+}
+
+// TestAgreementSerialSchedule: under the serial DES schedule the flagged
+// construct is benign — this in-process execution stays race-free even
+// under `go test -race`, pinning that the defect is specifically a
+// PARALLEL-schedule hazard.
+func TestAgreementSerialSchedule(t *testing.T) {
+	if got := agreement.Serial(); got != 4000 {
+		t.Fatalf("Serial() = %d, want 4000", got)
+	}
+}
+
+// TestAgreementRace: the same construct under the parallel schedule trips
+// the race detector. The racy execution runs in a `go run -race`
+// subprocess so the detector's process-level failure cannot take this
+// test binary down with it.
+func TestAgreementRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go run -race subprocess in -short mode")
+	}
+	cmd := exec.Command("go", "run", "-race", "./testdata/src/agreement/cmd")
+	cmd.Env = append(os.Environ(), "GORACE=halt_on_error=1")
+	out, err := cmd.CombinedOutput()
+	if !strings.Contains(string(out), "WARNING: DATA RACE") {
+		t.Fatalf("go run -race did not report the cross-shard race (err=%v):\n%s", err, out)
+	}
+	if err == nil {
+		t.Fatalf("go run -race exited 0 despite the race:\n%s", out)
+	}
+}

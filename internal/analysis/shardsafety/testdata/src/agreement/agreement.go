@@ -1,0 +1,61 @@
+// Package agreement is the shardsafety agreement corpus (ISSUE 8, in the
+// style of pisaaccess's ISSUE-3 agreement test): the SAME construct — an
+// event handler mutating its neighbour shard through the shared grid —
+// must be flagged statically by the analyzer (the want comment below) and
+// dynamically by the race detector when two shards' handlers run
+// concurrently (TestAgreementRace runs Race under `go run -race`).
+package agreement
+
+import "sync"
+
+// Shard is the toy per-rack state root.
+//
+//askcheck:shard
+type Shard struct {
+	id    int
+	Count int
+}
+
+// shards is the shared grid both handlers reach into.
+var shards [2]*Shard
+
+func init() {
+	shards[0], shards[1] = &Shard{id: 0}, &Shard{id: 1}
+}
+
+// HandleEvent bumps the shard's own counter and — the defect under
+// certification — its neighbour's, straight through the shared array.
+func (s *Shard) HandleEvent() {
+	s.Count++
+	shards[1-s.id].Count++ // want `shardsafety: shard context of Shard touches package-level var shards` `shardsafety: shard context of Shard obtains Shard shard state by indexing a shared container`
+}
+
+// Race drives both shards' handlers on their own goroutines — the
+// schedule the parallel DES would use. The cross-shard increment above
+// then races: both goroutines write both counters with no ordering.
+func Race() {
+	var wg sync.WaitGroup
+	for i := range shards {
+		s := shards[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				s.HandleEvent()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Serial runs the same handlers one shard at a time — the serial DES
+// schedule, under which the very same cross-shard access is benign.
+func Serial() int {
+	shards[0].Count, shards[1].Count = 0, 0
+	for _, s := range shards {
+		for n := 0; n < 1000; n++ {
+			s.HandleEvent()
+		}
+	}
+	return shards[0].Count + shards[1].Count
+}

@@ -1,0 +1,9 @@
+// Command cmd runs the agreement corpus's racy schedule; the agreement
+// test executes it under `go run -race` and asserts the detector fires.
+package main
+
+import agreement "repro/internal/analysis/shardsafety/testdata/src/agreement"
+
+func main() {
+	agreement.Race()
+}

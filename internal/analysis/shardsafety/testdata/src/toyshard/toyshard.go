@@ -1,0 +1,93 @@
+// Package toyshard exercises the shardsafety analyzer: a miniature
+// sharded event loop with one annotated state root, a shared grid, a
+// declared mailbox, and handlers that reach across the partition in every
+// way the analyzer must catch.
+package toyshard
+
+// Shard is one rack's state root.
+//
+//askcheck:shard
+type Shard struct {
+	ID    int
+	Count int
+	peers []*Shard
+	inbox chan int
+}
+
+// grid is the coordinator's shard table.
+var grid []*Shard
+
+// totalEvents is rack-global mutable state no shard handler may touch.
+var totalEvents int
+
+// topo is immutable after setup, so shard handlers may read it.
+//
+//askcheck:shared
+var topo = struct{ Racks int }{Racks: 2}
+
+// Post is the declared cross-shard hand-off point: its body may index the
+// grid, and the shard context stops here.
+//
+//askcheck:mailbox
+func Post(rack, v int) {
+	grid[rack%topo.Racks].inbox <- v
+}
+
+// HandleEvent is the shard's event handler.
+func (s *Shard) HandleEvent(v int) {
+	s.Count += v   // own state: fine
+	_ = topo.Racks // //askcheck:shared var: fine
+	totalEvents++  // want `shardsafety: shard context of Shard touches package-level var totalEvents`
+	Post(s.ID+1, v)
+}
+
+// Steal reaches into a neighbour's state through the shared grid.
+func (s *Shard) Steal(v int) {
+	peers := grid                       // want `shardsafety: shard context of Shard touches package-level var grid`
+	other := peers[(s.ID+1)%topo.Racks] // want `shardsafety: shard context of Shard obtains Shard shard state by indexing a shared container`
+	other.Count += v
+}
+
+// StealLocal shows the container need not be global: holding peer roots
+// inside the shard is flagged at the point they are fished out.
+func (s *Shard) StealLocal(v int) {
+	s.peers[0].Count += v // want `shardsafety: shard context of Shard obtains Shard shard state by indexing a shared container`
+}
+
+// Adopt receives a foreign root over a channel.
+func (s *Shard) Adopt(ch chan *Shard) {
+	n := <-ch // want `shardsafety: shard context of Shard receives Shard shard state over a channel`
+	n.Count++
+}
+
+// Sweep enumerates every shard from inside one shard's context.
+func (s *Shard) Sweep() {
+	for _, p := range s.peers { // want `shardsafety: shard context of Shard ranges over a container of Shard shard roots`
+		p.Count = 0
+	}
+}
+
+// HandleTick launders the access through a helper: bump is not a mailbox,
+// so it is inside the shard context and its accesses are still flagged.
+func (s *Shard) HandleTick() {
+	bump(s.ID + 1)
+}
+
+func bump(r int) {
+	grid[r%topo.Racks].Count++ // want `shardsafety: shard context of Shard touches package-level var grid` `shardsafety: shard context of Shard obtains Shard shard state by indexing a shared container`
+}
+
+// Reset is coordinator code: it is not reachable from any shard method,
+// so enumerating the grid is fine here.
+func Reset() {
+	totalEvents = 0
+	for _, s := range grid {
+		s.Count = 0
+	}
+}
+
+// Quiet demonstrates the suppression escape hatch on an intentional read.
+func (s *Shard) Quiet() int {
+	//askcheck:allow(shardsafety)
+	return totalEvents
+}

@@ -82,7 +82,11 @@ type Stats struct {
 	SlotFill [65]int64
 }
 
-// Daemon is the per-host ASK service.
+// Daemon is the per-host ASK service. Each Daemon is per-host (hence
+// per-rack) state — a shard root for the parallel DES; frames leave it
+// only through the HostFabric interface.
+//
+//askcheck:shard
 type Daemon struct {
 	sim    *sim.Simulation
 	net    netsim.HostFabric

@@ -36,6 +36,12 @@ type TwoTier struct {
 }
 
 // torPort is one rack's TOR: the SwitchFabric its ASK program attaches to.
+// It is the per-rack network-state root for the parallel DES; cross-rack
+// traffic leaves it only over the up/down links, whose delivery closures
+// are the dynamic boundary a future shard runtime will turn into
+// mailboxes.
+//
+//askcheck:shard
 type torPort struct {
 	tt      *TwoTier
 	rack    int

@@ -111,6 +111,11 @@ func heapLess(a, b heapEntry) bool {
 
 // Simulation is a discrete-event scheduler with a virtual clock.
 // The zero value is not usable; call New.
+//
+// In the sharded parallel DES (ROADMAP item 1) each rack shard owns one
+// Simulation instance; shardsafety certifies that no state escapes it.
+//
+//askcheck:shard
 type Simulation struct {
 	now     Time
 	heap    []heapEntry

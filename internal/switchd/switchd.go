@@ -76,7 +76,11 @@ func DefaultOptions() Options {
 }
 
 // Switch is the ASK switch: a netsim.SwitchHandler running the ASK pipeline
-// program plus its control plane.
+// program plus its control plane. One Switch is one rack's TOR program
+// state — a shard root for the parallel DES (everything it reaches beyond
+// its own fields goes through the fabric interface).
+//
+//askcheck:shard
 type Switch struct {
 	sim    *sim.Simulation
 	net    netsim.SwitchFabric

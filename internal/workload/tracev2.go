@@ -3,6 +3,7 @@ package workload
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -136,7 +137,7 @@ func readTimedRecords(br *bufio.Reader, hdr TraceHeader) ([]core.TimedKV, error)
 	for i := int64(0); i < hdr.Records; i++ {
 		lineNo := int(i) + 2 // 1-based; header is line 1
 		line, err := readLine(br, lineNo)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("workload: truncated trace: %d of %d records (line %d)", i, hdr.Records, lineNo)
 		}
 		if err != nil {
@@ -173,7 +174,7 @@ func readTimedRecords(br *bufio.Reader, hdr TraceHeader) ([]core.TimedKV, error)
 	if extra, err := readLine(br, int(hdr.Records)+2); err == nil {
 		return nil, fmt.Errorf("workload: line %d: %d record(s) announced but more data follows (%q...)",
 			int(hdr.Records)+2, hdr.Records, clip(extra, 32))
-	} else if err != io.EOF {
+	} else if !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return out, nil
@@ -213,7 +214,7 @@ func SplitTimedRoundRobin(tkvs []core.TimedKV, n int) [][]core.TimedKV {
 // terminator), bounding its length; io.EOF means no more lines.
 func readLine(br *bufio.Reader, lineNo int) (string, error) {
 	line, err := br.ReadString('\n')
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		if line == "" {
 			return "", io.EOF
 		}
