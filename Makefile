@@ -70,10 +70,13 @@ bench-json:
 # Bounded chaos soak (README "Failure model"): 12 fixed seeds of randomized
 # fault schedules — switch outages, black-holes, loss/corruption bursts,
 # host stalls — each run end-to-end against the analytic ground truth with
-# a continuous per-link corruption baseline. Deterministic and fast (a few
-# seconds); a failure prints a shrunken schedule and a reproducer seed.
+# a continuous per-link corruption baseline, then a fat-tree smoke pass
+# (spine/leaf outages over the multi-tenant fabric, EXPERIMENTS.md "Fabric
+# soak"). Deterministic and fast (a few seconds); a failure prints a
+# shrunken schedule and a reproducer line carrying the topology flags.
 soak:
 	$(GO) run ./cmd/asksim -soak -soak.seed=1 -soak.runs=12 -soak.corrupt=1e-3
+	$(GO) run ./cmd/asksim -soak -topology fattree -soak.seed=1 -soak.runs=6 -soak.corrupt=1e-3
 
 # Scenario-corpus round trip (README "Workloads & traces"): every committed
 # scenario regenerated from its seed (byte-identical), encoded to the v2

@@ -178,6 +178,48 @@ func (c *Cluster) taskFinished() {
 	}
 }
 
+// TheSwitch is the fabric address of the rack's only switch for the
+// addressed fault-injection surface (chaos.Fabric): rack deployments have a
+// single switch, and it answers to address 0. Fat-tree switches use the
+// netsim.LeafAddr/SpineAddr range instead.
+const TheSwitch core.HostID = 0
+
+// Simulation returns the deterministic virtual-time kernel (the
+// chaos.Fabric surface).
+func (c *Cluster) Simulation() *sim.Simulation { return c.Sim }
+
+// TelemetrySet returns the cluster observability set, nil when telemetry is
+// disabled (the chaos.Fabric surface).
+func (c *Cluster) TelemetrySet() *telemetry.Set { return c.Tel }
+
+// CrashSwitch crashes the rack's switch: every frame black-holes until
+// RebootSwitch. The only valid address is TheSwitch (0) — any other addr
+// returns an error, since the rack has exactly one switch.
+func (c *Cluster) CrashSwitch(addr core.HostID) error {
+	if addr != TheSwitch {
+		return fmt.Errorf("ask: rack has no switch at fabric address %#x", addr)
+	}
+	c.Switch.Crash()
+	return nil
+}
+
+// RebootSwitch reboots the rack's switch as a fresh incarnation (state
+// wiped, epoch advanced). Like CrashSwitch it returns an error for any
+// address other than TheSwitch.
+func (c *Cluster) RebootSwitch(addr core.HostID) error {
+	if addr != TheSwitch {
+		return fmt.Errorf("ask: rack has no switch at fabric address %#x", addr)
+	}
+	c.Switch.Reboot()
+	return nil
+}
+
+// HostUplink returns a host's uplink to the switch (fault injection, stats).
+func (c *Cluster) HostUplink(h core.HostID) *netsim.Link { return c.Net.Uplink(h) }
+
+// HostDownlink returns a host's downlink from the switch.
+func (c *Cluster) HostDownlink(h core.HostID) *netsim.Link { return c.Net.Downlink(h) }
+
 // Daemon returns the host daemon of a server.
 func (c *Cluster) Daemon(h core.HostID) *hostd.Daemon { return c.daemons[h] }
 

@@ -3,6 +3,7 @@ package ask
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpumodel"
@@ -67,6 +68,11 @@ type FatTreeCluster struct {
 	daemons map[core.HostID]*hostd.Daemon
 	cpus    map[core.HostID]*cpumodel.Host
 	allocs  map[core.TaskID]fatAlloc
+	// fabricEpoch is the fabric-wide incarnation number (starts at 1). Every
+	// switch outage event — crash AND reboot — bumps it and pushes it into
+	// all live switches (see bumpFabricEpoch), so the whole fabric presents
+	// hosts with one coherent epoch sequence.
+	fabricEpoch uint32
 	// tenantTasks lists each tenant's live tasks in admission order, for the
 	// telemetry-driven hotness callback (slice, not map: iterated).
 	tenantTasks map[core.TenantID][]core.TaskID
@@ -95,11 +101,11 @@ func NewFatTreeCluster(opts FatTreeOptions) (*FatTreeCluster, error) {
 	if opts.Config.NumAAs == 0 {
 		opts.Config = core.DefaultConfig()
 	}
-	if opts.Config.Failover {
-		// The failover protocol is single-switch: probes are terminated by
-		// the first switch on the path and replay reconciliation cannot
-		// attribute tuples across tiers.
-		return nil, fmt.Errorf("ask: fat-tree deployment requires Config.Failover off")
+	if opts.Config.Failover && opts.Config.ShadowCopy {
+		// Same restriction the rack soak runs under: failover replay cannot
+		// attribute swap fetches, so hierarchical failover requires shadow
+		// copies off.
+		return nil, fmt.Errorf("ask: fat-tree failover requires Config.ShadowCopy off (replay cannot attribute swap fetches)")
 	}
 	if opts.HostLink.BandwidthBps == 0 {
 		opts.HostLink = netsim.DefaultLinkConfig()
@@ -124,6 +130,7 @@ func NewFatTreeCluster(opts FatTreeOptions) (*FatTreeCluster, error) {
 		cpus:        make(map[core.HostID]*cpumodel.Host),
 		allocs:      make(map[core.TaskID]fatAlloc),
 		tenantTasks: make(map[core.TenantID][]core.TaskID),
+		fabricEpoch: 1,
 	}
 	if len(opts.Tenants) > 0 {
 		mgr, err := tenancy.NewManager(opts.Tenants, opts.Config)
@@ -262,23 +269,37 @@ func (c fabricController) RegisterFlow(fk core.FlowKey) (uint32, error) {
 		return 0, err
 	}
 	for sp, sw := range c.fc.Spines {
+		if sw.Down() {
+			// A crashed spine has no control plane; its reboot wipes flow
+			// state, and the heal-time epoch bump re-registers everything.
+			continue
+		}
 		if _, err := sw.RegisterFlow(fk); err != nil {
 			return 0, fmt.Errorf("ask: registering flow at spine %d: %w", sp, err)
 		}
 	}
-	return c.fc.Leaves[c.leaf].Epoch(), nil
+	return c.fc.fabricEpoch, nil
 }
 
 func (c fabricController) RegisterFlowAt(fk core.FlowKey, start uint32) (uint32, error) {
+	if c.fc.Leaves[c.leaf].Down() {
+		// The host's own attach point is gone: the flow cannot register at
+		// its first hop, so recovery proceeds host-only (the daemon replays
+		// unregistered) until the heal-time epoch bump re-triggers it.
+		return 0, &core.DegradedError{Op: "register-flow", Addr: netsim.LeafAddr(c.leaf), Attempts: 1}
+	}
 	if _, err := c.fc.Leaves[c.leaf].RegisterFlowAt(fk, start); err != nil {
 		return 0, err
 	}
 	for sp, sw := range c.fc.Spines {
+		if sw.Down() {
+			continue
+		}
 		if _, err := sw.RegisterFlowAt(fk, start); err != nil {
 			return 0, fmt.Errorf("ask: registering flow at spine %d: %w", sp, err)
 		}
 	}
-	return c.fc.Leaves[c.leaf].Epoch(), nil
+	return c.fc.fabricEpoch, nil
 }
 
 func (c fabricController) AllocRegion(spec core.TaskSpec) (hostd.AllocInfo, error) {
@@ -294,6 +315,14 @@ func (c fabricController) FreeRegion(task core.TaskID) error {
 // the task's spine when any sender sits on a different leaf than the
 // receiver. The returned AllocInfo carries the tenant's keyspace partition
 // and the fetch points in allocation order.
+//
+// Crashed switches are skipped rather than failing the allocation — this is
+// the re-attach path during a fabric outage, and partial in-network
+// coverage still beats none: a dead sender leaf carries no traffic anyway,
+// and with no live spine (or a spine allocation failure) the task degrades
+// to leaf-only absorption with the cross-leaf residue merged at the host.
+// Only when EVERY aggregation point is down does the call fail, with a
+// *core.DegradedError the receiver retries under a bounded backoff budget.
 func (fc *FatTreeCluster) allocRegion(recvLeaf int, spec core.TaskSpec) (hostd.AllocInfo, error) {
 	var part keyspace.Partition
 	tenant := spec.ID.Tenant()
@@ -339,30 +368,55 @@ func (fc *FatTreeCluster) allocRegion(recvLeaf int, spec core.TaskSpec) (hostd.A
 	}
 	sort.Ints(senderLeaves)
 	cross := false
+	skipped := 0
 	points := make([]core.HostID, 0, len(senderLeaves)+1)
 	for _, l := range senderLeaves {
-		points = append(points, netsim.LeafAddr(l))
 		if l != recvLeaf {
 			cross = true
 		}
+		if fc.Leaves[l].Down() {
+			skipped++
+			continue
+		}
+		points = append(points, netsim.LeafAddr(l))
 	}
-	if cross {
-		points = append(points, netsim.SpineAddr(fc.Net.SpineFor(spec.ID)))
+	release := func() {
+		if fc.Tenancy != nil {
+			fc.Tenancy.Release(tenant, rows)
+		}
 	}
 	var done []core.HostID
+	unwind := func() {
+		for _, a := range done {
+			// Unwind is best-effort; the switches just allocated cannot
+			// refuse to free.
+			_ = fc.switchAt(a).FreeRegion(spec.ID)
+		}
+		release()
+	}
 	for _, addr := range points {
 		if _, err := fc.switchAt(addr).AllocRegionPartition(spec.ID, spec.Receiver, spec.Op, rows, part); err != nil {
-			for _, a := range done {
-				// Unwind is best-effort; the switches just allocated cannot
-				// refuse to free.
-				_ = fc.switchAt(a).FreeRegion(spec.ID)
-			}
-			if fc.Tenancy != nil {
-				fc.Tenancy.Release(tenant, rows)
-			}
+			unwind()
 			return hostd.AllocInfo{}, err
 		}
 		done = append(done, addr)
+	}
+	if cross {
+		if sp, ok := fc.liveSpine(spec.ID); !ok {
+			// Every spine is down: leaf-only + host merge until the fabric
+			// heals (cross-leaf residue streams to the receiver unabsorbed).
+			skipped++
+		} else if _, err := fc.Spines[sp].AllocRegionPartition(spec.ID, spec.Receiver, spec.Op, rows, part); err != nil {
+			// The re-elected spine has no capacity for this task: same
+			// leaf-only degradation, but keep the leaf regions we placed.
+			skipped++
+		} else {
+			points = append(points, netsim.SpineAddr(sp))
+		}
+	}
+	if len(points) == 0 {
+		release()
+		return hostd.AllocInfo{}, &core.DegradedError{Op: "alloc-region", Attempts: skipped}
 	}
 	fc.allocs[spec.ID] = fatAlloc{points: points, rows: rows, tenant: tenant}
 	if fc.Tenancy != nil {
@@ -479,11 +533,21 @@ func (fc *FatTreeCluster) startTask(spec core.TaskSpec, hasStream func(core.Host
 			submit(fc.daemons[s], s)
 		}
 		res := h.Wait(p)
+		var degraded time.Duration
+		for _, hid := range append([]core.HostID{spec.Receiver}, senders...) {
+			if dt := fc.daemons[hid].FailoverStats().DegradedTime; dt > degraded {
+				degraded = dt
+			}
+		}
+		if dt := h.Stats().Degraded; dt > degraded {
+			degraded = dt
+		}
 		pt.result = &TaskResult{
-			Result:  res,
-			Elapsed: p.Now() - pt.start,
-			Recv:    h.Stats(),
-			Switch:  fc.TaskSwitchStats(spec.ID),
+			Result:   res,
+			Elapsed:  p.Now() - pt.start,
+			Recv:     h.Stats(),
+			Switch:   fc.TaskSwitchStats(spec.ID),
+			Degraded: degraded,
 		}
 	})
 	return pt, nil

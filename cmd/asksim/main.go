@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"repro/ask"
-	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/stats"
@@ -71,40 +70,28 @@ func main() {
 		leaves   = flag.Int("leaves", 3, "fat-tree leaf switches; -hosts is then hosts per leaf (topology=fattree)")
 		tenants  = flag.Int("tenants", 0, "tenants sharing the fat-tree, one task each, equal weights (0 = untenanted; topology=fattree)")
 
-		soak        = flag.Bool("soak", false, "run the chaos soak harness instead of a single task")
+		soak        = flag.Bool("soak", false, "run the chaos soak harness instead of a single task (honors -topology)")
 		soakRuns    = flag.Int("soak.runs", 1, "consecutive soak seeds to run (soak.seed, soak.seed+1, ...)")
 		soakSeed    = flag.Int64("soak.seed", 1, "soak seed (drives workload, schedule, and fault RNG)")
 		soakEvents  = flag.Int("soak.events", 6, "fault events per soak schedule")
-		soakSenders = flag.Int("soak.senders", 2, "sending hosts in the soak cluster")
-		soakTuples  = flag.Int64("soak.tuples", 30_000, "tuples per sender in the soak workload")
+		soakSenders = flag.Int("soak.senders", 2, "sending hosts in the soak cluster (topology=rack)")
+		soakTuples  = flag.Int64("soak.tuples", 0, "tuples per sender in the soak workload (0 = topology default)")
 		soakCorrupt = flag.Float64("soak.corrupt", 1e-3, "baseline per-link corruption probability during the soak")
-		soakBreak   = flag.Bool("soak.break-checksums", false, "disable checksum verification (fault hook) to demo harness detection")
+		soakBreak   = flag.Bool("soak.break-checksums", false, "disable checksum verification (fault hook) to demo harness detection (topology=rack)")
+		soakSpines  = flag.Int("soak.spines", 0, "fat-tree soak spine switches (0 = default 2; topology=fattree)")
+		soakLeaves  = flag.Int("soak.leaves", 0, "fat-tree soak leaf switches (0 = default 3; topology=fattree)")
 	)
 	flag.Parse()
 	if *promOut != "" || *jsonOut != "" {
 		*telem = true
 	}
 	if *soak {
-		ok := true
-		for i := 0; i < *soakRuns; i++ {
-			rep, err := chaos.Soak(chaos.SoakConfig{
-				Seed:                  *soakSeed + int64(i),
-				Events:                *soakEvents,
-				Senders:               *soakSenders,
-				Tuples:                *soakTuples,
-				Base:                  netsim.Fault{CorruptProb: *soakCorrupt},
-				DisableChecksumVerify: *soakBreak,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "asksim:", err)
-				os.Exit(1)
-			}
-			fmt.Print(rep)
-			ok = ok && rep.Passed()
-		}
-		if !ok {
-			os.Exit(1)
-		}
+		runSoak(soakFlags{
+			Topology: *topology, Runs: *soakRuns, Seed: *soakSeed,
+			Events: *soakEvents, Senders: *soakSenders, Tuples: *soakTuples,
+			Corrupt: *soakCorrupt, BreakChecksums: *soakBreak,
+			Spines: *soakSpines, Leaves: *soakLeaves,
+		})
 		return
 	}
 

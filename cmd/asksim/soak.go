@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chaos"
+	"repro/internal/netsim"
+)
+
+// soakFlags carries the -soak.* flag values into the topology dispatch.
+type soakFlags struct {
+	Topology       string
+	Runs           int
+	Seed           int64
+	Events         int
+	Senders        int
+	Tuples         int64
+	Corrupt        float64
+	BreakChecksums bool
+	Spines, Leaves int
+}
+
+// runSoak dispatches the soak harness by -topology: the rack soak
+// (chaos.Soak) or the fat-tree fabric soak (chaos.FabricSoak). Flags that
+// only exist on the other topology are rejected up front — a silently
+// ignored flag would make a reproducer line lie about what ran.
+func runSoak(sf soakFlags) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "asksim: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	ok := true
+	switch sf.Topology {
+	case "rack":
+		if set["soak.spines"] || set["soak.leaves"] {
+			fail("-soak.spines/-soak.leaves need -topology fattree (the rack has a single switch)")
+		}
+		for i := 0; i < sf.Runs; i++ {
+			rep, err := chaos.Soak(chaos.SoakConfig{
+				Seed:                  sf.Seed + int64(i),
+				Events:                sf.Events,
+				Senders:               sf.Senders,
+				Tuples:                sf.Tuples,
+				Base:                  netsim.Fault{CorruptProb: sf.Corrupt},
+				DisableChecksumVerify: sf.BreakChecksums,
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Print(rep)
+			ok = ok && rep.Passed()
+		}
+	case "fattree":
+		if set["soak.senders"] {
+			fail("-soak.senders is rack-only; the fat-tree soak derives its senders from -soak.leaves (one per non-receiver leaf, per tenant)")
+		}
+		if sf.BreakChecksums {
+			fail("-soak.break-checksums is rack-only (the checksum fault hook demo runs on the rack soak)")
+		}
+		for i := 0; i < sf.Runs; i++ {
+			rep, err := chaos.FabricSoak(chaos.FabricSoakConfig{
+				Seed:   sf.Seed + int64(i),
+				Events: sf.Events,
+				Spines: sf.Spines,
+				Leaves: sf.Leaves,
+				Tuples: sf.Tuples,
+				Base:   netsim.Fault{CorruptProb: sf.Corrupt},
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Print(rep)
+			ok = ok && rep.Passed()
+		}
+	default:
+		fail("unknown -topology %q (rack or fattree)", sf.Topology)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

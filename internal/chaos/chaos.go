@@ -1,12 +1,14 @@
 // Package chaos is the fault-injection orchestrator for the simulated ASK
-// rack: it schedules scripted failures — switch crashes and reboots, per-task
+// deployments: it schedules scripted failures — switch crashes and reboots
+// (addressed, so a fat-tree script can target one spine or leaf), per-task
 // AA-region revocations, link black-holes and degradations, host daemon
 // stalls — on the deterministic virtual clock, so every chaos run is exactly
 // reproducible for a given seed and script.
 //
-// The orchestrator is a thin scheduling layer over ask.Cluster: each injected
-// event is a named closure fired at an absolute virtual time via sim.At, and
-// every firing is appended to a log that experiments and tests can assert
+// The orchestrator is a thin scheduling layer over a Fabric (the rack's
+// ask.Cluster or the spine/leaf ask.FatTreeCluster): each injected event is
+// a named closure fired at an absolute virtual time via sim.At, and every
+// firing is appended to a log that experiments and tests can assert
 // against. Faults must heal within the script (a crash needs a matching
 // reboot, a black-hole a matching clear), otherwise in-flight tasks cannot
 // complete and the simulation will not quiesce.
@@ -18,9 +20,41 @@ import (
 
 	"repro/ask"
 	"repro/internal/core"
+	"repro/internal/hostd"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+)
+
+// Fabric is the deployment surface the orchestrator injects faults into.
+// Both ask.Cluster (single switch, address ask.TheSwitch) and
+// ask.FatTreeCluster (switches at netsim.LeafAddr/SpineAddr) implement it.
+type Fabric interface {
+	// Simulation returns the deterministic virtual-time kernel faults are
+	// scheduled on.
+	Simulation() *sim.Simulation
+	// TelemetrySet returns the cluster observability set (nil when
+	// telemetry is disabled).
+	TelemetrySet() *telemetry.Set
+	// CrashSwitch / RebootSwitch address a switch by fabric address; they
+	// return an error for an address that names no switch (a script bug).
+	CrashSwitch(addr core.HostID) error
+	RebootSwitch(addr core.HostID) error
+	// HostUplink / HostDownlink expose a host's links for black-holes and
+	// fault-model overrides.
+	HostUplink(h core.HostID) *netsim.Link
+	HostDownlink(h core.HostID) *netsim.Link
+	// Daemon returns a host's daemon (stalls, stats).
+	Daemon(h core.HostID) *hostd.Daemon
+	// RevokeRegion reclaims a task's aggregator rows. Fabrics that cannot
+	// drain a revoked region exactly-once (the fat-tree) return an error,
+	// which the orchestrator treats as a no-op fault.
+	RevokeRegion(task core.TaskID, receiver core.HostID) error
+}
+
+var (
+	_ Fabric = (*ask.Cluster)(nil)
+	_ Fabric = (*ask.FatTreeCluster)(nil)
 )
 
 // Record is one fired injection.
@@ -29,9 +63,9 @@ type Record struct {
 	Desc string
 }
 
-// Orchestrator schedules fault injections against one cluster.
+// Orchestrator schedules fault injections against one fabric.
 type Orchestrator struct {
-	cl  *ask.Cluster
+	fab Fabric
 	log []Record
 	// injections counts fired events (chaos.injections on the cluster
 	// registry); tr mirrors every firing into the trace ring. Both are
@@ -40,20 +74,24 @@ type Orchestrator struct {
 	tr         *telemetry.Tracer
 }
 
-// New wraps a cluster in an orchestrator. The cluster should run with
+// New wraps a rack cluster in an orchestrator. The cluster should run with
 // Config.Failover on; injecting switch faults into a non-failover cluster
 // deadlocks tasks whose state died with the switch.
-func New(cl *ask.Cluster) *Orchestrator {
-	o := &Orchestrator{cl: cl}
-	if cl.Tel != nil && cl.Tel.Registry != nil {
-		o.injections = cl.Tel.Registry.Counter("chaos.injections")
-		o.tr = cl.Tel.Tracer
+func New(cl *ask.Cluster) *Orchestrator { return NewFabric(cl) }
+
+// NewFabric wraps any deployment (rack or fat-tree) in an orchestrator;
+// the same failover caveat as New applies.
+func NewFabric(f Fabric) *Orchestrator {
+	o := &Orchestrator{fab: f}
+	if ts := f.TelemetrySet(); ts != nil && ts.Registry != nil {
+		o.injections = ts.Registry.Counter("chaos.injections")
+		o.tr = ts.Tracer
 	}
 	return o
 }
 
-// Cluster returns the rack under test.
-func (o *Orchestrator) Cluster() *ask.Cluster { return o.cl }
+// Fabric returns the deployment under test.
+func (o *Orchestrator) Fabric() Fabric { return o.fab }
 
 // Log returns the fired injections in firing order.
 func (o *Orchestrator) Log() []Record { return o.log }
@@ -63,22 +101,35 @@ func (o *Orchestrator) Log() []Record { return o.log }
 // between simulation steps, never preempting a running process mid-yield.
 func (o *Orchestrator) At(d time.Duration, desc string, fn func()) {
 	t := sim.Time(0).Add(d)
-	o.cl.Sim.At(t, func() {
-		o.log = append(o.log, Record{At: o.cl.Sim.Now(), Desc: desc})
+	s := o.fab.Simulation()
+	s.At(t, func() {
+		o.log = append(o.log, Record{At: s.Now(), Desc: desc})
 		o.injections.Inc()
 		o.tr.EmitNote(telemetry.CompChaos, "inject", 0, desc)
 		fn()
 	})
 }
 
-// SwitchOutage crashes the switch at `at` and reboots it downFor later: the
-// rack loses all in-switch aggregation state (registers, flows, regions) and
-// every frame in the outage window is black-holed. Hosts detect the outage
-// via probe timeouts, run degraded (host-only), and re-attach to the new
-// switch incarnation after the reboot.
-func (o *Orchestrator) SwitchOutage(at, downFor time.Duration) {
-	o.At(at, "switch crash", o.cl.Switch.Crash)
-	o.At(at+downFor, "switch reboot", o.cl.Switch.Reboot)
+// SwitchOutage crashes the switch at fabric address addr at `at` and
+// reboots it downFor later: the switch loses all in-network aggregation
+// state (registers, flows, regions) and every frame through it in the
+// outage window is black-holed. Hosts detect the outage via probe timeouts
+// or the advanced epoch, run degraded (host-only where no alternate
+// aggregation point exists), and re-attach to the new incarnation after the
+// reboot. On the rack addr must be ask.TheSwitch; on the fat-tree use
+// netsim.LeafAddr / netsim.SpineAddr. An address naming no switch is a
+// script bug and panics at firing time.
+func (o *Orchestrator) SwitchOutage(addr core.HostID, at, downFor time.Duration) {
+	o.At(at, fmt.Sprintf("switch crash addr=%#x", uint16(addr)), func() {
+		if err := o.fab.CrashSwitch(addr); err != nil {
+			panic(fmt.Sprintf("chaos: %v", err))
+		}
+	})
+	o.At(at+downFor, fmt.Sprintf("switch reboot addr=%#x", uint16(addr)), func() {
+		if err := o.fab.RebootSwitch(addr); err != nil {
+			panic(fmt.Sprintf("chaos: %v", err))
+		}
+	})
 }
 
 // RevokeRegion reclaims a task's aggregator rows at `at`. The switch keeps
@@ -87,8 +138,9 @@ func (o *Orchestrator) SwitchOutage(at, downFor time.Duration) {
 func (o *Orchestrator) RevokeRegion(at time.Duration, task core.TaskID, receiver core.HostID) {
 	o.At(at, fmt.Sprintf("revoke region task=%d", task), func() {
 		// The region can legitimately be gone already (task finished or a
-		// reboot wiped it); revoking nothing is a no-op fault.
-		_ = o.cl.RevokeRegion(task, receiver)
+		// reboot wiped it), or the fabric may not support single-point
+		// revocation (the fat-tree); either way it is a no-op fault.
+		_ = o.fab.RevokeRegion(task, receiver)
 	})
 }
 
@@ -98,12 +150,12 @@ func (o *Orchestrator) RevokeRegion(at time.Duration, task core.TaskID, receiver
 // stream instead.
 func (o *Orchestrator) LinkBlackhole(at, dur time.Duration, host core.HostID) {
 	o.At(at, fmt.Sprintf("blackhole host=%d", host), func() {
-		o.cl.Net.Uplink(host).SetBlackhole(true)
-		o.cl.Net.Downlink(host).SetBlackhole(true)
+		o.fab.HostUplink(host).SetBlackhole(true)
+		o.fab.HostDownlink(host).SetBlackhole(true)
 	})
 	o.At(at+dur, fmt.Sprintf("heal blackhole host=%d", host), func() {
-		o.cl.Net.Uplink(host).SetBlackhole(false)
-		o.cl.Net.Downlink(host).SetBlackhole(false)
+		o.fab.HostUplink(host).SetBlackhole(false)
+		o.fab.HostDownlink(host).SetBlackhole(false)
 	})
 }
 
@@ -112,12 +164,12 @@ func (o *Orchestrator) LinkBlackhole(at, dur time.Duration, host core.HostID) {
 // configured model.
 func (o *Orchestrator) LinkDegrade(at, dur time.Duration, host core.HostID, f netsim.Fault) {
 	o.At(at, fmt.Sprintf("degrade link host=%d", host), func() {
-		o.cl.Net.Uplink(host).SetFault(f)
-		o.cl.Net.Downlink(host).SetFault(f)
+		o.fab.HostUplink(host).SetFault(f)
+		o.fab.HostDownlink(host).SetFault(f)
 	})
 	o.At(at+dur, fmt.Sprintf("heal link host=%d", host), func() {
-		o.cl.Net.Uplink(host).ClearFault()
-		o.cl.Net.Downlink(host).ClearFault()
+		o.fab.HostUplink(host).ClearFault()
+		o.fab.HostDownlink(host).ClearFault()
 	})
 }
 
@@ -125,8 +177,8 @@ func (o *Orchestrator) LinkDegrade(at, dur time.Duration, host core.HostID, f ne
 // receives (crash-stop that later resumes with its state intact — the
 // process survived, the box was wedged). Peers retransmit across the stall.
 func (o *Orchestrator) HostStall(at, dur time.Duration, host core.HostID) {
-	o.At(at, fmt.Sprintf("stall host=%d", host), o.cl.Daemon(host).Stall)
-	o.At(at+dur, fmt.Sprintf("resume host=%d", host), o.cl.Daemon(host).Resume)
+	o.At(at, fmt.Sprintf("stall host=%d", host), func() { o.fab.Daemon(host).Stall() })
+	o.At(at+dur, fmt.Sprintf("resume host=%d", host), func() { o.fab.Daemon(host).Resume() })
 }
 
 // Scenario is a named, reproducible fault script.
@@ -152,15 +204,15 @@ func Scenarios(task core.TaskID, receiver core.HostID, sender core.HostID) []Sce
 			Name: "switch-reboot",
 			Desc: "switch crashes mid-task, reboots; hosts re-attach",
 			Inject: func(o *Orchestrator, s time.Duration) {
-				o.SwitchOutage(frac(s, 1, 4), frac(s, 1, 4))
+				o.SwitchOutage(ask.TheSwitch, frac(s, 1, 4), frac(s, 1, 4))
 			},
 		},
 		{
 			Name: "double-reboot",
 			Desc: "two switch outages in one task",
 			Inject: func(o *Orchestrator, s time.Duration) {
-				o.SwitchOutage(frac(s, 1, 5), frac(s, 3, 20))
-				o.SwitchOutage(frac(s, 3, 5), frac(s, 3, 20))
+				o.SwitchOutage(ask.TheSwitch, frac(s, 1, 5), frac(s, 3, 20))
+				o.SwitchOutage(ask.TheSwitch, frac(s, 3, 5), frac(s, 3, 20))
 			},
 		},
 		{
@@ -196,7 +248,7 @@ func Scenarios(task core.TaskID, receiver core.HostID, sender core.HostID) []Sce
 			Desc: "switch outage while every frame also risks 5% loss",
 			Inject: func(o *Orchestrator, s time.Duration) {
 				o.LinkDegrade(0, s, sender, netsim.Fault{LossProb: 0.05})
-				o.SwitchOutage(frac(s, 1, 4), frac(s, 1, 4))
+				o.SwitchOutage(ask.TheSwitch, frac(s, 1, 4), frac(s, 1, 4))
 			},
 		},
 	}

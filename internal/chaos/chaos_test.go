@@ -105,7 +105,7 @@ func TestSwitchRebootDegradesAndReattaches(t *testing.T) {
 	}
 	orch := chaos.New(cl)
 	const crashAt, rebootAt = 300 * time.Microsecond, 400 * time.Microsecond
-	orch.SwitchOutage(crashAt, rebootAt-crashAt)
+	orch.SwitchOutage(ask.TheSwitch, crashAt, rebootAt-crashAt)
 	var aggAtReboot int64 = -1
 	cl.Sim.At(cl.Sim.Now().Add(rebootAt+time.Microsecond), func() {
 		aggAtReboot = cl.Switch.TaskStatsOf(spec.ID).TuplesAggregated
@@ -159,7 +159,7 @@ func TestChaosRunsAreDeterministic(t *testing.T) {
 		orch := chaos.New(cl)
 		// Loss plus an outage: both rng-driven fault paths in one run.
 		orch.LinkDegrade(0, time.Millisecond, spec.Senders[0], netsim.Fault{LossProb: 0.1})
-		orch.SwitchOutage(250*time.Microsecond, 150*time.Microsecond)
+		orch.SwitchOutage(ask.TheSwitch, 250*time.Microsecond, 150*time.Microsecond)
 		_, streams, _ := buildTask()
 		res, err := cl.Aggregate(spec, streams)
 		if err != nil {
@@ -261,8 +261,8 @@ func TestBackToBackOutagesDoNotDoubleCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	orch := chaos.New(cl)
-	orch.SwitchOutage(frac(94), frac(153-94))
-	orch.SwitchOutage(frac(342), frac(466-342))
+	orch.SwitchOutage(ask.TheSwitch, frac(94), frac(153-94))
+	orch.SwitchOutage(ask.TheSwitch, frac(342), frac(466-342))
 	spec := core.TaskSpec{ID: 1, Receiver: 0, Op: core.OpSum, Senders: []core.HostID{1, 2}}
 	streams := make(map[core.HostID]core.Stream)
 	want := make(core.Result)

@@ -1,0 +1,429 @@
+package chaos
+
+// Fabric soak: seeded random-walk fault schedules over a multi-tenant
+// fat-tree, mixing addressed switch-tier outages (one spine or one leaf at
+// a time) with the rack soak's link faults (black-holes, corruption
+// bursts), replayed against per-tenant analytic ground truth.
+//
+// The harness shares the rack soak's shape: GenerateFabricSchedule draws a
+// script on the millis-of-scale timeline, RunFabricSchedule replays it on a
+// fresh fabric and checks the invariants, and on a violation the shared
+// ShrinkWith minimizer elides events until every survivor is load-bearing.
+// The reproducer line carries the topology flags (-topology fattree,
+// -soak.spines, -soak.leaves) so a fat-tree failure replays verbatim from
+// the command line.
+//
+// Invariants checked at quiescence:
+//
+//  1. Conservation, per tenant: each task's result equals its host-computed
+//     ground truth — no tuple lost to an outage, none double-counted by
+//     replay across a spine re-election or leaf heal.
+//  2. Recovery: every fault healed, so no host is still degraded.
+//  3. Epoch coherence: the fabric epoch is 1 + 2x the number of switch
+//     outages in the script (each crash and each reboot bumps it once),
+//     every switch has converged on it, and no host is ahead of it.
+//  4. Transport sanity: no aborts under the unbounded retry budget, and no
+//     channel ACKed more than it sent.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tenancy"
+	"repro/internal/workload"
+)
+
+// FabricSoakConfig parameterizes one fat-tree soak. Everything is derived
+// from Seed; equal configs replay identically.
+type FabricSoakConfig struct {
+	// Seed drives the workloads, the schedule draw, and the fabric's fault
+	// RNG.
+	Seed int64
+	// Events is the number of fault events to draw (default 6).
+	Events int
+	// Spines and Leaves size the fabric (defaults 2 and 3: receivers on
+	// leaf 0, senders on every other leaf, so every task has cross-leaf
+	// residue for the spine tier).
+	Spines int
+	Leaves int
+	// Tenants is the number of concurrent tenants (default 2), each with
+	// weight 1, one host per leaf, and one fabric-spanning task.
+	Tenants int
+	// Tuples per sender (default 20 000) over Keys distinct keys
+	// (default 512).
+	Tuples int64
+	Keys   int
+	// Base is a fault model applied to every host link for the whole run,
+	// on top of the scheduled events.
+	Base netsim.Fault
+}
+
+func (c FabricSoakConfig) withDefaults() FabricSoakConfig {
+	if c.Events == 0 {
+		c.Events = 6
+	}
+	if c.Spines == 0 {
+		c.Spines = 2
+	}
+	if c.Leaves == 0 {
+		c.Leaves = 3
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 2
+	}
+	if c.Tuples == 0 {
+		c.Tuples = 20_000
+	}
+	if c.Keys == 0 {
+		c.Keys = 512
+	}
+	return c
+}
+
+// fabricSoakOptions is the fabric under test: failover on (outages must not
+// deadlock), shadow copies off (failover replay cannot attribute swap
+// fetches), retries unbounded (an outage window must be bridged, not
+// aborted — an abort is an invariant violation, not a scripted outcome).
+func fabricSoakOptions(cfg FabricSoakConfig) ask.FatTreeOptions {
+	c := core.DefaultConfig()
+	c.ShadowCopy = false
+	c.Failover = true
+	c.MaxRetries = 0
+	link := netsim.DefaultLinkConfig()
+	link.Fault = cfg.Base
+	opts := ask.FatTreeOptions{
+		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: cfg.Tenants,
+		Config: c, HostLink: link, Seed: cfg.Seed,
+	}
+	for i := 0; i < cfg.Tenants; i++ {
+		opts.Tenants = append(opts.Tenants, tenancy.TenantSpec{ID: core.TenantID(i + 1), Weight: 1})
+	}
+	return opts
+}
+
+// fabricTaskPlan is one tenant's fabric-spanning task: receiver on leaf 0,
+// one sender on every other leaf, and the host-computed ground truth.
+type fabricTaskPlan struct {
+	tenant  core.TenantID
+	spec    core.TaskSpec
+	streams map[core.HostID]core.Stream
+	want    core.Result
+}
+
+func fabricSoakWorkload(cfg FabricSoakConfig, opts ask.FatTreeOptions) []fabricTaskPlan {
+	plans := make([]fabricTaskPlan, 0, cfg.Tenants)
+	for i := 0; i < cfg.Tenants; i++ {
+		tn := core.TenantID(i + 1)
+		pl := fabricTaskPlan{
+			tenant:  tn,
+			streams: make(map[core.HostID]core.Stream),
+			want:    make(core.Result),
+			spec: core.TaskSpec{
+				ID:       core.MakeTaskID(tn, uint32(i+1)),
+				Receiver: opts.HostAt(0, i),
+				Op:       core.OpSum,
+			},
+		}
+		for l := 1; l < cfg.Leaves; l++ {
+			h := opts.HostAt(l, i)
+			pl.spec.Senders = append(pl.spec.Senders, h)
+			w := workload.Uniform(cfg.Keys, cfg.Tuples, cfg.Seed+int64(i*cfg.Leaves+l))
+			pl.streams[h] = w.Stream()
+			pl.want.Merge(w.Reference(core.OpSum), core.OpSum)
+		}
+		plans = append(plans, pl)
+	}
+	return plans
+}
+
+// GenerateFabricSchedule draws a fat-tree fault script from cfg.Seed.
+// Constraints keep every draw runnable: switch-tier outages (spine or leaf)
+// never overlap each other — so the fabric always has a heal window between
+// incarnation bumps — per-host faults never overlap on the same host, and
+// only sender hosts are targeted. Events land in [50, 900) millis of scale
+// with durations in [50, 250), so every fault heals within the script.
+func GenerateFabricSchedule(cfg FabricSoakConfig) Schedule {
+	cfg = cfg.withDefaults()
+	opts := fabricSoakOptions(cfg)
+	kinds := []EventKind{EvSpineOutage, EvLeafOutage, EvLinkBlackhole, EvCorruptBurst}
+	var senders []core.HostID
+	for l := 1; l < cfg.Leaves; l++ {
+		for i := 0; i < cfg.Tenants; i++ {
+			senders = append(senders, opts.HostAt(l, i))
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sched Schedule
+	var outages [][2]int64
+	busy := make(map[core.HostID][][2]int64)
+	for attempts := 0; len(sched) < cfg.Events && attempts < cfg.Events*64; attempts++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		start := 50 + rng.Int63n(850)
+		dur := 50 + rng.Int63n(200)
+		ev := Event{Kind: kind, StartMil: start, DurMil: dur}
+		switch kind {
+		case EvSpineOutage, EvLeafOutage:
+			if kind == EvSpineOutage {
+				ev.Addr = netsim.SpineAddr(rng.Intn(cfg.Spines))
+			} else {
+				ev.Addr = netsim.LeafAddr(rng.Intn(cfg.Leaves))
+			}
+			if overlapsAny(outages, start, start+dur) {
+				continue
+			}
+			outages = append(outages, [2]int64{start, start + dur})
+		default:
+			host := senders[rng.Intn(len(senders))]
+			if overlapsAny(busy[host], start, start+dur) {
+				continue
+			}
+			busy[host] = append(busy[host], [2]int64{start, start + dur})
+			ev.Host = host
+			if kind == EvCorruptBurst {
+				ev.Fault = netsim.Fault{
+					CorruptProb:  0.002 + rng.Float64()*0.02,
+					TruncateProb: rng.Float64() * 0.004,
+				}
+			}
+		}
+		sched = append(sched, ev)
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].StartMil < sched[j].StartMil })
+	return sched
+}
+
+// RunFabricSchedule replays one schedule on a fresh fat-tree and checks the
+// invariants. Deterministic: equal (cfg, sched, scale) triples produce
+// equal Outcomes.
+func RunFabricSchedule(cfg FabricSoakConfig, sched Schedule, scale time.Duration) Outcome {
+	cfg = cfg.withDefaults()
+	opts := fabricSoakOptions(cfg)
+	fc, err := ask.NewFatTreeCluster(opts)
+	if err != nil {
+		return violationf("fabric build failed: %v", err)
+	}
+	plans := fabricSoakWorkload(cfg, opts)
+	orch := NewFabric(fc)
+	sched.Apply(orch, scale)
+	pending := make(map[core.TenantID]*ask.FatTreePendingTask)
+	for _, pl := range plans {
+		pt, err := fc.StartTask(pl.spec, pl.streams)
+		if err != nil {
+			return violationf("tenant %d submission failed: %v", pl.tenant, err)
+		}
+		pending[pl.tenant] = pt
+	}
+	// Same virtual-time cap as the rack soak: every fault heals by 1.15x
+	// scale, so 25x is far beyond any legitimate recovery tail.
+	deadline := sim.Time(0).Add(25 * scale)
+	end := fc.Sim.Run(deadline)
+
+	var out Outcome
+	// Invariant 1 — conservation, per tenant.
+	for _, pl := range plans {
+		res, err := pending[pl.tenant].Get()
+		if err != nil {
+			if end >= deadline {
+				return violationf("tenant %d still running at virtual-time cap %v (livelock)", pl.tenant, 25*scale)
+			}
+			return violationf("tenant %d task did not complete: %v", pl.tenant, err)
+		}
+		if !res.Result.Equal(pl.want) {
+			out.Violation = fmt.Sprintf("tenant %d conservation violated: %s", pl.tenant, res.Result.Diff(pl.want, 5))
+			return out
+		}
+		if d := time.Duration(res.Elapsed); d > out.Elapsed {
+			out.Elapsed = d
+		}
+	}
+	for _, sw := range fc.Leaves {
+		out.SwitchCorruptDropped += sw.Stats().CorruptDropped
+	}
+	for _, sw := range fc.Spines {
+		out.SwitchCorruptDropped += sw.Stats().CorruptDropped
+	}
+	hosts := make([]core.HostID, 0, cfg.Leaves*cfg.Tenants)
+	for l := 0; l < cfg.Leaves; l++ {
+		for i := 0; i < cfg.Tenants; i++ {
+			hosts = append(hosts, opts.HostAt(l, i))
+		}
+	}
+	for _, h := range hosts {
+		d := fc.Daemon(h)
+		out.HostCorruptDropped += d.Stats().CorruptDropped
+		out.Replays += d.FailoverStats().ReplaysSent
+		for _, cs := range d.ChannelStats() {
+			out.Retransmits += cs.Retransmits
+		}
+	}
+	// Invariant 2 — recovery: every fault healed, so no host may still be
+	// degraded once the fabric quiesces.
+	for _, h := range hosts {
+		if fc.Daemon(h).Degraded() {
+			out.Violation = fmt.Sprintf("host %d still degraded at quiescence", h)
+			return out
+		}
+	}
+	// Invariant 3 — epoch coherence: each switch outage bumps the fabric
+	// epoch twice (crash and reboot), every switch converges on the final
+	// incarnation, and no host believes in a future one.
+	outages := 0
+	for _, ev := range sched {
+		if ev.Kind == EvSpineOutage || ev.Kind == EvLeafOutage {
+			outages++
+		}
+	}
+	wantEpoch := uint32(1 + 2*outages)
+	if got := fc.FabricEpoch(); got != wantEpoch {
+		out.Violation = fmt.Sprintf("fabric epoch %d != 1+2x%d outages = %d", got, outages, wantEpoch)
+		return out
+	}
+	for l, sw := range fc.Leaves {
+		if got := sw.Epoch(); got != wantEpoch {
+			out.Violation = fmt.Sprintf("leaf %d epoch %d != fabric epoch %d", l, got, wantEpoch)
+			return out
+		}
+	}
+	for s, sw := range fc.Spines {
+		if got := sw.Epoch(); got != wantEpoch {
+			out.Violation = fmt.Sprintf("spine %d epoch %d != fabric epoch %d", s, got, wantEpoch)
+			return out
+		}
+	}
+	for _, h := range hosts {
+		if he := fc.Daemon(h).Epoch(); he > wantEpoch {
+			out.Violation = fmt.Sprintf("host %d epoch %d ahead of fabric epoch %d", h, he, wantEpoch)
+			return out
+		}
+	}
+	// Invariant 4 — transport sanity: with an unbounded retry budget no
+	// flight may abort, and no channel may ACK more than it sent.
+	for _, h := range hosts {
+		for ch, cs := range fc.Daemon(h).ChannelStats() {
+			if cs.Aborts != 0 {
+				out.Violation = fmt.Sprintf("host %d channel %d aborted %d flights under unbounded retries", h, ch, cs.Aborts)
+				return out
+			}
+			if cs.Acked > cs.Sent {
+				out.Violation = fmt.Sprintf("host %d channel %d acked %d > sent %d", h, ch, cs.Acked, cs.Sent)
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// FabricGoldenScale runs the multi-tenant workload once fault-free and
+// returns the slowest tenant's duration — the schedule's timing scale for
+// RunFabricSchedule. It returns an error if the fabric cannot be built or
+// even the clean run violates conservation (a harness bug, not a fault).
+func FabricGoldenScale(cfg FabricSoakConfig) (time.Duration, error) {
+	cfg = cfg.withDefaults()
+	opts := fabricSoakOptions(cfg)
+	opts.HostLink.Fault = netsim.Fault{}
+	fc, err := ask.NewFatTreeCluster(opts)
+	if err != nil {
+		return 0, err
+	}
+	plans := fabricSoakWorkload(cfg, opts)
+	pending := make(map[core.TenantID]*ask.FatTreePendingTask)
+	for _, pl := range plans {
+		pt, err := fc.StartTask(pl.spec, pl.streams)
+		if err != nil {
+			return 0, fmt.Errorf("chaos: golden fabric run failed to submit: %w", err)
+		}
+		pending[pl.tenant] = pt
+	}
+	fc.Sim.Run(0)
+	var scale time.Duration
+	for _, pl := range plans {
+		res, err := pending[pl.tenant].Get()
+		if err != nil {
+			return 0, fmt.Errorf("chaos: golden fabric run failed: %w", err)
+		}
+		if !res.Result.Equal(pl.want) {
+			return 0, fmt.Errorf("chaos: golden fabric run violates conservation: %s", res.Result.Diff(pl.want, 5))
+		}
+		if d := time.Duration(res.Elapsed); d > scale {
+			scale = d
+		}
+	}
+	return scale, nil
+}
+
+// FabricReport is the full record of one fabric soak.
+type FabricReport struct {
+	Cfg      FabricSoakConfig
+	Scale    time.Duration
+	Schedule Schedule
+	Outcome  Outcome
+	// Shrunk is the minimal failing schedule (nil when the soak passed;
+	// possibly empty when the base config alone fails).
+	Shrunk Schedule
+	// Runs is the total number of schedule replays, shrinking included.
+	Runs int
+}
+
+// Passed reports whether every invariant held on the full schedule.
+func (r FabricReport) Passed() bool { return r.Outcome.OK() }
+
+// Reproducer is the one-line command that replays this exact soak,
+// topology flags included.
+func (r FabricReport) Reproducer() string {
+	s := fmt.Sprintf("asksim -soak -topology fattree -soak.seed=%d -soak.events=%d -soak.spines=%d -soak.leaves=%d -soak.tuples=%d",
+		r.Cfg.Seed, r.Cfg.Events, r.Cfg.Spines, r.Cfg.Leaves, r.Cfg.Tuples)
+	if r.Cfg.Base.CorruptProb != 0 {
+		s += fmt.Sprintf(" -soak.corrupt=%g", r.Cfg.Base.CorruptProb)
+	}
+	return s
+}
+
+func (r FabricReport) String() string {
+	var b strings.Builder
+	if r.Passed() {
+		fmt.Fprintf(&b, "fabric soak seed=%d PASS: %d events over %v (%d spines, %d leaves, %d tenants), elapsed %v\n",
+			r.Cfg.Seed, len(r.Schedule), r.Scale, r.Cfg.Spines, r.Cfg.Leaves, r.Cfg.Tenants, r.Outcome.Elapsed)
+		fmt.Fprintf(&b, "  evidence: corrupt_dropped switch=%d host=%d, retransmits=%d, replays=%d\n",
+			r.Outcome.SwitchCorruptDropped, r.Outcome.HostCorruptDropped,
+			r.Outcome.Retransmits, r.Outcome.Replays)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "fabric soak seed=%d FAIL: %s\n", r.Cfg.Seed, r.Outcome.Violation)
+	fmt.Fprintf(&b, "minimal failing schedule (%d of %d events, %d replays):\n",
+		len(r.Shrunk), len(r.Schedule), r.Runs)
+	fmt.Fprintf(&b, "%s\n", r.Shrunk)
+	fmt.Fprintf(&b, "reproduce with: %s\n", r.Reproducer())
+	return b.String()
+}
+
+// FabricSoak runs one full fat-tree soak for cfg: golden timing run,
+// schedule generation, replay, and — on violation — shrinking via the
+// shared ShrinkWith minimizer. The only error return is a golden-run
+// failure; fault-induced violations are reported in the FabricReport,
+// reproducer included.
+func FabricSoak(cfg FabricSoakConfig) (FabricReport, error) {
+	cfg = cfg.withDefaults()
+	scale, err := FabricGoldenScale(cfg)
+	if err != nil {
+		return FabricReport{}, err
+	}
+	sched := GenerateFabricSchedule(cfg)
+	rep := FabricReport{Cfg: cfg, Scale: scale, Schedule: sched}
+	rep.Outcome = RunFabricSchedule(cfg, sched, scale)
+	rep.Runs = 1
+	if !rep.Outcome.OK() {
+		shrunk, runs := ShrinkWith(func(s Schedule) bool {
+			return !RunFabricSchedule(cfg, s, scale).OK()
+		}, sched)
+		rep.Shrunk = shrunk
+		rep.Runs += runs
+	}
+	return rep, nil
+}

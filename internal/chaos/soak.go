@@ -90,7 +90,14 @@ const (
 	EvLinkDegrade
 	EvCorruptBurst
 	EvHostStall
-	numEventKinds
+	// numRackEventKinds bounds the rack schedule generator's draw. The
+	// fabric-only kinds below must stay after it: inserting before it would
+	// silently reshuffle every existing rack soak seed.
+	numRackEventKinds
+	// EvSpineOutage / EvLeafOutage crash-and-reboot one addressed fat-tree
+	// switch (Event.Addr). Only the fabric soak generator draws them.
+	EvSpineOutage
+	EvLeafOutage
 )
 
 func (k EventKind) String() string {
@@ -105,6 +112,10 @@ func (k EventKind) String() string {
 		return "corrupt-burst"
 	case EvHostStall:
 		return "host-stall"
+	case EvSpineOutage:
+		return "spine-outage"
+	case EvLeafOutage:
+		return "leaf-outage"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -119,6 +130,10 @@ type Event struct {
 	// Host is the target of link and stall faults (unused for switch
 	// outages).
 	Host core.HostID
+	// Addr is the fabric address of the switch an EvSpineOutage /
+	// EvLeafOutage targets (unused for the rack's EvSwitchOutage, which
+	// always hits ask.TheSwitch).
+	Addr core.HostID
 	// Fault is the override model for EvLinkDegrade / EvCorruptBurst.
 	Fault netsim.Fault
 }
@@ -128,6 +143,8 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EvSwitchOutage:
 		return s
+	case EvSpineOutage, EvLeafOutage:
+		return fmt.Sprintf("%s addr=%#x", s, uint16(e.Addr))
 	case EvLinkDegrade:
 		return fmt.Sprintf("%s host=%d loss=%.3f dup=%.3f", s, e.Host, e.Fault.LossProb, e.Fault.DupProb)
 	case EvCorruptBurst:
@@ -148,7 +165,9 @@ func (s Schedule) Apply(o *Orchestrator, scale time.Duration) {
 		start, dur := at(ev.StartMil), at(ev.DurMil)
 		switch ev.Kind {
 		case EvSwitchOutage:
-			o.SwitchOutage(start, dur)
+			o.SwitchOutage(ask.TheSwitch, start, dur)
+		case EvSpineOutage, EvLeafOutage:
+			o.SwitchOutage(ev.Addr, start, dur)
 		case EvLinkBlackhole:
 			o.LinkBlackhole(start, dur, ev.Host)
 		case EvLinkDegrade, EvCorruptBurst:
@@ -195,7 +214,7 @@ func GenerateSchedule(cfg SoakConfig) Schedule {
 	var outages [][2]int64
 	busy := make(map[core.HostID][][2]int64)
 	for attempts := 0; len(sched) < cfg.Events && attempts < cfg.Events*64; attempts++ {
-		kind := EventKind(rng.Intn(int(numEventKinds)))
+		kind := EventKind(rng.Intn(int(numRackEventKinds)))
 		start := 50 + rng.Int63n(850)
 		dur := 50 + rng.Int63n(200)
 		ev := Event{Kind: kind, StartMil: start, DurMil: dur}

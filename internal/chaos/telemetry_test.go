@@ -31,7 +31,7 @@ func TestTelemetryCoversEveryComponent(t *testing.T) {
 		t.Fatal("telemetry-enabled cluster has no Set")
 	}
 	orch := chaos.New(cl)
-	orch.SwitchOutage(scale/4, scale/4)
+	orch.SwitchOutage(ask.TheSwitch, scale/4, scale/4)
 
 	res, err := cl.Aggregate(spec, streams)
 	if err != nil {

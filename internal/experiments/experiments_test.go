@@ -307,7 +307,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 20 {
+	if len(All()) != 21 {
 		t.Fatalf("registry has %d experiments", len(All()))
 	}
 	if _, err := ByName("fig9"); err != nil {
@@ -320,6 +320,9 @@ func TestRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := ByName("chaos"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("fabric-chaos"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ByName("corruption"); err != nil {

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FabricChaosConfig parameterizes the hierarchical fault-injection study:
+// one cross-leaf task on the spine/leaf fabric, replayed under each switch
+// outage scenario and checked bit-identical against the fault-free golden
+// run, while the table reports the fault cost (elapsed inflation, degraded
+// time, replay traffic) and the resulting fabric epoch.
+type FabricChaosConfig struct {
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	// Distinct is the per-sender distinct-key count.
+	Distinct int
+	// Tuples is the per-sender stream length.
+	Tuples int64
+	Seed   int64
+}
+
+// DefaultFabricChaos is the benchmark-scale preset: streams long enough that
+// an outage window spans several probe intervals on every affected host.
+func DefaultFabricChaos() FabricChaosConfig {
+	return FabricChaosConfig{Spines: 2, Leaves: 3, HostsPerLeaf: 2, Distinct: 2048, Tuples: 200_000, Seed: 1}
+}
+
+// QuickFabricChaos is the test-scale preset.
+func QuickFabricChaos() FabricChaosConfig {
+	return FabricChaosConfig{Spines: 2, Leaves: 3, HostsPerLeaf: 2, Distinct: 512, Tuples: 20_000, Seed: 1}
+}
+
+func fabricChaosOptions(cfg FabricChaosConfig) ask.FatTreeOptions {
+	c := core.DefaultConfig()
+	c.ShadowCopy = false // fat-tree failover precondition
+	c.Failover = true
+	c.MaxRetries = 0 // outage windows must be bridged, not aborted
+	return ask.FatTreeOptions{
+		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: cfg.HostsPerLeaf,
+		Config: c, Seed: cfg.Seed,
+	}
+}
+
+// fabricChaosTask builds the cross-leaf task — receiver on leaf 0, one
+// sender on every other leaf — plus the host-computed reference.
+func fabricChaosTask(cfg FabricChaosConfig) (core.TaskSpec, map[core.HostID]core.Stream, core.Result) {
+	opts := fabricChaosOptions(cfg)
+	spec := core.TaskSpec{ID: 1, Receiver: opts.HostAt(0, 0), Op: core.OpSum}
+	streams := make(map[core.HostID]core.Stream)
+	want := make(core.Result)
+	for l := 1; l < cfg.Leaves; l++ {
+		h := opts.HostAt(l, 0)
+		spec.Senders = append(spec.Senders, h)
+		w := workload.Uniform(cfg.Distinct, cfg.Tuples, cfg.Seed+int64(h))
+		streams[h] = w.Stream()
+		want.Merge(w.Reference(core.OpSum), core.OpSum)
+	}
+	return spec, streams, want
+}
+
+// fabricOutageRow runs the task with one crash/reboot window against addr
+// and returns the completed result plus the replay traffic across the
+// task's hosts. Outages land at 40–60% of the golden elapsed: task setup
+// costs two control RPCs, so the stream occupies roughly the middle of the
+// interval and earlier windows would miss it.
+func fabricOutageRow(cfg FabricChaosConfig, addr core.HostID, scale time.Duration) (*ask.TaskResult, uint32, int64, int64, error) {
+	fc, err := ask.NewFatTreeCluster(fabricChaosOptions(cfg))
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	spec, streams, _ := fabricChaosTask(cfg)
+	fc.Sim.At(sim.Time(0).Add(scale*2/5), func() {
+		if err := fc.CrashSwitch(addr); err != nil {
+			panic(fmt.Sprintf("fabric-chaos: CrashSwitch(%#x): %v", uint16(addr), err))
+		}
+	})
+	fc.Sim.At(sim.Time(0).Add(scale*3/5), func() {
+		if err := fc.RebootSwitch(addr); err != nil {
+			panic(fmt.Sprintf("fabric-chaos: RebootSwitch(%#x): %v", uint16(addr), err))
+		}
+	})
+	pt, err := fc.StartTask(spec, streams)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	fc.Sim.Run(0)
+	res, err := pt.Get()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	var replays, merged int64
+	for _, h := range append([]core.HostID{spec.Receiver}, spec.Senders...) {
+		fs := fc.Daemon(h).FailoverStats()
+		replays += fs.ReplaysSent
+		merged += fs.ReplayTuplesMerged
+	}
+	return res, fc.FabricEpoch(), replays, merged, nil
+}
+
+// FabricChaos runs the hierarchical fault-injection sweep. The first row is
+// the golden (fault-free) run; each subsequent row crashes and heals one
+// switch of the fabric mid-stream — the task's elected spine (forcing
+// re-election onto the alternate), the standby spine, and a sender's leaf —
+// and must reproduce the golden result exactly.
+func FabricChaos(cfg FabricChaosConfig) (*stats.Table, error) {
+	spec, streams, want := fabricChaosTask(cfg)
+
+	fc, err := ask.NewFatTreeCluster(fabricChaosOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	golden, err := fc.Aggregate(spec, streams)
+	if err != nil {
+		return nil, err
+	}
+	if !golden.Result.Equal(want) {
+		return nil, fmt.Errorf("fabric-chaos: golden run wrong: %s", golden.Result.Diff(want, 5))
+	}
+	scale := time.Duration(golden.Elapsed)
+
+	t := &stats.Table{
+		Title: "Fabric chaos: spine/leaf outages vs fault-free golden run",
+		Note: fmt.Sprintf("%d spines x %d leaves, %d senders x %d tuples; one crash+reboot window at 40-60%% of golden; every scenario must reproduce the golden result exactly",
+			cfg.Spines, cfg.Leaves, len(spec.Senders), cfg.Tuples),
+		Header: []string{"scenario", "elapsed", "x golden", "exact", "degraded", "replays", "replay-merged", "epoch"},
+	}
+	t.AddRow("golden", time.Duration(golden.Elapsed), 1.0, true, time.Duration(0), int64(0), int64(0), uint32(1))
+
+	elected := netsim.SpineAddr(int(uint32(spec.ID)) % cfg.Spines)
+	standby := netsim.SpineAddr((int(uint32(spec.ID)) + 1) % cfg.Spines)
+	scenarios := []struct {
+		name string
+		addr core.HostID
+	}{
+		{"spine-outage", elected},
+		{"standby-spine-outage", standby},
+		{"leaf-outage", netsim.LeafAddr(1)},
+	}
+	for _, sc := range scenarios {
+		res, epoch, replays, merged, err := fabricOutageRow(cfg, sc.addr, scale)
+		if err != nil {
+			return nil, fmt.Errorf("fabric-chaos: scenario %s: %w", sc.name, err)
+		}
+		exact := res.Result.Equal(want)
+		if !exact {
+			return nil, fmt.Errorf("fabric-chaos: scenario %s diverged from golden: %s",
+				sc.name, res.Result.Diff(want, 5))
+		}
+		t.AddRow(sc.name,
+			time.Duration(res.Elapsed),
+			float64(res.Elapsed)/float64(golden.Elapsed),
+			exact,
+			res.Degraded,
+			replays,
+			merged,
+			epoch)
+	}
+	return t, nil
+}

@@ -139,6 +139,12 @@ func All() []Runner {
 			Full:  one(func() (*stats.Table, error) { return Chaos(DefaultChaos()) }),
 		},
 		{
+			Name:  "fabric-chaos",
+			Desc:  "fat-tree fault injection: spine re-election + leaf recovery vs golden run",
+			Quick: one(func() (*stats.Table, error) { return FabricChaos(QuickFabricChaos()) }),
+			Full:  one(func() (*stats.Table, error) { return FabricChaos(DefaultFabricChaos()) }),
+		},
+		{
 			Name:  "tenancy",
 			Desc:  "multi-tenant fabric: weighted goodput fairness + AA pool utilization",
 			Quick: func() ([]*stats.Table, error) { return Tenancy(QuickTenancy()) },

@@ -1,6 +1,7 @@
 package hostd
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -262,10 +263,13 @@ func (d *Daemon) recoverProc(p *sim.Proc, gen uint32) {
 		if gen != d.recoveryGen {
 			return
 		}
-		p.Sleep(cpumodel.ControlRPCLatency)
-		info, err := d.ctrl.AllocRegion(t.spec)
+		info, err := d.reallocRegion(p, t, gen)
+		if gen != d.recoveryGen {
+			return
+		}
 		if err != nil {
-			// No switch capacity for the re-attach: the task finishes on the
+			// No switch capacity for the re-attach (or the fabric stayed
+			// degraded past the retry budget): the task finishes on the
 			// host-only path (its pre-crash absorbed tuples come via replay).
 			t.noRegion = true
 			continue
@@ -293,6 +297,36 @@ func (d *Daemon) recoverProc(p *sim.Proc, gen uint32) {
 	d.met.reattaches.Inc()
 	d.tr.Emit(telemetry.CompHostd, "reattach", int64(d.host), int64(d.epoch), int64(gen))
 	d.exitDegraded()
+}
+
+// reattachRetries bounds how many times a recovery retries a region
+// re-allocation that failed with a transient fabric degradation before the
+// task falls back to host-only for this incarnation.
+const reattachRetries = 3
+
+// reallocRegion re-allocates one receive task's switch regions during
+// recovery. A *core.DegradedError from the controller means the fabric is
+// (still) partially down rather than out of capacity, so the call is
+// retried with exponential backoff up to reattachRetries times — a bounded
+// budget, because the next fabric epoch re-triggers recovery anyway and an
+// unbounded loop would pin the task off the host-only fallback. Permanent
+// rejections (quota overloads, capacity) are returned immediately.
+func (d *Daemon) reallocRegion(p *sim.Proc, t *recvTask, gen uint32) (AllocInfo, error) {
+	backoff := cpumodel.ControlRPCLatency
+	for attempt := 0; ; attempt++ {
+		p.Sleep(cpumodel.ControlRPCLatency)
+		info, err := d.ctrl.AllocRegion(t.spec)
+		if err == nil {
+			return info, nil
+		}
+		var deg *core.DegradedError
+		if !errors.As(err, &deg) || attempt >= reattachRetries || gen != d.recoveryGen {
+			return AllocInfo{}, err
+		}
+		d.tr.Emit(telemetry.CompHostd, "reattach_backoff", int64(t.spec.ID), int64(attempt+1), int64(backoff))
+		p.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // OnRegionRevoked is the receiver-side reaction to the controller revoking a

@@ -63,6 +63,12 @@ type FatTree struct {
 	hostLink      LinkConfig
 	fabricLink    LinkConfig
 	codec         wire.Codec
+	// leafDown / spineDown mirror the switches' crash state into the fabric
+	// so routing can re-elect around dead spines and a dead leaf's
+	// host-delivery path (which bypasses the switch program, §7) black-holes
+	// like the program path does.
+	leafDown  []bool
+	spineDown []bool
 }
 
 // leafPort is one leaf switch: the SwitchFabric its ASK program attaches to.
@@ -104,6 +110,8 @@ func NewFatTree(s *sim.Simulation, spines, leaves int, hostLink, fabricLink Link
 		hostPorts:     make(map[core.HostID]*port),
 		hostLink:      hostLink,
 		fabricLink:    fabricLink,
+		leafDown:      make([]bool, leaves),
+		spineDown:     make([]bool, spines),
 	}
 	for l := 0; l < leaves; l++ {
 		lp := &leafPort{ft: ft, leaf: l}
@@ -176,9 +184,37 @@ func (ft *FatTree) Spine(s int) SwitchFabric { return ft.spines[s] }
 func (ft *FatTree) LeafOf(id core.HostID) int { return ft.hostLeaf[id] }
 
 // SpineFor returns the spine that carries (and, for cross-leaf tasks, holds
-// the re-aggregation region of) task t. The choice must be a pure function
-// of the task ID so every leaf routes a task's frames identically.
-func (ft *FatTree) SpineFor(t core.TaskID) int { return int(uint32(t)) % len(ft.spines) }
+// the re-aggregation region of) task t: the first LIVE candidate in the
+// task-hashed probe order (h, h+1, ...). The choice is a pure function of
+// the task ID and the global spine down-set, so every leaf routes a task's
+// frames identically and a spine crash re-elects the same alternate
+// everywhere at once. With every spine down the hashed candidate is
+// returned unchanged — its frames black-hole at the crashed switch until a
+// reboot heals the fabric.
+func (ft *FatTree) SpineFor(t core.TaskID) int {
+	h := int(uint32(t)) % len(ft.spines)
+	for i := 0; i < len(ft.spines); i++ {
+		if c := (h + i) % len(ft.spines); !ft.spineDown[c] {
+			return c
+		}
+	}
+	return h
+}
+
+// SetSpineDown marks spine s crashed (or healed) for routing: SpineFor
+// re-elects around down spines.
+func (ft *FatTree) SetSpineDown(s int, down bool) { ft.spineDown[s] = down }
+
+// SetLeafDown marks leaf l crashed (or healed): frames arriving over its
+// spine downlinks are dropped, including host-addressed deliveries that
+// bypass the switch program.
+func (ft *FatTree) SetLeafDown(l int, down bool) { ft.leafDown[l] = down }
+
+// SpineIsDown reports spine s's routing down-state.
+func (ft *FatTree) SpineIsDown(s int) bool { return ft.spineDown[s] }
+
+// LeafIsDown reports leaf l's routing down-state.
+func (ft *FatTree) LeafIsDown(l int) bool { return ft.leafDown[l] }
 
 // spineForFrame picks the uplink spine for a fabric-crossing frame.
 func (ft *FatTree) spineForFrame(f *Frame) int {
@@ -245,6 +281,14 @@ func (lp *leafPort) ingress(f *Frame) {
 // relayed across the fabric); addressed to a host it bypasses the program
 // (§7 state bounding) and is delivered directly.
 func (lp *leafPort) fromSpine(f *Frame) {
+	if lp.ft.leafDown[lp.leaf] {
+		// A crashed leaf is a black hole for its whole linecard: the
+		// host-delivery path below bypasses the switch program (so the
+		// program's own down-check never sees these frames), and hosts behind
+		// the leaf are unreachable either way.
+		f.Release()
+		return
+	}
 	if f.Dst == LeafAddr(lp.leaf) {
 		lp.ingress(f)
 		return

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
+	"repro/internal/window"
 	"repro/internal/wire"
 )
 
@@ -72,6 +73,39 @@ func (sw *Switch) Reboot() {
 		sw.regionFree = append(sw.regionFree, i)
 	}
 	sw.rows = newRowAllocator(sw.cfg.AARows)
+}
+
+// SetEpoch installs a controller-assigned incarnation number. Multi-switch
+// fabrics share one fabric-wide epoch: any switch outage (crash or reboot)
+// advances it, and the fabric controller pushes the new value into every
+// live switch so hosts observe a single coherent incarnation sequence no
+// matter which switch stamps their packets. The epoch only moves forward;
+// an older or equal value is ignored.
+//
+// Like a reboot, the new incarnation invalidates the flow reliability
+// plane: registrations and their registers (max_seq, seen, PktState) are
+// wiped, and every flow must re-register (RegisterFlowAt) before this
+// switch absorbs its tuples again. This is what keeps the sender-side
+// absorbEpoch bookkeeping sound across a bump (historyRec): if surviving
+// registrations outlived the epoch, a not-yet-recovered sender's packets
+// could be absorbed into a region re-allocated under the NEW incarnation
+// while its history records still carry the old registration epoch — the
+// later replay would re-deliver those tuples on top of the teardown fetch
+// (double count). Unlike Reboot, regions and aggregator state are NOT
+// wiped here; the controller separately frees the regions whose absorbed
+// tuples the epoch bump consigns to sender replay.
+func (sw *Switch) SetEpoch(e uint32) {
+	if !window.SeqLess(sw.epoch, e) {
+		return
+	}
+	sw.epoch = e
+	w := sw.cfg.Window
+	sw.raMaxSeq.ControlFill(0, sw.opts.MaxFlows, 0)
+	sw.raSeen.ControlFill(0, sw.opts.MaxFlows*w, 0)
+	sw.raPktState.ControlFill(0, sw.opts.MaxFlows*w, 0)
+	sw.flows = make(map[core.FlowKey]int)
+	sw.nextFlow = 0
+	sw.tr.Emit(telemetry.CompSwitchd, "epoch_change", 0, int64(e), 0)
 }
 
 // RegisterFlowAt registers a data-channel flow whose next sequence number is
