@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test test-shuffle race bench bench-smoke bench-json lint lint-json selfcheck telemetry-lint soak scenarios ci
+.PHONY: all vet build test test-shuffle race bench bench-smoke bench-smoke-shards bench-json lint lint-json selfcheck telemetry-lint soak scenarios ci
 
 all: ci
 
@@ -54,13 +54,21 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkFig3$$|BenchmarkTable1$$|BenchmarkMultiRack$$|BenchmarkTenancy$$' -benchtime=1x .
 
+# Parallel-scheduler smoke (DESIGN.md "Parallel DES"): a short MultiRack
+# run at -shards 4 under the race detector — the sharded goldens assert
+# byte-identical results while -race watches the lane goroutines — plus
+# one iteration of the shard-sweep benchmarks. CI runs this.
+bench-smoke-shards:
+	$(GO) test -race -count=1 -run 'TestMultiRackSharded' ./ask
+	$(GO) test -run='^$$' -bench='BenchmarkMultiRackShards|BenchmarkFatTreeShards' -benchtime=1x .
+
 # Perf-trajectory artifact (see DESIGN.md "Performance engineering"): run
 # the headline macro-benchmarks and serialize wall ns/op, allocs/op, and
 # simulated throughput to JSON. Compare two checkouts by saving each
 # phase's raw output and feeding both to benchjson (seed=… after=…), or
 # point benchstat at the raw files directly.
 BENCH_JSON ?= BENCH_current.json
-BENCH_PAT  ?= BenchmarkFig3$$|BenchmarkFig7$$|BenchmarkMultiRack$$
+BENCH_PAT  ?= BenchmarkFig3$$|BenchmarkFig7$$|BenchmarkMultiRack$$|BenchmarkScenarios$$|BenchmarkScaling$$|BenchmarkMultiRackShards|BenchmarkFatTreeShards
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_PAT)' -benchmem . | tee bench_raw.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) current=bench_raw.txt
@@ -77,6 +85,7 @@ bench-json:
 soak:
 	$(GO) run ./cmd/asksim -soak -soak.seed=1 -soak.runs=12 -soak.corrupt=1e-3
 	$(GO) run ./cmd/asksim -soak -topology fattree -soak.seed=1 -soak.runs=6 -soak.corrupt=1e-3
+	$(GO) run ./cmd/asksim -soak -topology fattree -soak.seed=1 -soak.runs=1 -soak.corrupt=1e-3 -soak.shards=4
 
 # Scenario-corpus round trip (README "Workloads & traces"): every committed
 # scenario regenerated from its seed (byte-identical), encoded to the v2
@@ -86,4 +95,4 @@ scenarios:
 	$(GO) test -count=1 -run 'TestCorpusDeterminism|TestTraceRoundTripCorpus' ./internal/workload/scenario
 	$(GO) test -count=1 -run 'TestScenarioCorpus' ./ask
 
-ci: vet build lint selfcheck test test-shuffle race soak scenarios
+ci: vet build lint selfcheck test test-shuffle race soak scenarios bench-smoke-shards

@@ -60,6 +60,12 @@ type Options struct {
 	// tasks are active. Zero value: disabled (components fall back to
 	// private registries so Stats accessors still work).
 	Telemetry telemetry.Config
+	// Shards exists for flag symmetry with the multi-rack and fat-tree
+	// deployments (-shards on asksim/askbench): a single-rack cluster has
+	// exactly one switch and therefore no partition boundary, so every value
+	// runs the serial scheduler (netsim.EffectiveShards clamps to serial
+	// when there is at most one block to cut).
+	Shards int
 }
 
 // Cluster is a simulated rack running the ASK service.

@@ -45,6 +45,15 @@ type FatTreeOptions struct {
 	// private registries either way — their unlabeled instrument names would
 	// collide across the fabric.
 	Telemetry telemetry.Config
+	// Shards, when > 1, partitions the fabric into that many parallel event
+	// lanes of contiguous leaves (spines spread round-robin); the leaf↔spine
+	// mesh becomes conservative mailbox cuts (DESIGN.md "Parallel DES").
+	// Fault-free runs are byte-identical to the serial build; runs with
+	// failover chaos are deterministic per (Seed, Shards) — the fabric-wide
+	// control rendezvous the recovery path needs reorders same-window events
+	// relative to serial. Values <= 1, or topologies with a single leaf,
+	// take the exact serial code path (netsim.EffectiveShards).
+	Shards int
 }
 
 // FatTreeCluster is a spine/leaf deployment with hierarchical
@@ -120,7 +129,7 @@ func NewFatTreeCluster(opts FatTreeOptions) (*FatTreeCluster, error) {
 		opts.Switch = switchd.DefaultOptions()
 	}
 	s := sim.New(opts.Seed)
-	ft := netsim.NewFatTree(s, opts.Spines, opts.Leaves, opts.HostLink, opts.FabricLink)
+	ft, _ := netsim.NewFatTreeSharded(s, opts.Spines, opts.Leaves, opts.Shards, opts.HostLink, opts.FabricLink)
 	ft.SetCodec(wire.NewCodec(opts.Config.KPartBytes))
 	fc := &FatTreeCluster{
 		Sim:         s,
@@ -149,7 +158,10 @@ func NewFatTreeCluster(opts FatTreeOptions) (*FatTreeCluster, error) {
 		// keeps a private registry (shared label sets would collide).
 		lo := opts.Switch
 		lo.Addr = netsim.LeafAddr(l)
-		sw, err := switchd.New(s, ft.Leaf(l), opts.Config, lo)
+		// LeafSim/SpineSim are the switch's shard lane on a sharded build,
+		// the fabric-wide simulation otherwise; each switch program schedules
+		// only on its own lane.
+		sw, err := switchd.New(ft.LeafSim(l), ft.Leaf(l), opts.Config, lo)
 		if err != nil {
 			return nil, fmt.Errorf("ask: leaf %d: %w", l, err)
 		}
@@ -162,7 +174,7 @@ func NewFatTreeCluster(opts FatTreeOptions) (*FatTreeCluster, error) {
 		// numbers skip: the compact parity seen would alias, so spines run
 		// the sequence-tagged variant (see switchd.Options).
 		so.SeqTaggedSeen = true
-		sw, err := switchd.New(s, ft.Spine(sp), opts.Config, so)
+		sw, err := switchd.New(ft.SpineSim(sp), ft.Spine(sp), opts.Config, so)
 		if err != nil {
 			return nil, fmt.Errorf("ask: spine %d: %w", sp, err)
 		}
@@ -171,8 +183,8 @@ func NewFatTreeCluster(opts FatTreeOptions) (*FatTreeCluster, error) {
 	for l := 0; l < opts.Leaves; l++ {
 		for i := 0; i < opts.HostsPerLeaf; i++ {
 			id := opts.HostAt(l, i)
-			cpu := cpumodel.NewHost(s, opts.Cores)
-			d, err := hostd.New(s, leafFabric{ft, l}, cpu, opts.Config, id, fabricController{fc, l}, telemetry.Sink{})
+			cpu := cpumodel.NewHost(ft.LeafSim(l), opts.Cores)
+			d, err := hostd.New(ft.LeafSim(l), leafFabric{ft, l}, cpu, opts.Config, id, fabricController{fc, l}, telemetry.Sink{})
 			if err != nil {
 				return nil, err
 			}
@@ -259,12 +271,32 @@ func (lf leafFabric) Uplink(id core.HostID) *netsim.Link { return lf.ft.Uplink(i
 // register at the host's own leaf and at every spine (any of which may
 // carry the flow's fabric-crossing packets), and task regions are placed at
 // every aggregation point on the task's tree.
+//
+// Unlike the multi-rack controller (whose calls never leave the caller's
+// rack), every method here touches switches and cluster maps owned by other
+// shard lanes, so on a sharded fabric each method first enters the group's
+// control rendezvous: the calling lane suspends its window and the operation
+// executes while no other lane runs. Fault-free runs never take this path
+// during a parallel window (registration and allocation are driven by root
+// procs, which force serial windows); only failover recovery does, which is
+// why chaos runs are deterministic-per-shard-count rather than byte-identical.
 type fabricController struct {
 	fc   *FatTreeCluster
 	leaf int
 }
 
+// control enters the fabric-wide control rendezvous when the calling leaf's
+// lane is inside a parallel window (a no-op on serial builds and in serial
+// windows). Call as `defer c.control()()`.
+func (c fabricController) control() func() {
+	if g := c.fc.Net.Group(); g != nil {
+		return g.EnterControlFrom(c.fc.Net.LeafSim(c.leaf))
+	}
+	return func() {}
+}
+
 func (c fabricController) RegisterFlow(fk core.FlowKey) (uint32, error) {
+	defer c.control()()
 	if _, err := c.fc.Leaves[c.leaf].RegisterFlow(fk); err != nil {
 		return 0, err
 	}
@@ -282,6 +314,7 @@ func (c fabricController) RegisterFlow(fk core.FlowKey) (uint32, error) {
 }
 
 func (c fabricController) RegisterFlowAt(fk core.FlowKey, start uint32) (uint32, error) {
+	defer c.control()()
 	if c.fc.Leaves[c.leaf].Down() {
 		// The host's own attach point is gone: the flow cannot register at
 		// its first hop, so recovery proceeds host-only (the daemon replays
@@ -303,10 +336,12 @@ func (c fabricController) RegisterFlowAt(fk core.FlowKey, start uint32) (uint32,
 }
 
 func (c fabricController) AllocRegion(spec core.TaskSpec) (hostd.AllocInfo, error) {
+	defer c.control()()
 	return c.fc.allocRegion(c.leaf, spec)
 }
 
 func (c fabricController) FreeRegion(task core.TaskID) error {
+	defer c.control()()
 	return c.fc.freeRegion(task)
 }
 

@@ -28,6 +28,14 @@ type MultiRackOptions struct {
 	// Switch sizes each TOR's state tables; MaxFlows bounds only that
 	// rack's channels (the state-explosion containment of §7).
 	Switch switchd.Options
+	// Shards, when > 1, partitions the fabric into that many parallel event
+	// lanes of contiguous racks (DESIGN.md "Parallel DES"): each rack's TOR,
+	// hosts and local links run on a lane goroutine, synchronized at
+	// conservative lookahead windows over the TOR↔core cuts. Results are
+	// byte-identical to the serial build. Values <= 1, or more shards than
+	// racks worth of parallelism, clamp toward serial (netsim.EffectiveShards);
+	// Shards <= 1 takes the exact serial code path.
+	Shards int
 }
 
 // MultiRackCluster is a two-tier deployment. Aggregation tasks get
@@ -74,7 +82,7 @@ func NewMultiRackCluster(opts MultiRackOptions) (*MultiRackCluster, error) {
 		opts.Switch = switchd.DefaultOptions()
 	}
 	s := sim.New(opts.Seed)
-	tt := netsim.NewTwoTier(s, opts.Racks, opts.HostLink, opts.CoreLink)
+	tt, _ := netsim.NewTwoTierSharded(s, opts.Racks, opts.Shards, opts.HostLink, opts.CoreLink)
 	tt.SetCodec(wire.NewCodec(opts.Config.KPartBytes))
 	mc := &MultiRackCluster{
 		Sim:     s,
@@ -84,7 +92,10 @@ func NewMultiRackCluster(opts MultiRackOptions) (*MultiRackCluster, error) {
 		cpus:    make(map[core.HostID]*cpumodel.Host),
 	}
 	for r := 0; r < opts.Racks; r++ {
-		sw, err := switchd.New(s, tt.TOR(r), opts.Config, opts.Switch)
+		// RackSim is the rack's shard lane for a sharded build and the
+		// fabric-wide simulation otherwise; every piece of rack-local state
+		// (TOR program, host CPUs, daemons) schedules only there.
+		sw, err := switchd.New(tt.RackSim(r), tt.TOR(r), opts.Config, opts.Switch)
 		if err != nil {
 			return nil, fmt.Errorf("ask: rack %d TOR: %w", r, err)
 		}
@@ -93,14 +104,16 @@ func NewMultiRackCluster(opts MultiRackOptions) (*MultiRackCluster, error) {
 	for r := 0; r < opts.Racks; r++ {
 		for i := 0; i < opts.HostsPerRack; i++ {
 			id := opts.HostAt(r, i)
-			cpu := cpumodel.NewHost(s, opts.Cores)
+			cpu := cpumodel.NewHost(tt.RackSim(r), opts.Cores)
 			// Each daemon's control plane is its own rack's TOR: channels
 			// register there, and a receiver allocates its task region
-			// there — never on a remote TOR.
+			// there — never on a remote TOR. That same locality is what
+			// makes the sharded build race-free without rendezvous: no
+			// control call ever crosses a lane.
 			// Zero telemetry sink: multi-rack daemons keep private
 			// registries (per-host/per-task label sets would collide on
 			// a shared registry across TORs).
-			d, err := hostd.New(s, rackFabric{tt, r}, cpu, opts.Config, id, controllerAdapter{mc.TORs[r]}, telemetry.Sink{})
+			d, err := hostd.New(tt.RackSim(r), rackFabric{tt, r}, cpu, opts.Config, id, controllerAdapter{mc.TORs[r]}, telemetry.Sink{})
 			if err != nil {
 				return nil, err
 			}

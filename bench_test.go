@@ -14,6 +14,7 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -111,3 +112,38 @@ func BenchmarkScenarios(b *testing.B) { benchExperiment(b, "scenarios") }
 // fairness under admission control, and shared-pool AA utilization versus
 // the single-tenant baseline.
 func BenchmarkTenancy(b *testing.B) { benchExperiment(b, "tenancy") }
+
+// BenchmarkScaling sweeps shard counts over the two-tier and fat-tree
+// fabrics (DESIGN.md "Parallel DES"), verifying serial equivalence per
+// point and reporting wall speedup/efficiency. The wall clock lives here —
+// the experiments package is forbidden from reading real time — so the
+// benchmark installs one for the duration of the run.
+func BenchmarkScaling(b *testing.B) {
+	start := time.Now()
+	experiments.SetWallClock(func() time.Duration { return time.Since(start) })
+	defer experiments.SetWallClock(nil)
+	benchExperiment(b, "scaling")
+}
+
+// benchShards times one topology's scaling workload per shard count, so
+// BENCH_*.json carries a wall-clock point for every (topology, shards)
+// pair. On a single-CPU host the per-shard numbers are expected to be flat:
+// lanes interleave on one core and the windows only add barrier overhead.
+func benchShards(b *testing.B, topology string) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := experiments.ScalingPoint(topology, experiments.DefaultScaling(), shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiRackShards sweeps the two-tier fabric over shard counts.
+func BenchmarkMultiRackShards(b *testing.B) { benchShards(b, "multirack") }
+
+// BenchmarkFatTreeShards sweeps the spine/leaf fabric over shard counts.
+func BenchmarkFatTreeShards(b *testing.B) { benchShards(b, "fattree") }

@@ -81,8 +81,14 @@ func main() {
 
 	// Wall-clock measurement stays in this package: the model packages are
 	// forbidden (by the simdeterminism analyzer) from reading real time.
+	// The scaling experiment's speedup columns borrow this clock through
+	// the SetWallClock seam. Note wall readings are only meaningful when
+	// the scaling experiment runs alone (-parallel 1); concurrent sibling
+	// experiments steal its CPU.
 	start := time.Now()
+	experiments.SetWallClock(func() time.Duration { return time.Since(start) })
 	outcomes := experiments.RunParallel(runners, *quick, *parallel)
+	experiments.SetWallClock(nil)
 
 	failed := false
 	if *jsonOut {

@@ -24,6 +24,7 @@ type fatTreeFlags struct {
 	Seed                         int64
 	Verify                       bool
 	Telemetry                    bool
+	Shards                       int
 }
 
 // runFatTree drives the spine/leaf deployment: with -tenants 0 a single
@@ -42,6 +43,7 @@ func runFatTree(ff fatTreeFlags) {
 		Spines: ff.Spines, Leaves: ff.Leaves, HostsPerLeaf: ff.HostsPerLeaf,
 		Seed:      ff.Seed,
 		Telemetry: telemetry.Config{Enabled: ff.Telemetry},
+		Shards:    ff.Shards,
 	}
 	for i := 0; i < ff.Tenants; i++ {
 		opts.Tenants = append(opts.Tenants, tenancy.TenantSpec{ID: core.TenantID(i + 1), Weight: 1})

@@ -69,6 +69,7 @@ func main() {
 		spines   = flag.Int("spines", 2, "fat-tree spine switches (topology=fattree)")
 		leaves   = flag.Int("leaves", 3, "fat-tree leaf switches; -hosts is then hosts per leaf (topology=fattree)")
 		tenants  = flag.Int("tenants", 0, "tenants sharing the fat-tree, one task each, equal weights (0 = untenanted; topology=fattree)")
+		shards   = flag.Int("shards", 0, "parallel event-loop shards; <= 1 runs the serial scheduler, and topologies too small to cut (rack, 1 rack/leaf) always do (DESIGN.md \"Parallel DES\")")
 
 		soak        = flag.Bool("soak", false, "run the chaos soak harness instead of a single task (honors -topology)")
 		soakRuns    = flag.Int("soak.runs", 1, "consecutive soak seeds to run (soak.seed, soak.seed+1, ...)")
@@ -80,6 +81,7 @@ func main() {
 		soakBreak   = flag.Bool("soak.break-checksums", false, "disable checksum verification (fault hook) to demo harness detection (topology=rack)")
 		soakSpines  = flag.Int("soak.spines", 0, "fat-tree soak spine switches (0 = default 2; topology=fattree)")
 		soakLeaves  = flag.Int("soak.leaves", 0, "fat-tree soak leaf switches (0 = default 3; topology=fattree)")
+		soakShards  = flag.Int("soak.shards", 0, "run the fat-tree soak on the parallel scheduler with this many shards (0/1 = serial; topology=fattree)")
 	)
 	flag.Parse()
 	if *promOut != "" || *jsonOut != "" {
@@ -90,7 +92,7 @@ func main() {
 			Topology: *topology, Runs: *soakRuns, Seed: *soakSeed,
 			Events: *soakEvents, Senders: *soakSenders, Tuples: *soakTuples,
 			Corrupt: *soakCorrupt, BreakChecksums: *soakBreak,
-			Spines: *soakSpines, Leaves: *soakLeaves,
+			Spines: *soakSpines, Leaves: *soakLeaves, Shards: *soakShards,
 		})
 		return
 	}
@@ -102,7 +104,7 @@ func main() {
 			Spines: *spines, Leaves: *leaves, HostsPerLeaf: *hosts,
 			Tenants: *tenants, Tuples: *tuples, Distinct: *distinct,
 			Skew: *skew, Rows: *rows, Seed: *seed, Verify: *verify,
-			Telemetry: *telem,
+			Telemetry: *telem, Shards: *shards,
 		})
 		return
 	default:
@@ -125,6 +127,7 @@ func main() {
 	cl, err := ask.NewCluster(ask.Options{
 		Hosts: *hosts, Config: cfg, Link: link, Seed: *seed,
 		Telemetry: telemetry.Config{Enabled: *telem},
+		Shards:    *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -20,6 +20,7 @@ type soakFlags struct {
 	Corrupt        float64
 	BreakChecksums bool
 	Spines, Leaves int
+	Shards         int
 }
 
 // runSoak dispatches the soak harness by -topology: the rack soak
@@ -40,6 +41,9 @@ func runSoak(sf soakFlags) {
 	case "rack":
 		if set["soak.spines"] || set["soak.leaves"] {
 			fail("-soak.spines/-soak.leaves need -topology fattree (the rack has a single switch)")
+		}
+		if set["soak.shards"] {
+			fail("-soak.shards needs -topology fattree (a single rack has no partition boundary to cut)")
 		}
 		for i := 0; i < sf.Runs; i++ {
 			rep, err := chaos.Soak(chaos.SoakConfig{
@@ -71,6 +75,7 @@ func runSoak(sf soakFlags) {
 				Leaves: sf.Leaves,
 				Tuples: sf.Tuples,
 				Base:   netsim.Fault{CorruptProb: sf.Corrupt},
+				Shards: sf.Shards,
 			})
 			if err != nil {
 				fail("%v", err)

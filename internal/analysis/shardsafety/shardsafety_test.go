@@ -31,6 +31,20 @@ func TestAgreementSerialSchedule(t *testing.T) {
 	}
 }
 
+// TestAgreementMailboxed: the repaired handler — the same cross-shard
+// increment routed through the //askcheck:mailbox hand-off and drained at
+// the barrier — is both analyzer-clean (no want comment on it in the
+// corpus, so TestAgreementAnalyzer would fail on any diagnostic) and
+// race-free: this parallel in-process execution must stay quiet under
+// `go test -race`. Together with TestAgreementRace it pins that the
+// certification covers the mailbox boundary itself, not merely the
+// absence of cross-shard code.
+func TestAgreementMailboxed(t *testing.T) {
+	if got := agreement.ParallelMailboxed(); got != 4000 {
+		t.Fatalf("ParallelMailboxed() = %d, want 4000", got)
+	}
+}
+
 // TestAgreementRace: the same construct under the parallel schedule trips
 // the race detector. The racy execution runs in a `go run -race`
 // subprocess so the detector's process-level failure cannot take this

@@ -59,3 +59,64 @@ func Serial() int {
 	}
 	return shards[0].Count + shards[1].Count
 }
+
+// --- The repaired version: the same cross-shard mutation through the
+// declared mailbox boundary (ISSUE 10). Deliver buffers the neighbour
+// increment instead of applying it, and the coordinator drains the inbox
+// at the window barrier — the schedule the real kernel's InjectCall uses.
+// The analyzer must NOT flag HandleEventMailboxed (no want comment), and
+// the race detector must stay quiet on the parallel mailboxed schedule:
+// together they pin that the certification covers the mailbox boundary,
+// not just the absence of cross-shard code.
+
+// inboxes holds each shard's pending neighbour increments. Guarded by
+// inboxMu; only Deliver and the barrier drain touch it.
+//
+//askcheck:shared
+var inboxes [2][]int
+
+//askcheck:shared
+var inboxMu sync.Mutex
+
+// Deliver is the declared cross-shard hand-off: it buffers one increment
+// for the target shard without touching the target's state root.
+//
+//askcheck:mailbox
+func Deliver(target int) {
+	inboxMu.Lock()
+	inboxes[target] = append(inboxes[target], 1)
+	inboxMu.Unlock()
+}
+
+// HandleEventMailboxed is the repaired handler: own state directly, the
+// neighbour only through the mailbox. The analyzer accepts it as-is.
+func (s *Shard) HandleEventMailboxed() {
+	s.Count++
+	Deliver(1 - s.id)
+}
+
+// ParallelMailboxed drives both shards' repaired handlers on their own
+// goroutines, then drains the inboxes at the barrier — single-threaded,
+// like the group coordinator between windows. Race-free under -race.
+func ParallelMailboxed() int {
+	shards[0].Count, shards[1].Count = 0, 0
+	inboxes[0], inboxes[1] = nil, nil
+	var wg sync.WaitGroup
+	for i := range shards {
+		s := shards[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				s.HandleEventMailboxed()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, inbox := range inboxes {
+		for _, d := range inbox {
+			shards[i].Count += d
+		}
+	}
+	return shards[0].Count + shards[1].Count
+}

@@ -63,6 +63,11 @@ type FabricSoakConfig struct {
 	// Base is a fault model applied to every host link for the whole run,
 	// on top of the scheduled events.
 	Base netsim.Fault
+	// Shards, when > 1, runs the fabric on the conservative parallel
+	// scheduler (ask.FatTreeOptions.Shards): the soak then additionally
+	// proves that failover epochs, replay, and conservation survive
+	// parallel execution and its control rendezvous.
+	Shards int
 }
 
 func (c FabricSoakConfig) withDefaults() FabricSoakConfig {
@@ -100,7 +105,7 @@ func fabricSoakOptions(cfg FabricSoakConfig) ask.FatTreeOptions {
 	link.Fault = cfg.Base
 	opts := ask.FatTreeOptions{
 		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: cfg.Tenants,
-		Config: c, HostLink: link, Seed: cfg.Seed,
+		Config: c, HostLink: link, Seed: cfg.Seed, Shards: cfg.Shards,
 	}
 	for i := 0; i < cfg.Tenants; i++ {
 		opts.Tenants = append(opts.Tenants, tenancy.TenantSpec{ID: core.TenantID(i + 1), Weight: 1})
@@ -381,6 +386,9 @@ func (r FabricReport) Reproducer() string {
 		r.Cfg.Seed, r.Cfg.Events, r.Cfg.Spines, r.Cfg.Leaves, r.Cfg.Tuples)
 	if r.Cfg.Base.CorruptProb != 0 {
 		s += fmt.Sprintf(" -soak.corrupt=%g", r.Cfg.Base.CorruptProb)
+	}
+	if r.Cfg.Shards > 1 {
+		s += fmt.Sprintf(" -soak.shards=%d", r.Cfg.Shards)
 	}
 	return s
 }

@@ -151,6 +151,12 @@ func All() []Runner {
 			Full:  func() ([]*stats.Table, error) { return Tenancy(DefaultTenancy()) },
 		},
 		{
+			Name:  "scaling",
+			Desc:  "parallel DES: shard-count sweep, serial-equivalence + speedup/efficiency per topology",
+			Quick: one(func() (*stats.Table, error) { return Scaling(QuickScaling()) }),
+			Full:  one(func() (*stats.Table, error) { return Scaling(DefaultScaling()) }),
+		},
+		{
 			Name:  "corruption",
 			Desc:  "link corruption sweep: CRC32C quarantine cost vs goodput",
 			Quick: one(func() (*stats.Table, error) { return Corruption(QuickCorruption()) }),

@@ -1,0 +1,251 @@
+package experiments
+
+// Shard-scaling study for the conservative parallel DES (DESIGN.md
+// "Parallel DES"): the same fixed workload run at every requested shard
+// count on both partitionable fabrics, verifying the determinism contract
+// as it measures — a sharded run whose results differ from the serial
+// golden by a byte fails the experiment rather than reporting a number for
+// a broken scheduler.
+//
+// The table's structural columns (virtual elapsed, window and mailbox
+// counters) are fully deterministic. Wall-clock columns (run seconds,
+// speedup, parallel efficiency) need a real clock, which this package is
+// forbidden to read (simdeterminism); the harness that owns wall time —
+// cmd/askbench, the root-package benchmarks — injects one via SetWallClock,
+// and without it those columns report "-". Speedup is serial wall time over
+// sharded wall time; efficiency divides that by the shard count. On a
+// single-CPU host (GOMAXPROCS=1) the honest expectation is speedup ≈ 1× or
+// slightly below: the lanes only interleave, and the windows add barrier
+// overhead. The scheduler-structure columns still prove the partition
+// exists and carries the traffic.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/ask"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// wallClock, when installed, returns monotonically increasing wall time.
+// It lives behind a setter so the deterministic experiment code never
+// touches time.Now itself; only wall-clock-owning harnesses install it.
+var wallClock func() time.Duration
+
+// SetWallClock installs the wall-time source used for the scaling study's
+// speedup columns (e.g. a time.Since closure). Pass nil to uninstall.
+// Callers in deterministic packages must not install one — wall readings
+// make the scaling table's bytes machine-dependent, which is exactly what
+// this package's other experiments promise never to be.
+func SetWallClock(f func() time.Duration) { wallClock = f }
+
+// ScalingConfig parameterizes the shard-scaling sweep.
+type ScalingConfig struct {
+	// Shards lists the shard counts to sweep; 1 runs the exact serial code
+	// path and is the baseline wall measurement.
+	Shards []int
+	// Racks/HostsPerRack size the two-tier fabric; one sender per non-receiver
+	// rack keeps every TOR→core cut busy.
+	Racks        int
+	HostsPerRack int
+	// Spines/Leaves/HostsPerLeaf size the fat-tree; one sender per
+	// non-receiver leaf keeps the leaf↔spine mesh busy.
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	TuplesPerSender int64
+	Distinct        int
+	Seed            int64
+}
+
+// DefaultScaling is the benchmark-scale preset.
+func DefaultScaling() ScalingConfig {
+	return ScalingConfig{
+		Shards: []int{1, 2, 4, 8},
+		Racks:  8, HostsPerRack: 2,
+		Spines: 2, Leaves: 8, HostsPerLeaf: 2,
+		TuplesPerSender: 200_000, Distinct: 4096, Seed: 1,
+	}
+}
+
+// QuickScaling is the test-scale preset.
+func QuickScaling() ScalingConfig {
+	return ScalingConfig{
+		Shards: []int{1, 2, 4},
+		Racks:  4, HostsPerRack: 2,
+		Spines: 2, Leaves: 4, HostsPerLeaf: 2,
+		TuplesPerSender: 10_000, Distinct: 512, Seed: 1,
+	}
+}
+
+// scalingRun is one measured point: the workload's outcome plus the shard
+// scheduler's structural counters.
+type scalingRun struct {
+	res     *ask.TaskResult
+	virtual sim.Time
+	stats   sim.ShardGroupStats
+	lanes   int
+	wall    time.Duration // zero when no wall clock is installed
+}
+
+// timeRun wraps f with the injected wall clock (zero duration without one).
+func timeRun(f func() (*ask.TaskResult, sim.Time, sim.ShardGroupStats, int, error)) (scalingRun, error) {
+	var start time.Duration
+	if wallClock != nil {
+		start = wallClock()
+	}
+	res, virtual, st, lanes, err := f()
+	var run scalingRun
+	if err != nil {
+		return run, err
+	}
+	run = scalingRun{res: res, virtual: virtual, stats: st, lanes: lanes}
+	if wallClock != nil {
+		run.wall = wallClock() - start
+	}
+	return run, nil
+}
+
+// scalingMultiRack runs the two-tier workload at the given shard count.
+func scalingMultiRack(cfg ScalingConfig, shards int) (*ask.TaskResult, sim.Time, sim.ShardGroupStats, int, error) {
+	opts := ask.MultiRackOptions{
+		Racks: cfg.Racks, HostsPerRack: cfg.HostsPerRack, Seed: cfg.Seed, Shards: shards,
+	}
+	mc, err := ask.NewMultiRackCluster(opts)
+	if err != nil {
+		return nil, 0, sim.ShardGroupStats{}, 0, err
+	}
+	receiver := opts.HostAt(0, 0)
+	var senders []core.HostID
+	streams := make(map[core.HostID]core.Stream)
+	for r := 1; r < cfg.Racks; r++ {
+		h := opts.HostAt(r, 0)
+		senders = append(senders, h)
+		streams[h] = workload.Uniform(cfg.Distinct, cfg.TuplesPerSender, cfg.Seed+int64(r)).Stream()
+	}
+	res, err := mc.Aggregate(core.TaskSpec{ID: 1, Receiver: receiver, Senders: senders, Op: core.OpSum}, streams)
+	if err != nil {
+		return nil, 0, sim.ShardGroupStats{}, 0, err
+	}
+	var st sim.ShardGroupStats
+	lanes := 0
+	if g := mc.Net.Group(); g != nil {
+		st, lanes = g.Stats(), g.Lanes()
+	}
+	return res, mc.Sim.Now(), st, lanes, nil
+}
+
+// scalingFatTree runs the spine/leaf workload at the given shard count.
+func scalingFatTree(cfg ScalingConfig, shards int) (*ask.TaskResult, sim.Time, sim.ShardGroupStats, int, error) {
+	opts := ask.FatTreeOptions{
+		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: cfg.HostsPerLeaf,
+		Seed: cfg.Seed, Shards: shards,
+	}
+	fc, err := ask.NewFatTreeCluster(opts)
+	if err != nil {
+		return nil, 0, sim.ShardGroupStats{}, 0, err
+	}
+	receiver := opts.HostAt(0, 0)
+	var senders []core.HostID
+	streams := make(map[core.HostID]core.Stream)
+	for l := 1; l < cfg.Leaves; l++ {
+		h := opts.HostAt(l, 0)
+		senders = append(senders, h)
+		streams[h] = workload.Uniform(cfg.Distinct, cfg.TuplesPerSender, cfg.Seed+int64(l)).Stream()
+	}
+	res, err := fc.Aggregate(core.TaskSpec{ID: 1, Receiver: receiver, Senders: senders, Op: core.OpSum}, streams)
+	if err != nil {
+		return nil, 0, sim.ShardGroupStats{}, 0, err
+	}
+	var st sim.ShardGroupStats
+	lanes := 0
+	if g := fc.Net.Group(); g != nil {
+		st, lanes = g.Stats(), g.Lanes()
+	}
+	return res, fc.Sim.Now(), st, lanes, nil
+}
+
+// ScalingPoint runs one topology's scaling workload at one shard count and
+// discards the outcome — the per-shard-count benchmark hook (BENCH_*.json's
+// MultiRackShards/FatTreeShards entries time it from the root package).
+func ScalingPoint(topology string, cfg ScalingConfig, shards int) error {
+	var err error
+	switch topology {
+	case "multirack":
+		_, _, _, _, err = scalingMultiRack(cfg, shards)
+	case "fattree":
+		_, _, _, _, err = scalingFatTree(cfg, shards)
+	default:
+		err = fmt.Errorf("experiments: unknown scaling topology %q", topology)
+	}
+	return err
+}
+
+// Scaling sweeps shard counts over both partitionable topologies. Every
+// sharded run is checked byte-for-byte against its serial baseline (result
+// map, receiver/switch counters, virtual elapsed, final clock) before its
+// measurement is reported.
+func Scaling(cfg ScalingConfig) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Parallel DES: shard-scaling sweep (serial-equivalence enforced per row)",
+		Note: fmt.Sprintf("multirack %d racks, fattree %d×%d, %d tuples/sender; wall columns need a harness clock (askbench, make bench)",
+			cfg.Racks, cfg.Spines, cfg.Leaves, cfg.TuplesPerSender),
+		Header: []string{"topology", "shards", "lanes", "wall s", "speedup", "efficiency %",
+			"parallel windows", "inline windows", "injects", "virtual elapsed"},
+	}
+	for _, topo := range []struct {
+		name string
+		run  func(int) (*ask.TaskResult, sim.Time, sim.ShardGroupStats, int, error)
+	}{
+		{"multirack", func(n int) (*ask.TaskResult, sim.Time, sim.ShardGroupStats, int, error) {
+			return scalingMultiRack(cfg, n)
+		}},
+		{"fattree", func(n int) (*ask.TaskResult, sim.Time, sim.ShardGroupStats, int, error) {
+			return scalingFatTree(cfg, n)
+		}},
+	} {
+		var base scalingRun
+		for i, shards := range cfg.Shards {
+			run, err := timeRun(func() (*ask.TaskResult, sim.Time, sim.ShardGroupStats, int, error) {
+				return topo.run(shards)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scaling %s shards=%d: %w", topo.name, shards, err)
+			}
+			if i == 0 {
+				if shards > 1 {
+					return nil, fmt.Errorf("scaling %s: Shards[0] must be the serial baseline (<= 1), got %d", topo.name, shards)
+				}
+				base = run
+			} else {
+				if !run.res.Result.Equal(base.res.Result) {
+					return nil, fmt.Errorf("scaling %s shards=%d: result diverged from serial: %s",
+						topo.name, shards, run.res.Result.Diff(base.res.Result, 5))
+				}
+				if run.res.Elapsed != base.res.Elapsed || run.virtual != base.virtual {
+					return nil, fmt.Errorf("scaling %s shards=%d: virtual time diverged from serial (%v vs %v)",
+						topo.name, shards, run.res.Elapsed, base.res.Elapsed)
+				}
+				if run.res.Recv != base.res.Recv || run.res.Switch != base.res.Switch {
+					return nil, fmt.Errorf("scaling %s shards=%d: counters diverged from serial", topo.name, shards)
+				}
+			}
+			wall, speedup, eff := "-", "-", "-"
+			if wallClock != nil && run.wall > 0 {
+				wall = fmt.Sprintf("%.3f", run.wall.Seconds())
+				if i > 0 && base.wall > 0 {
+					s := base.wall.Seconds() / run.wall.Seconds()
+					speedup = fmt.Sprintf("%.2fx", s)
+					eff = fmt.Sprintf("%.0f", 100*s/float64(run.lanes))
+				}
+			}
+			t.AddRow(topo.name, shards, run.lanes, wall, speedup, eff,
+				run.stats.ParallelWindows, run.stats.InlineWindows, run.stats.Injects,
+				run.res.Elapsed.Sub(0))
+		}
+	}
+	return t, nil
+}

@@ -69,13 +69,29 @@ type FatTree struct {
 	// like the program path does.
 	leafDown  []bool
 	spineDown []bool
+	// group is non-nil for a sharded fabric (NewFatTreeSharded): each leaf
+	// block and spine lives on a lane simulation and the leaf↔spine mesh is
+	// mailbox cuts. hostLeaf/hostPorts stay read-only after construction;
+	// leafDown/spineDown are written only from root context (chaos), which
+	// the group serializes.
+	group *sim.ShardGroup
+	// cutLinks counts directed links rewired into cross-lane mailboxes.
+	cutLinks int
 }
 
-// leafPort is one leaf switch: the SwitchFabric its ASK program attaches to.
+// leafPort is one leaf switch: the SwitchFabric its ASK program attaches
+// to. It is a per-leaf network-state root for the parallel DES; traffic
+// leaves it only over the host links and the leaf↔spine mesh, which the
+// sharded build rewires into mailbox cuts.
+//
+//askcheck:shard
 type leafPort struct {
 	ft      *FatTree
 	leaf    int
 	handler SwitchHandler
+	// ls is the simulation this leaf's state lives on (the fabric-wide one
+	// for a serial build, the leaf's shard lane for a sharded build).
+	ls *sim.Simulation
 	// up[s] is this leaf's link to spine s.
 	up []*Link
 	// Arg-carrying event adapters, bound once per port so the per-frame
@@ -84,11 +100,16 @@ type leafPort struct {
 	fromSpineAny func(any)
 }
 
-// spinePort is one spine switch.
+// spinePort is one spine switch: a per-spine network-state root for the
+// parallel DES (see leafPort).
+//
+//askcheck:shard
 type spinePort struct {
 	ft      *FatTree
 	spine   int
 	handler SwitchHandler
+	// ls is the simulation this spine's state lives on (see leafPort.ls).
+	ls *sim.Simulation
 	// down[l] is this spine's link to leaf l.
 	down       []*Link
 	ingressAny func(any)
@@ -97,6 +118,26 @@ type spinePort struct {
 // NewFatTree builds the fabric. hostLink configures host↔leaf links,
 // fabricLink the leaf↔spine links (typically fatter).
 func NewFatTree(s *sim.Simulation, spines, leaves int, hostLink, fabricLink LinkConfig) *FatTree {
+	return newFatTree(s, nil, spines, leaves, hostLink, fabricLink)
+}
+
+// NewFatTreeSharded builds the fabric partitioned into `shards` lanes
+// under root's conservative shard group: leaves form contiguous lane
+// blocks, spines are spread round-robin over the lanes, and the whole
+// leaf↔spine mesh becomes mailbox cuts with lookahead
+// fabricLink.Propagation + SwitchLatency. A request that EffectiveShards
+// clamps to serial (shards <= 1, or a single leaf) returns a fabric built
+// by the exact serial path and a nil group.
+func NewFatTreeSharded(s *sim.Simulation, spines, leaves, shards int, hostLink, fabricLink LinkConfig) (*FatTree, *sim.ShardGroup) {
+	eff := EffectiveShards(shards, leaves)
+	if eff == 0 {
+		return newFatTree(s, nil, spines, leaves, hostLink, fabricLink), nil
+	}
+	g := sim.NewShardGroup(s, eff, cutDelay(fabricLink, defaultSwitchLatency))
+	return newFatTree(s, g, spines, leaves, hostLink, fabricLink), g
+}
+
+func newFatTree(s *sim.Simulation, g *sim.ShardGroup, spines, leaves int, hostLink, fabricLink LinkConfig) *FatTree {
 	if spines <= 0 || leaves <= 0 {
 		panic("netsim: need at least one spine and one leaf")
 	}
@@ -105,45 +146,103 @@ func NewFatTree(s *sim.Simulation, spines, leaves int, hostLink, fabricLink Link
 	}
 	ft := &FatTree{
 		sim:           s,
-		SwitchLatency: 800 * time.Nanosecond,
+		SwitchLatency: defaultSwitchLatency,
 		hostLeaf:      make(map[core.HostID]int),
 		hostPorts:     make(map[core.HostID]*port),
 		hostLink:      hostLink,
 		fabricLink:    fabricLink,
 		leafDown:      make([]bool, leaves),
 		spineDown:     make([]bool, spines),
+		group:         g,
 	}
+	leafSim, spineSim := shardSims(g, leaves, spines)
 	for l := 0; l < leaves; l++ {
-		lp := &leafPort{ft: ft, leaf: l}
+		lp := &leafPort{ft: ft, leaf: l, ls: s}
+		if leafSim != nil {
+			lp.ls = leafSim[l]
+		}
 		lp.ingressAny = func(a any) { lp.ingress(a.(*Frame)) }
 		lp.fromSpineAny = func(a any) { lp.fromSpine(a.(*Frame)) }
 		ft.leaves = append(ft.leaves, lp)
 	}
 	for sp := 0; sp < spines; sp++ {
-		spp := &spinePort{ft: ft, spine: sp}
+		spp := &spinePort{ft: ft, spine: sp, ls: s}
+		if spineSim != nil {
+			spp.ls = spineSim[sp]
+		}
 		spp.ingressAny = func(a any) { spp.ingress(a.(*Frame)) }
 		ft.spines = append(ft.spines, spp)
 	}
-	// Full bipartite mesh: one directed link per (leaf, spine) per direction.
+	// Full bipartite mesh: one directed link per (leaf, spine) per
+	// direction. In a sharded build every mesh link is a mailbox cut with
+	// the receiving switch's pipeline hop folded into the cut delay; the
+	// static per-link target degrades to a plain local schedule when both
+	// endpoints share a lane.
 	for _, lp := range ft.leaves {
+		lp := lp
 		lp.up = make([]*Link, spines)
 		for sp := 0; sp < spines; sp++ {
 			spp := ft.spines[sp]
-			lp.up[sp] = newLink(s, fabricLink, func(f *Frame) {
-				s.AfterCall(ft.SwitchLatency, spp.ingressAny, f)
-			})
+			if g == nil {
+				lp.up[sp] = newLink(s, fabricLink, func(f *Frame) {
+					s.AfterCall(ft.SwitchLatency, spp.ingressAny, f)
+				})
+			} else {
+				lp.up[sp] = newLink(lp.ls, fabricLink, func(f *Frame) { spp.ingress(f) })
+				lp.up[sp].xroute = func(*Frame) *sim.Simulation { return spp.ls }
+				lp.up[sp].xdelay = ft.SwitchLatency
+				ft.cutLinks++
+			}
 		}
 	}
 	for _, spp := range ft.spines {
+		spp := spp
 		spp.down = make([]*Link, leaves)
 		for l := 0; l < leaves; l++ {
 			lp := ft.leaves[l]
-			spp.down[l] = newLink(s, fabricLink, func(f *Frame) {
-				s.AfterCall(ft.SwitchLatency, lp.fromSpineAny, f)
-			})
+			if g == nil {
+				spp.down[l] = newLink(s, fabricLink, func(f *Frame) {
+					s.AfterCall(ft.SwitchLatency, lp.fromSpineAny, f)
+				})
+			} else {
+				spp.down[l] = newLink(spp.ls, fabricLink, func(f *Frame) { lp.fromSpine(f) })
+				spp.down[l].xroute = func(*Frame) *sim.Simulation { return lp.ls }
+				spp.down[l].xdelay = ft.SwitchLatency
+				ft.cutLinks++
+			}
 		}
 	}
 	return ft
+}
+
+// Group returns the shard group of a sharded fabric (nil when serial).
+func (ft *FatTree) Group() *sim.ShardGroup { return ft.group }
+
+// LeafSim returns the simulation leaf l's state must be constructed on.
+func (ft *FatTree) LeafSim(l int) *sim.Simulation { return ft.leaves[l].ls }
+
+// SpineSim returns the simulation spine s's state must be constructed on.
+func (ft *FatTree) SpineSim(s int) *sim.Simulation { return ft.spines[s].ls }
+
+// Layout reports the lane assignment (zero value when serial).
+func (ft *FatTree) Layout() ShardLayout {
+	if ft.group == nil {
+		return ShardLayout{}
+	}
+	lay := ShardLayout{
+		Lanes:     ft.group.Lanes(),
+		BlockLane: make([]int, len(ft.leaves)),
+		SpineLane: make([]int, len(ft.spines)),
+		CutLinks:  ft.cutLinks,
+		Lookahead: ft.group.Lookahead(),
+	}
+	for l, lp := range ft.leaves {
+		lay.BlockLane[l] = lp.ls.ShardLane()
+	}
+	for s, spp := range ft.spines {
+		lay.SpineLane[s] = spp.ls.ShardLane()
+	}
+	return lay
 }
 
 // SetCodec installs the byte codec used by the corruption fault path on
@@ -236,11 +335,12 @@ func (ft *FatTree) AttachHostLeaf(l int, id core.HostID, h HostHandler) {
 		panic(fmt.Sprintf("netsim: host ID %#x collides with the fabric address range", id))
 	}
 	lp := ft.leaves[l]
+	ls := lp.ls
 	p := &port{host: h}
-	p.up = newLink(ft.sim, ft.hostLink, func(f *Frame) {
-		ft.sim.AfterCall(ft.SwitchLatency, lp.ingressAny, f)
+	p.up = newLink(ls, ft.hostLink, func(f *Frame) {
+		ls.AfterCall(ft.SwitchLatency, lp.ingressAny, f)
 	})
-	p.down = newLink(ft.sim, ft.hostLink, func(f *Frame) { p.host.HandleFrame(f) })
+	p.down = newLink(ls, ft.hostLink, func(f *Frame) { p.host.HandleFrame(f) })
 	p.up.codec, p.down.codec = ft.codec, ft.codec
 	ft.hostPorts[id] = p
 	ft.hostLeaf[id] = l

@@ -176,6 +176,16 @@ type Link struct {
 	// deliverAny adapts deliver to the kernel's arg-carrying event form so
 	// the frame-delivery hot path schedules without a per-event closure.
 	deliverAny func(any)
+	// xroute marks this link as a cross-shard cut (sharded fabrics): it
+	// returns the lane simulation that owns the frame's next hop, and the
+	// delivery event is injected there xdelay later than the normal arrival
+	// time — the switch-latency hop the serial wiring schedules separately
+	// on arrival, folded into the cut so the total cross-lane delay is the
+	// full propagation + pipeline latency the group's lookahead declares.
+	// nil on every link of a serial (ungrouped) fabric, which therefore
+	// takes the exact pre-shard delivery path.
+	xroute func(*Frame) *sim.Simulation
+	xdelay time.Duration
 	// Telemetry (telemetry.go): fault-outcome trace events. host/dir label
 	// the link in traces; tr is nil unless the network is instrumented.
 	tr   *telemetry.Tracer
@@ -329,7 +339,11 @@ func (l *Link) Send(f *Frame) {
 			g = &Frame{Src: f.Src, Dst: f.Dst, WireBytes: f.WireBytes, GoodBytes: f.GoodBytes,
 				Pkt: f.Pkt.ClonePooled(), Owned: true}
 		}
-		l.sim.AtCall(arrive, l.deliverAny, g)
+		if l.xroute != nil {
+			l.xroute(g).InjectCall(l.sim, arrive.Add(l.xdelay), l.deliverAny, g)
+		} else {
+			l.sim.AtCall(arrive, l.deliverAny, g)
+		}
 	}
 	if !handedOff {
 		// Every delivered copy was a clone (or dropped); if the sender

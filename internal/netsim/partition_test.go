@@ -1,0 +1,339 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+type nullHost struct{}
+
+func (nullHost) HandleFrame(f *Frame) {}
+
+// checkLayout verifies the invariants every sharded layout must satisfy:
+// lanes cover [0, Lanes), block assignment is contiguous and every lane
+// owns at least one block.
+func checkLayout(t *testing.T, lay ShardLayout) {
+	t.Helper()
+	used := make([]bool, lay.Lanes)
+	prev := 0
+	for i, lane := range lay.BlockLane {
+		if lane < 0 || lane >= lay.Lanes {
+			t.Fatalf("block %d on lane %d, want [0,%d)", i, lane, lay.Lanes)
+		}
+		if lane < prev {
+			t.Fatalf("block lanes not contiguous: %v", lay.BlockLane)
+		}
+		prev = lane
+		used[lane] = true
+	}
+	for lane, u := range used {
+		if !u {
+			t.Fatalf("lane %d owns no blocks: %v", lane, lay.BlockLane)
+		}
+	}
+	for _, lane := range lay.SpineLane {
+		if lane < 0 || lane >= lay.Lanes {
+			t.Fatalf("spine lane %d out of range [0,%d)", lane, lay.Lanes)
+		}
+	}
+	if lay.Lookahead <= 0 {
+		t.Fatalf("non-positive lookahead %v", lay.Lookahead)
+	}
+}
+
+func TestEffectiveShards(t *testing.T) {
+	cases := []struct{ req, blocks, want int }{
+		{0, 4, 0}, {1, 4, 0}, {2, 4, 2}, {4, 4, 4},
+		{8, 4, 4}, {4, 1, 0}, {2, 1, 0}, {3, 8, 3}, {1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := EffectiveShards(c.req, c.blocks); got != c.want {
+			t.Errorf("EffectiveShards(%d, %d) = %d, want %d", c.req, c.blocks, got, c.want)
+		}
+	}
+}
+
+func TestTwoTierPartition(t *testing.T) {
+	cases := []struct {
+		name         string
+		racks, req   int
+		wantLanes    int // 0 = serial
+	}{
+		{"serial-1shard", 4, 1, 0},
+		{"serial-1rack", 1, 8, 0},
+		{"2of4", 4, 2, 2},
+		{"4of4", 4, 4, 4},
+		{"clamp8to4", 4, 8, 4},
+		{"3of8", 8, 3, 3},
+		{"2of5", 5, 2, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			root := sim.New(1)
+			hostLink := DefaultLinkConfig()
+			coreLink := LinkConfig{BandwidthBps: 400e9, Propagation: 2 * time.Microsecond}
+			tt, g := NewTwoTierSharded(root, c.racks, c.req, hostLink, coreLink)
+			// Two hosts per rack so host-link ownership is exercised.
+			for r := 0; r < c.racks; r++ {
+				tt.AttachHostRack(r, core.HostID(2*r), nullHost{})
+				tt.AttachHostRack(r, core.HostID(2*r+1), nullHost{})
+			}
+			if c.wantLanes == 0 {
+				if g != nil || tt.Group() != nil {
+					t.Fatalf("expected serial build, got group %v", g)
+				}
+				lay := tt.Layout()
+				if lay.Lanes != 0 {
+					t.Fatalf("serial layout reports %d lanes", lay.Lanes)
+				}
+				// Serial seam: every link lives on the root simulation with no
+				// mailbox rewiring.
+				for r := 0; r < c.racks; r++ {
+					if tt.RackSim(r) != root {
+						t.Fatalf("serial rack %d not on root sim", r)
+					}
+					tp := tt.racks[r]
+					for _, l := range []*Link{tp.up, tp.down} {
+						if l.sim != root || l.xroute != nil {
+							t.Fatalf("serial rack %d TOR link rewired", r)
+						}
+					}
+				}
+				for id, p := range tt.hostPorts {
+					if p.up.sim != root || p.down.sim != root || p.up.xroute != nil || p.down.xroute != nil {
+						t.Fatalf("serial host %d link rewired", id)
+					}
+				}
+				return
+			}
+			if g == nil || g.Lanes() != c.wantLanes {
+				t.Fatalf("got group %v, want %d lanes", g, c.wantLanes)
+			}
+			lay := tt.Layout()
+			if lay.Lanes != c.wantLanes {
+				t.Fatalf("layout lanes = %d, want %d", lay.Lanes, c.wantLanes)
+			}
+			checkLayout(t, lay)
+			if want := coreLink.Propagation + tt.SwitchLatency; lay.Lookahead != want {
+				t.Fatalf("lookahead = %v, want %v", lay.Lookahead, want)
+			}
+			// Exactly one TOR→core cut per rack.
+			if lay.CutLinks != c.racks {
+				t.Fatalf("cut links = %d, want %d", lay.CutLinks, c.racks)
+			}
+			for r := 0; r < c.racks; r++ {
+				tp := tt.racks[r]
+				lane := g.Lane(lay.BlockLane[r])
+				if tp.ls != lane || tt.RackSim(r) != lane {
+					t.Fatalf("rack %d state not on its lane", r)
+				}
+				// The uplink is the mailbox cut; the downlink and both host
+				// links are lane-local.
+				if tp.up.sim != lane || tp.up.xroute == nil || tp.up.xdelay != tt.SwitchLatency {
+					t.Fatalf("rack %d uplink not a cut on its lane", r)
+				}
+				if tp.down.sim != lane || tp.down.xroute != nil {
+					t.Fatalf("rack %d downlink not lane-local", r)
+				}
+			}
+			for id, p := range tt.hostPorts {
+				lane := g.Lane(lay.BlockLane[tt.hostRack[id]])
+				if p.up.sim != lane || p.down.sim != lane || p.up.xroute != nil || p.down.xroute != nil {
+					t.Fatalf("host %d links not lane-local", id)
+				}
+			}
+			// The cut routes by destination rack lane.
+			src := tt.racks[0]
+			for r := 0; r < c.racks; r++ {
+				f := &Frame{Dst: core.HostID(2 * r)}
+				if got := src.up.xroute(f); got != g.Lane(lay.BlockLane[r]) {
+					t.Fatalf("cut route for rack %d landed on lane %d", r, got.ShardLane())
+				}
+			}
+		})
+	}
+}
+
+func TestFatTreePartition(t *testing.T) {
+	cases := []struct {
+		name           string
+		spines, leaves int
+		req, wantLanes int
+	}{
+		{"serial-1shard", 2, 4, 1, 0},
+		{"serial-1leaf", 2, 1, 8, 0},
+		{"degenerate-1spine-2leaves", 1, 2, 2, 2},
+		{"2of4", 2, 4, 2, 2},
+		{"4of4", 2, 4, 4, 4},
+		{"clamp8to4", 2, 4, 8, 4},
+		{"3of8-3spines", 3, 8, 4, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			root := sim.New(1)
+			hostLink := DefaultLinkConfig()
+			fabricLink := LinkConfig{BandwidthBps: 400e9, Propagation: 2 * time.Microsecond}
+			ft, g := NewFatTreeSharded(root, c.spines, c.leaves, c.req, hostLink, fabricLink)
+			for l := 0; l < c.leaves; l++ {
+				ft.AttachHostLeaf(l, core.HostID(2*l), nullHost{})
+				ft.AttachHostLeaf(l, core.HostID(2*l+1), nullHost{})
+			}
+			if c.wantLanes == 0 {
+				if g != nil || ft.Group() != nil {
+					t.Fatalf("expected serial build, got group %v", g)
+				}
+				for l := 0; l < c.leaves; l++ {
+					if ft.LeafSim(l) != root {
+						t.Fatalf("serial leaf %d not on root sim", l)
+					}
+					for _, lk := range ft.leaves[l].up {
+						if lk.sim != root || lk.xroute != nil {
+							t.Fatalf("serial leaf %d uplink rewired", l)
+						}
+					}
+				}
+				for s := 0; s < c.spines; s++ {
+					if ft.SpineSim(s) != root {
+						t.Fatalf("serial spine %d not on root sim", s)
+					}
+					for _, lk := range ft.spines[s].down {
+						if lk.sim != root || lk.xroute != nil {
+							t.Fatalf("serial spine %d downlink rewired", s)
+						}
+					}
+				}
+				return
+			}
+			if g == nil || g.Lanes() != c.wantLanes {
+				t.Fatalf("got group %v, want %d lanes", g, c.wantLanes)
+			}
+			lay := ft.Layout()
+			checkLayout(t, lay)
+			if want := fabricLink.Propagation + ft.SwitchLatency; lay.Lookahead != want {
+				t.Fatalf("lookahead = %v, want %v", lay.Lookahead, want)
+			}
+			// The whole bipartite mesh is cut: 2 directed links per
+			// (leaf, spine) pair.
+			if want := 2 * c.spines * c.leaves; lay.CutLinks != want {
+				t.Fatalf("cut links = %d, want %d", lay.CutLinks, want)
+			}
+			for s := 0; s < c.spines; s++ {
+				if want := s % c.wantLanes; lay.SpineLane[s] != want {
+					t.Fatalf("spine %d on lane %d, want %d", s, lay.SpineLane[s], want)
+				}
+			}
+			for l := 0; l < c.leaves; l++ {
+				lp := ft.leaves[l]
+				lane := g.Lane(lay.BlockLane[l])
+				if lp.ls != lane || ft.LeafSim(l) != lane {
+					t.Fatalf("leaf %d state not on its lane", l)
+				}
+				for s, lk := range lp.up {
+					if lk.sim != lane || lk.xroute == nil || lk.xdelay != ft.SwitchLatency {
+						t.Fatalf("leaf %d uplink %d not a cut on its lane", l, s)
+					}
+					if got := lk.xroute(nil); got != ft.spines[s].ls {
+						t.Fatalf("leaf %d uplink %d routes to wrong lane", l, s)
+					}
+				}
+			}
+			for s := 0; s < c.spines; s++ {
+				spp := ft.spines[s]
+				lane := g.Lane(lay.SpineLane[s])
+				if spp.ls != lane || ft.SpineSim(s) != lane {
+					t.Fatalf("spine %d state not on its lane", s)
+				}
+				for l, lk := range spp.down {
+					if lk.sim != lane || lk.xroute == nil {
+						t.Fatalf("spine %d downlink %d not a cut on its lane", s, l)
+					}
+					if got := lk.xroute(nil); got != ft.leaves[l].ls {
+						t.Fatalf("spine %d downlink %d routes to wrong lane", s, l)
+					}
+				}
+			}
+			for id, p := range ft.hostPorts {
+				lane := g.Lane(lay.BlockLane[ft.hostLeaf[id]])
+				if p.up.sim != lane || p.down.sim != lane || p.up.xroute != nil || p.down.xroute != nil {
+					t.Fatalf("host %d links not lane-local", id)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTwoTierTrafficMatchesSerial pushes frames host→TOR→core→
+// TOR→host across racks on both builds and requires identical delivery
+// traces — the netsim-level determinism check below the full ask stack.
+func TestShardedTwoTierTrafficMatchesSerial(t *testing.T) {
+	type delivery struct {
+		at  sim.Time
+		src core.HostID
+	}
+	run := func(shards int) [8][]delivery {
+		root := sim.New(3)
+		hostLink := DefaultLinkConfig()
+		coreLink := LinkConfig{BandwidthBps: 400e9, Propagation: 2 * time.Microsecond}
+		tt, _ := NewTwoTierSharded(root, 4, shards, hostLink, coreLink)
+		// Per-host slots in a fixed array: lanes append concurrently during
+		// parallel windows, and distinct array elements share no state.
+		var got [8][]delivery
+		for r := 0; r < 4; r++ {
+			for i := 0; i < 2; i++ {
+				id := core.HostID(2*r + i)
+				ls := tt.RackSim(r)
+				slot := &got[id]
+				tt.AttachHostRack(r, id, hostFunc(func(f *Frame) {
+					*slot = append(*slot, delivery{at: ls.Now(), src: f.Src})
+					f.Release()
+				}))
+			}
+			tt.TOR(r).AttachSwitch(forwardAll{tt.TOR(r)})
+		}
+		// Every host streams 5 frames to the "opposite" host two racks away.
+		for r := 0; r < 4; r++ {
+			for i := 0; i < 2; i++ {
+				src := core.HostID(2*r + i)
+				dst := core.HostID((2*r + 4 + i) % 8)
+				ls := tt.RackSim(r)
+				for k := 0; k < 5; k++ {
+					f := &Frame{Src: src, Dst: dst, WireBytes: 128 + 16*k, Owned: true}
+					at := sim.Time((k + 1) * int(time.Microsecond))
+					func(f *Frame, at sim.Time) {
+						ls.At(at, func() { tt.HostSend(f) })
+					}(f, at)
+				}
+			}
+		}
+		root.Run(0)
+		return got
+	}
+	serial := run(1)
+	for _, shards := range []int{2, 4} {
+		sharded := run(shards)
+		for id, want := range serial {
+			gotd := sharded[id]
+			if len(gotd) != len(want) {
+				t.Fatalf("shards=%d host %d: %d deliveries, want %d", shards, id, len(gotd), len(want))
+			}
+			for i := range want {
+				if gotd[i] != want[i] {
+					t.Fatalf("shards=%d host %d delivery %d = %+v, want %+v", shards, id, i, gotd[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// hostFunc adapts a func to HostHandler.
+type hostFunc func(*Frame)
+
+func (h hostFunc) HandleFrame(f *Frame) { h(f) }
+
+// forwardAll forwards every ingress frame to its destination.
+type forwardAll struct{ fab SwitchFabric }
+
+func (fw forwardAll) HandleIngress(f *Frame) { fw.fab.SwitchSend(f) }

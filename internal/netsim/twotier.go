@@ -33,6 +33,13 @@ type TwoTier struct {
 	// coreForwardAny is the arg-carrying event adapter for the core switch
 	// hop, bound once (see torPort's adapters).
 	coreForwardAny func(any)
+	// group is non-nil for a sharded fabric (NewTwoTierSharded): each rack's
+	// switch, hosts, and local links live on a lane simulation and the
+	// TOR→core uplinks are mailbox cuts. hostRack/hostPorts stay read-only
+	// after construction, so lanes may consult them concurrently.
+	group *sim.ShardGroup
+	// cutLinks counts directed links rewired into cross-lane mailboxes.
+	cutLinks int
 }
 
 // torPort is one rack's TOR: the SwitchFabric its ASK program attaches to.
@@ -46,6 +53,9 @@ type torPort struct {
 	tt      *TwoTier
 	rack    int
 	handler SwitchHandler
+	// ls is the simulation this rack's state lives on: the fabric-wide one
+	// for a serial build, the rack's shard lane for a sharded build.
+	ls *sim.Simulation
 	// up/down are the TOR↔core links.
 	up   *Link
 	down *Link
@@ -58,33 +68,102 @@ type torPort struct {
 // NewTwoTier builds a fabric with the given number of racks. hostLink
 // configures host↔TOR links, coreLink the TOR↔core links (typically fatter).
 func NewTwoTier(s *sim.Simulation, racks int, hostLink, coreLink LinkConfig) *TwoTier {
+	return newTwoTier(s, nil, racks, hostLink, coreLink)
+}
+
+// NewTwoTierSharded builds the fabric partitioned into `shards` lanes of
+// contiguous racks under root's conservative shard group: each rack's TOR
+// and host links live on its lane simulation, and the TOR→core uplinks
+// become mailbox cuts routed by destination rack with lookahead
+// coreLink.Propagation + SwitchLatency. A request that EffectiveShards
+// clamps to serial (shards <= 1, or a single rack) returns a fabric built
+// by the exact serial path and a nil group.
+func NewTwoTierSharded(s *sim.Simulation, racks, shards int, hostLink, coreLink LinkConfig) (*TwoTier, *sim.ShardGroup) {
+	eff := EffectiveShards(shards, racks)
+	if eff == 0 {
+		return newTwoTier(s, nil, racks, hostLink, coreLink), nil
+	}
+	g := sim.NewShardGroup(s, eff, cutDelay(coreLink, defaultSwitchLatency))
+	return newTwoTier(s, g, racks, hostLink, coreLink), g
+}
+
+// defaultSwitchLatency is the pipeline traversal latency both fabrics
+// start with; the shard lookahead is computed from it at construction, so
+// lowering SwitchLatency on a sharded fabric afterwards is rejected by
+// the kernel's lookahead check at the first cut delivery.
+const defaultSwitchLatency = 800 * time.Nanosecond
+
+func newTwoTier(s *sim.Simulation, g *sim.ShardGroup, racks int, hostLink, coreLink LinkConfig) *TwoTier {
 	if racks <= 0 {
 		panic("netsim: need at least one rack")
 	}
 	tt := &TwoTier{
 		sim:           s,
-		SwitchLatency: 800 * time.Nanosecond,
+		SwitchLatency: defaultSwitchLatency,
 		hostRack:      make(map[core.HostID]int),
 		hostPorts:     make(map[core.HostID]*port),
 		hostLink:      hostLink,
 		coreLink:      coreLink,
+		group:         g,
 	}
 	tt.coreForwardAny = func(a any) { tt.coreForward(a.(*Frame)) }
+	rackSim, _ := shardSims(g, racks, 0)
 	for r := 0; r < racks; r++ {
-		tp := &torPort{tt: tt, rack: r}
+		tp := &torPort{tt: tt, rack: r, ls: s}
+		if rackSim != nil {
+			tp.ls = rackSim[r]
+		}
+		ls := tp.ls
 		tp.ingressAny = func(a any) { tp.ingress(a.(*Frame)) }
 		tp.deliverLocalAny = func(a any) { tp.deliverLocal(a.(*Frame)) }
-		tp.up = newLink(s, coreLink, func(f *Frame) {
-			s.AfterCall(tt.SwitchLatency, tt.coreForwardAny, f)
-		})
-		tp.down = newLink(s, coreLink, func(f *Frame) {
+		if g == nil {
+			tp.up = newLink(s, coreLink, func(f *Frame) {
+				s.AfterCall(tt.SwitchLatency, tt.coreForwardAny, f)
+			})
+		} else {
+			// Mailbox cut: delivery is injected into the destination rack's
+			// lane, with the core's pipeline hop folded into the cut delay.
+			tp.up = newLink(ls, coreLink, func(f *Frame) { tt.coreForward(f) })
+			tp.up.xroute = func(f *Frame) *sim.Simulation {
+				return tt.racks[tt.hostRack[f.Dst]].ls
+			}
+			tp.up.xdelay = tt.SwitchLatency
+			tt.cutLinks++
+		}
+		tp.down = newLink(ls, coreLink, func(f *Frame) {
 			// From the core into the TOR: bypass the program (§7) and
 			// deliver to the local destination host.
-			s.AfterCall(tt.SwitchLatency, tp.deliverLocalAny, f)
+			ls.AfterCall(tt.SwitchLatency, tp.deliverLocalAny, f)
 		})
 		tt.racks = append(tt.racks, tp)
 	}
 	return tt
+}
+
+// Group returns the shard group of a sharded fabric (nil when serial).
+func (tt *TwoTier) Group() *sim.ShardGroup { return tt.group }
+
+// RackSim returns the simulation rack r's state must be constructed on:
+// its shard lane for a sharded fabric, the fabric-wide simulation
+// otherwise. Switch programs and host daemons of rack r must schedule
+// only here.
+func (tt *TwoTier) RackSim(r int) *sim.Simulation { return tt.racks[r].ls }
+
+// Layout reports the lane assignment (zero value when serial).
+func (tt *TwoTier) Layout() ShardLayout {
+	if tt.group == nil {
+		return ShardLayout{}
+	}
+	lay := ShardLayout{
+		Lanes:     tt.group.Lanes(),
+		BlockLane: make([]int, len(tt.racks)),
+		CutLinks:  tt.cutLinks,
+		Lookahead: tt.group.Lookahead(),
+	}
+	for r, tp := range tt.racks {
+		lay.BlockLane[r] = tp.ls.ShardLane()
+	}
+	return lay
 }
 
 // SetCodec installs the byte codec used by the corruption fault path on
@@ -120,11 +199,12 @@ func (tt *TwoTier) AttachHostRack(r int, id core.HostID, h HostHandler) {
 		panic(fmt.Sprintf("netsim: rack %d out of range", r))
 	}
 	tp := tt.racks[r]
+	ls := tp.ls
 	p := &port{host: h}
-	p.up = newLink(tt.sim, tt.hostLink, func(f *Frame) {
-		tt.sim.AfterCall(tt.SwitchLatency, tp.ingressAny, f)
+	p.up = newLink(ls, tt.hostLink, func(f *Frame) {
+		ls.AfterCall(tt.SwitchLatency, tp.ingressAny, f)
 	})
-	p.down = newLink(tt.sim, tt.hostLink, func(f *Frame) { p.host.HandleFrame(f) })
+	p.down = newLink(ls, tt.hostLink, func(f *Frame) { p.host.HandleFrame(f) })
 	p.up.codec, p.down.codec = tt.codec, tt.codec
 	tt.hostPorts[id] = p
 	tt.hostRack[id] = r

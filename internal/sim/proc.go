@@ -97,7 +97,7 @@ func (p *Proc) SleepUntil(t Time) {
 
 // Wait suspends the process until the signal fires.
 func (p *Proc) Wait(sg *Signal) {
-	sg.Subscribe(p.dispatchFn)
+	sg.subscribeFrom(p.sim, p.dispatchFn)
 	p.park()
 }
 
@@ -107,7 +107,7 @@ func (p *Proc) Wait(sg *Signal) {
 func (p *Proc) WaitTimeout(sg *Signal, d time.Duration) (fired bool) {
 	done := false
 	var tm Timer
-	sg.Subscribe(func() {
+	sg.subscribeFrom(p.sim, func() {
 		if done {
 			return
 		}
@@ -127,26 +127,44 @@ func (p *Proc) WaitTimeout(sg *Signal, d time.Duration) (fired bool) {
 	return fired
 }
 
+// waiter is one pending wake-up: the callback plus the simulation whose
+// event loop must run it. In a sharded group a process can wait on a
+// signal or resource owned by another lane; routing the wake to the
+// waiter's home lane (rather than the owner's) keeps every process on the
+// lane it was spawned on.
+type waiter struct {
+	fn   func()
+	home *Simulation
+}
+
 // Signal is a broadcast condition: Fire schedules every pending subscriber
 // at the current time and clears the list. Subscribing after Fire waits for
-// the next Fire.
+// the next Fire. Fire must be called from the event context of the
+// simulation the signal is bound to.
 type Signal struct {
 	sim     *Simulation
-	waiters []func()
+	waiters []waiter
 }
 
 // NewSignal returns a Signal bound to s.
 func NewSignal(s *Simulation) *Signal { return &Signal{sim: s} }
 
-// Subscribe registers fn to be scheduled on the next Fire.
-func (sg *Signal) Subscribe(fn func()) { sg.waiters = append(sg.waiters, fn) }
+// Subscribe registers fn to be scheduled on the next Fire. The callback's
+// home is the signal's own simulation; process waits use subscribeFrom so
+// cross-lane waiters wake on their own lane.
+func (sg *Signal) Subscribe(fn func()) { sg.waiters = append(sg.waiters, waiter{fn: fn, home: sg.sim}) }
+
+// subscribeFrom registers fn with an explicit home simulation.
+func (sg *Signal) subscribeFrom(home *Simulation, fn func()) {
+	sg.waiters = append(sg.waiters, waiter{fn: fn, home: home})
+}
 
 // Fire schedules all pending subscribers to run at the current virtual time.
 func (sg *Signal) Fire() {
 	ws := sg.waiters
 	sg.waiters = nil
-	for _, fn := range ws {
-		sg.sim.At(sg.sim.now, fn)
+	for _, w := range ws {
+		sg.sim.wakeTo(w.home, w.fn)
 	}
 }
 
@@ -160,7 +178,7 @@ type Resource struct {
 	sim      *Simulation
 	capacity int
 	inUse    int
-	queue    []func()
+	queue    []waiter
 	// busy accounting for utilization metrics
 	busyNs     int64
 	lastChange Time
@@ -208,7 +226,7 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.queue = append(r.queue, p.dispatchFn)
+	r.queue = append(r.queue, waiter{fn: p.dispatchFn, home: p.sim})
 	p.park()
 	// Ownership was transferred to us by Release before dispatch.
 }
@@ -232,7 +250,7 @@ func (r *Resource) Release() {
 		// Hand the unit directly to the next waiter: inUse stays constant.
 		next := r.queue[0]
 		r.queue = r.queue[1:]
-		r.sim.At(r.sim.now, next)
+		r.sim.wakeTo(next.home, next.fn)
 		return
 	}
 	r.account()

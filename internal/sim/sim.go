@@ -48,6 +48,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -124,17 +125,33 @@ type Simulation struct {
 	seq     uint64
 	pending int // scheduled, non-cancelled events
 	rng     *rand.Rand
+	seed    int64
 	running bool
 	stopped bool
 
 	// current non-nil while the loop is inside an event callback; used to
 	// catch illegal blocking calls from plain callbacks.
 	inProc *Proc
+
+	// Sharded parallel execution (see shard.go). group and lane are fixed at
+	// construction: nil/laneRoot for a standalone serial simulation, which
+	// therefore takes the exact pre-shard code path everywhere. The window
+	// fields are owned by whichever goroutine executes this lane's window;
+	// inbox is the cross-lane mailbox, drained at window barriers.
+	group       *ShardGroup
+	lane        int
+	injSeq      uint64
+	windowBound Time
+	windowStop  bool
+	suspended   bool
+	start       chan struct{}
+	inboxMu     sync.Mutex
+	inbox       []inject
 }
 
 // New returns a Simulation whose random source is seeded with seed.
 func New(seed int64) *Simulation {
-	return &Simulation{rng: rand.New(rand.NewSource(seed))}
+	return &Simulation{rng: rand.New(rand.NewSource(seed)), seed: seed, lane: laneRoot}
 }
 
 // Now returns the current virtual time.
@@ -254,6 +271,12 @@ func (s *Simulation) Stop() { s.stopped = true }
 // virtual clock would pass limit (limit <= 0 means no limit). It returns the
 // virtual time at which the run ended.
 func (s *Simulation) Run(limit Time) Time {
+	if s.group != nil {
+		if s.lane != laneRoot {
+			panic("sim: Run on a shard lane; drive the group's root simulation")
+		}
+		return s.group.run(limit)
+	}
 	if s.running {
 		panic("sim: Run called re-entrantly")
 	}
